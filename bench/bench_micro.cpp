@@ -1,0 +1,142 @@
+// Microbenchmarks (google-benchmark) backing the §III-C complexity
+// analysis: SpMV, orderings, complete/incomplete factorization, Alg. 2
+// build, and per-query cost of the three effective-resistance engines.
+#include <benchmark/benchmark.h>
+
+#include "approxinv/approx_inverse.hpp"
+#include "chol/cholesky.hpp"
+#include "chol/ichol.hpp"
+#include "effres/approx_chol.hpp"
+#include "effres/exact.hpp"
+#include "effres/random_projection.hpp"
+#include "graph/generators.hpp"
+#include "graph/laplacian.hpp"
+#include "order/mindeg.hpp"
+#include "order/rcm.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace er;
+
+Graph bench_graph(index_t side) {
+  return grid_2d(side, side, WeightKind::kUniform, 42);
+}
+
+void BM_SpMV(benchmark::State& state) {
+  const auto side = static_cast<index_t>(state.range(0));
+  const Graph g = bench_graph(side);
+  const CscMatrix l = grounded_laplacian(g);
+  std::vector<real_t> x(static_cast<std::size_t>(l.cols()), 1.0);
+  std::vector<real_t> y(static_cast<std::size_t>(l.rows()));
+  for (auto _ : state) {
+    l.multiply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(l.nnz()));
+}
+BENCHMARK(BM_SpMV)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MinDegOrdering(benchmark::State& state) {
+  const auto side = static_cast<index_t>(state.range(0));
+  const CscMatrix l = grounded_laplacian(bench_graph(side));
+  for (auto _ : state) {
+    auto perm = mindeg_order(l);
+    benchmark::DoNotOptimize(perm.data());
+  }
+}
+BENCHMARK(BM_MinDegOrdering)->Arg(64)->Arg(128);
+
+void BM_RcmOrdering(benchmark::State& state) {
+  const auto side = static_cast<index_t>(state.range(0));
+  const CscMatrix l = grounded_laplacian(bench_graph(side));
+  for (auto _ : state) {
+    auto perm = rcm_order(l);
+    benchmark::DoNotOptimize(perm.data());
+  }
+}
+BENCHMARK(BM_RcmOrdering)->Arg(64)->Arg(128);
+
+void BM_CompleteCholesky(benchmark::State& state) {
+  const auto side = static_cast<index_t>(state.range(0));
+  const CscMatrix l = grounded_laplacian(bench_graph(side));
+  const auto perm = mindeg_order(l);
+  for (auto _ : state) {
+    auto f = cholesky(l, perm);
+    benchmark::DoNotOptimize(f.values.data());
+  }
+}
+BENCHMARK(BM_CompleteCholesky)->Arg(64)->Arg(128);
+
+void BM_IncompleteCholesky(benchmark::State& state) {
+  const auto side = static_cast<index_t>(state.range(0));
+  const CscMatrix l = grounded_laplacian(bench_graph(side));
+  const auto perm = mindeg_order(l);
+  IcholOptions opts;  // droptol 1e-3 (paper setting)
+  for (auto _ : state) {
+    auto f = ichol(l, perm, opts);
+    benchmark::DoNotOptimize(f.values.data());
+  }
+}
+BENCHMARK(BM_IncompleteCholesky)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_ApproxInverseBuild(benchmark::State& state) {
+  const auto side = static_cast<index_t>(state.range(0));
+  const CscMatrix l = grounded_laplacian(bench_graph(side));
+  IcholOptions iopts;
+  const CholFactor f = ichol(l, Ordering::kMinDeg, iopts);
+  for (auto _ : state) {
+    auto z = ApproxInverse::build(f);
+    benchmark::DoNotOptimize(z.nnz());
+  }
+}
+BENCHMARK(BM_ApproxInverseBuild)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_QueryAlg3(benchmark::State& state) {
+  const auto side = static_cast<index_t>(state.range(0));
+  const Graph g = bench_graph(side);
+  const ApproxCholEffRes engine(g, {});
+  Rng rng(1);
+  const index_t n = g.num_nodes();
+  for (auto _ : state) {
+    const index_t p = rng.uniform_int(n);
+    const index_t q = rng.uniform_int(n);
+    benchmark::DoNotOptimize(engine.resistance(p, q == p ? (p + 1) % n : q));
+  }
+}
+BENCHMARK(BM_QueryAlg3)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_QueryExact(benchmark::State& state) {
+  const auto side = static_cast<index_t>(state.range(0));
+  const Graph g = bench_graph(side);
+  const ExactEffRes engine(g);
+  Rng rng(2);
+  const index_t n = g.num_nodes();
+  for (auto _ : state) {
+    const index_t p = rng.uniform_int(n);
+    const index_t q = rng.uniform_int(n);
+    benchmark::DoNotOptimize(engine.resistance(p, q == p ? (p + 1) % n : q));
+  }
+}
+BENCHMARK(BM_QueryExact)->Arg(64)->Arg(128);
+
+void BM_QueryRandomProjection(benchmark::State& state) {
+  const auto side = static_cast<index_t>(state.range(0));
+  const Graph g = bench_graph(side);
+  RandomProjectionOptions opts;
+  opts.auto_scale = 8.0;
+  const RandomProjectionEffRes engine(g, opts);
+  Rng rng(3);
+  const index_t n = g.num_nodes();
+  for (auto _ : state) {
+    const index_t p = rng.uniform_int(n);
+    const index_t q = rng.uniform_int(n);
+    benchmark::DoNotOptimize(engine.resistance(p, q == p ? (p + 1) % n : q));
+  }
+}
+BENCHMARK(BM_QueryRandomProjection)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

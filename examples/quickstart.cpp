@@ -1,0 +1,57 @@
+// Quickstart: build a small weighted graph, compute effective resistances
+// three ways (exact, Alg. 3, random projection), and print them side by
+// side.
+//
+//   ./examples/quickstart
+#include <cstdio>
+
+#include "effres/approx_chol.hpp"
+#include "effres/exact.hpp"
+#include "effres/random_projection.hpp"
+#include "graph/generators.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace er;
+
+  // A 2D resistor mesh with mildly random conductances.
+  const Graph g = grid_2d(40, 40, WeightKind::kUniform, 7);
+  std::printf("graph: %d nodes, %zu edges\n\n", g.num_nodes(), g.num_edges());
+
+  // Exact engine: complete sparse Cholesky on the grounded Laplacian.
+  const ExactEffRes exact(g);
+
+  // The paper's Alg. 3: incomplete Cholesky (droptol 1e-3) + sparse
+  // approximate inverse (epsilon 1e-3).
+  const ApproxCholEffRes alg3(g, {});
+  std::printf("Alg. 3 stats: nnz(L)=%lld nnz(Z)=%lld dpt=%d "
+              "nnz(Z)/(n log n)=%.2f\n\n",
+              static_cast<long long>(alg3.stats().factor_nnz),
+              static_cast<long long>(alg3.stats().inverse_nnz),
+              alg3.stats().max_depth,
+              alg3.stats().nnz_ratio(g.num_nodes()));
+
+  // The WWW'15 random-projection baseline.
+  RandomProjectionOptions rp_opts;
+  rp_opts.auto_scale = 12.0;
+  const RandomProjectionEffRes rp(g, rp_opts);
+
+  TablePrinter table({"pair", "exact", "Alg. 3", "rand-proj"});
+  const std::pair<index_t, index_t> pairs[] = {
+      {0, 1},        // adjacent corner edge
+      {0, 39},       // along one side
+      {0, 1599},     // corner to corner
+      {820, 821},    // central edge
+      {400, 1200},   // mid-range
+  };
+  for (const auto& [p, q] : pairs)
+    table.add_row({std::to_string(p) + "-" + std::to_string(q),
+                   TablePrinter::fmt(exact.resistance(p, q), 6),
+                   TablePrinter::fmt(alg3.resistance(p, q), 6),
+                   TablePrinter::fmt(rp.resistance(p, q), 6)});
+  table.print();
+
+  std::printf("\nAlg. 3 tracks the exact values at ~1e-3 relative error;\n");
+  std::printf("the JL baseline fluctuates at a few percent.\n");
+  return 0;
+}

@@ -1,0 +1,156 @@
+#include "approxinv/approx_inverse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace er {
+
+ApproxInverse ApproxInverse::build(const CholFactor& factor,
+                                   const ApproxInverseOptions& opts) {
+  if (!(opts.epsilon >= 0.0))
+    throw std::invalid_argument("ApproxInverse: epsilon must be >= 0");
+  const index_t n = factor.n;
+
+  ApproxInverse z;
+  z.n_ = n;
+  z.perm_ = factor.perm;
+  z.inv_perm_ = factor.inv_perm;
+  z.col_offset_.assign(static_cast<std::size_t>(n), 0);
+  z.col_len_.assign(static_cast<std::size_t>(n), 0);
+  // Heuristic pool reservation: a few entries per column, grows as needed.
+  z.pool_rows_.reserve(static_cast<std::size_t>(n) * 8);
+  z.pool_vals_.reserve(static_cast<std::size_t>(n) * 8);
+
+  // The no-truncation floor from Alg. 2 line 3: nnz(z*_j) <= log n.
+  const auto nnz_floor = static_cast<std::size_t>(
+      std::max(1.0, std::log2(static_cast<double>(std::max<index_t>(n, 2)))));
+
+  // Dense scatter workspace with stamping.
+  std::vector<real_t> w(static_cast<std::size_t>(n), 0.0);
+  std::vector<index_t> stamp(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> pattern;
+  std::vector<real_t> mags;  // |values| for the truncation selection
+
+  for (index_t j = n; j-- > 0;) {
+    pattern.clear();
+
+    // Seed: (1/L_jj) e_j.
+    const offset_t cb = factor.col_ptr[static_cast<std::size_t>(j)];
+    const offset_t ce = factor.col_ptr[static_cast<std::size_t>(j) + 1];
+    const real_t inv_ljj = 1.0 / factor.values[static_cast<std::size_t>(cb)];
+    w[static_cast<std::size_t>(j)] = inv_ljj;
+    stamp[static_cast<std::size_t>(j)] = j;
+    pattern.push_back(j);
+
+    // Accumulate (-L_ij / L_jj) * z̃_i over the off-diagonal entries of
+    // column j of L.
+    for (offset_t p = cb + 1; p < ce; ++p) {
+      const index_t i = factor.row_ind[static_cast<std::size_t>(p)];
+      const real_t coef = -factor.values[static_cast<std::size_t>(p)] * inv_ljj;
+      if (coef == 0.0) continue;
+      const auto rows = z.column_rows(i);
+      const auto vals = z.column_values(i);
+      for (std::size_t k = 0; k < rows.size(); ++k) {
+        const index_t r = rows[k];
+        if (stamp[static_cast<std::size_t>(r)] != j) {
+          stamp[static_cast<std::size_t>(r)] = j;
+          w[static_cast<std::size_t>(r)] = 0.0;
+          pattern.push_back(r);
+        }
+        w[static_cast<std::size_t>(r)] += coef * vals[k];
+      }
+    }
+
+    // Truncation (Eq. (10)): drop the largest set of smallest-|.| entries
+    // whose 1-norm stays within epsilon * ||z*_j||_1.
+    if (pattern.size() > nnz_floor && opts.epsilon > 0.0) {
+      mags.clear();
+      mags.reserve(pattern.size());
+      real_t norm1 = 0.0;
+      for (index_t r : pattern) {
+        const real_t m = std::abs(w[static_cast<std::size_t>(r)]);
+        mags.push_back(m);
+        norm1 += m;
+      }
+      std::sort(mags.begin(), mags.end());
+      const real_t budget = opts.epsilon * norm1;
+      real_t dropped = 0.0;
+      std::size_t k = 0;
+      while (k < mags.size() && dropped + mags[k] <= budget) {
+        dropped += mags[k];
+        ++k;
+      }
+      if (k > 0) {
+        // Keep entries with |v| > cut; among |v| == cut keep only as many
+        // as needed so exactly k entries are dropped (ties broken
+        // arbitrarily, matching trunc_k semantics).
+        const real_t cut = mags[k - 1];
+        std::size_t ties_to_drop = 0;
+        for (std::size_t t = 0; t < k; ++t)
+          if (mags[t] == cut) ++ties_to_drop;
+        std::size_t wpos = 0;
+        for (index_t r : pattern) {
+          const real_t m = std::abs(w[static_cast<std::size_t>(r)]);
+          if (m < cut) continue;
+          if (m == cut) {
+            if (ties_to_drop > 0) {
+              --ties_to_drop;
+              continue;
+            }
+          }
+          pattern[wpos++] = r;
+        }
+        pattern.resize(wpos);
+      }
+    }
+
+    std::sort(pattern.begin(), pattern.end());
+
+    z.col_offset_[static_cast<std::size_t>(j)] = z.pool_rows_.size();
+    z.col_len_[static_cast<std::size_t>(j)] =
+        static_cast<index_t>(pattern.size());
+    for (index_t r : pattern) {
+      z.pool_rows_.push_back(r);
+      z.pool_vals_.push_back(w[static_cast<std::size_t>(r)]);
+    }
+  }
+  return z;
+}
+
+SparseVector ApproxInverse::column(index_t j) const {
+  const auto rows = column_rows(j);
+  const auto vals = column_values(j);
+  SparseVector v;
+  v.idx.assign(rows.begin(), rows.end());
+  v.val.assign(vals.begin(), vals.end());
+  return v;
+}
+
+real_t ApproxInverse::column_distance_squared(index_t p, index_t q) const {
+  const auto pr = column_rows(p);
+  const auto pv = column_values(p);
+  const auto qr = column_rows(q);
+  const auto qv = column_values(q);
+  real_t acc = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < pr.size() && j < qr.size()) {
+    if (pr[i] < qr[j]) {
+      acc += pv[i] * pv[i];
+      ++i;
+    } else if (qr[j] < pr[i]) {
+      acc += qv[j] * qv[j];
+      ++j;
+    } else {
+      const real_t d = pv[i] - qv[j];
+      acc += d * d;
+      ++i;
+      ++j;
+    }
+  }
+  for (; i < pr.size(); ++i) acc += pv[i] * pv[i];
+  for (; j < qr.size(); ++j) acc += qv[j] * qv[j];
+  return acc;
+}
+
+}  // namespace er

@@ -1,0 +1,31 @@
+#include "approxinv/depth.hpp"
+
+#include <algorithm>
+
+namespace er {
+
+std::vector<index_t> filled_graph_depths(const CholFactor& factor) {
+  const index_t n = factor.n;
+  std::vector<index_t> depth(static_cast<std::size_t>(n), 0);
+  // depth(p) depends only on rows i > p, so sweep p = n-1 .. 0.
+  for (index_t p = n; p-- > 0;) {
+    const offset_t begin = factor.col_ptr[static_cast<std::size_t>(p)];
+    const offset_t end = factor.col_ptr[static_cast<std::size_t>(p) + 1];
+    index_t d = -1;  // becomes >= 0 iff an off-diagonal exists
+    for (offset_t k = begin + 1; k < end; ++k) {
+      const index_t i = factor.row_ind[static_cast<std::size_t>(k)];
+      d = std::max(d, depth[static_cast<std::size_t>(i)]);
+    }
+    depth[static_cast<std::size_t>(p)] = d + 1;  // -1 + 1 == 0 for leaves
+  }
+  return depth;
+}
+
+index_t max_filled_graph_depth(const CholFactor& factor) {
+  const auto depths = filled_graph_depths(factor);
+  index_t m = 0;
+  for (index_t d : depths) m = std::max(m, d);
+  return m;
+}
+
+}  // namespace er

@@ -1,0 +1,22 @@
+// Depth of nodes in the filled graph (paper Eq. (11)).
+//
+// The filled graph G_L = (V, F) is the undirected graph of the factor L's
+// off-diagonal pattern. depth(p) = 0 when column p of L has no off-diagonal
+// entry, otherwise 1 + max depth over the rows of column p. Theorem 1 bounds
+// the approximate-inverse error of column p by depth(p) * epsilon.
+#pragma once
+
+#include <vector>
+
+#include "chol/factor.hpp"
+#include "util/types.hpp"
+
+namespace er {
+
+/// depth(p) for every node, in permuted (factor) coordinates.
+std::vector<index_t> filled_graph_depths(const CholFactor& factor);
+
+/// max_p depth(p) — the `dpt` column of the paper's Table I.
+index_t max_filled_graph_depth(const CholFactor& factor);
+
+}  // namespace er

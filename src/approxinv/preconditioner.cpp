@@ -1,0 +1,36 @@
+#include "approxinv/preconditioner.hpp"
+
+#include <stdexcept>
+
+namespace er {
+
+void ApproxInversePreconditioner::apply(const std::vector<real_t>& r,
+                                        std::vector<real_t>& out) const {
+  const index_t n = z_->dimension();
+  if (r.size() != static_cast<std::size_t>(n))
+    throw std::invalid_argument("ApproxInversePreconditioner: size mismatch");
+
+  const auto& perm = z_->perm();
+  // u = Z (P r): u_i = sum_j Z_ij (P r)_j, accumulated column-wise.
+  work_.assign(static_cast<std::size_t>(n), 0.0);
+  for (index_t j = 0; j < n; ++j) {
+    const real_t rj = r[static_cast<std::size_t>(perm[static_cast<std::size_t>(j)])];
+    if (rj == 0.0) continue;
+    const auto rows = z_->column_rows(j);
+    const auto vals = z_->column_values(j);
+    for (std::size_t k = 0; k < rows.size(); ++k)
+      work_[static_cast<std::size_t>(rows[k])] += vals[k] * rj;
+  }
+  // v = Z^T u: v_j = <z_j, u>; then out = P^T v.
+  out.assign(static_cast<std::size_t>(n), 0.0);
+  for (index_t j = 0; j < n; ++j) {
+    const auto rows = z_->column_rows(j);
+    const auto vals = z_->column_values(j);
+    real_t acc = 0.0;
+    for (std::size_t k = 0; k < rows.size(); ++k)
+      acc += vals[k] * work_[static_cast<std::size_t>(rows[k])];
+    out[static_cast<std::size_t>(perm[static_cast<std::size_t>(j)])] = acc;
+  }
+}
+
+}  // namespace er

@@ -1,0 +1,116 @@
+// Binary (de)serialization for ApproxInverse.
+//
+// Format: magic "ERZI" + version, then n, perm, inv_perm, column table and
+// pools, all little-endian native-width. Intended for same-machine caching,
+// not as an interchange format.
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "approxinv/approx_inverse.hpp"
+#include "order/mindeg.hpp"
+
+namespace er {
+
+namespace {
+
+constexpr char kMagic[4] = {'E', 'R', 'Z', 'I'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+void read_pod(std::istream& in, T& v) {
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw std::runtime_error("ApproxInverse::load: truncated input");
+}
+
+template <typename T>
+void write_vec(std::ostream& out, const std::vector<T>& v) {
+  write_pod(out, static_cast<std::uint64_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+void read_vec(std::istream& in, std::vector<T>& v) {
+  std::uint64_t size = 0;
+  read_pod(in, size);
+  v.resize(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(v.size() * sizeof(T)));
+  if (!in) throw std::runtime_error("ApproxInverse::load: truncated input");
+}
+
+}  // namespace
+
+void ApproxInverse::save(std::ostream& out) const {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::int64_t>(n_));
+  write_vec(out, perm_);
+  write_vec(out, inv_perm_);
+  write_vec(out, col_offset_);
+  write_vec(out, col_len_);
+  write_vec(out, pool_rows_);
+  write_vec(out, pool_vals_);
+  if (!out) throw std::runtime_error("ApproxInverse::save: write failed");
+}
+
+ApproxInverse ApproxInverse::load(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    throw std::runtime_error("ApproxInverse::load: bad magic");
+  std::uint32_t version = 0;
+  read_pod(in, version);
+  if (version != kVersion)
+    throw std::runtime_error("ApproxInverse::load: unsupported version");
+
+  ApproxInverse z;
+  std::int64_t n = 0;
+  read_pod(in, n);
+  if (n < 0) throw std::runtime_error("ApproxInverse::load: bad dimension");
+  z.n_ = static_cast<index_t>(n);
+  read_vec(in, z.perm_);
+  read_vec(in, z.inv_perm_);
+  read_vec(in, z.col_offset_);
+  read_vec(in, z.col_len_);
+  read_vec(in, z.pool_rows_);
+  read_vec(in, z.pool_vals_);
+
+  // Structural validation before trusting the data.
+  const auto nn = static_cast<std::size_t>(z.n_);
+  if (z.perm_.size() != nn || z.inv_perm_.size() != nn ||
+      z.col_offset_.size() != nn || z.col_len_.size() != nn ||
+      z.pool_rows_.size() != z.pool_vals_.size() ||
+      !is_permutation(z.perm_) || !is_permutation(z.inv_perm_))
+    throw std::runtime_error("ApproxInverse::load: inconsistent payload");
+  for (index_t j = 0; j < z.n_; ++j) {
+    const std::size_t off = z.col_offset_[static_cast<std::size_t>(j)];
+    const auto len =
+        static_cast<std::size_t>(z.col_len_[static_cast<std::size_t>(j)]);
+    if (off + len > z.pool_rows_.size())
+      throw std::runtime_error("ApproxInverse::load: column out of bounds");
+  }
+  return z;
+}
+
+void ApproxInverse::save_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  save(out);
+}
+
+ApproxInverse ApproxInverse::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return load(in);
+}
+
+}  // namespace er

@@ -1,0 +1,49 @@
+#include "approxinv/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "approxinv/depth.hpp"
+
+namespace er {
+
+ApproxInverseProfile profile_approx_inverse(const ApproxInverse& z) {
+  ApproxInverseProfile p;
+  const index_t n = z.dimension();
+  if (n == 0) return p;
+  p.total_nnz = z.nnz();
+  for (index_t j = 0; j < n; ++j) {
+    const auto sz = static_cast<index_t>(z.column_rows(j).size());
+    p.max_column_nnz = std::max(p.max_column_nnz, sz);
+    std::size_t bucket = 0;
+    while ((index_t{1} << (bucket + 1)) <= std::max<index_t>(sz, 1)) ++bucket;
+    if (p.column_size_histogram.size() <= bucket)
+      p.column_size_histogram.resize(bucket + 1, 0);
+    ++p.column_size_histogram[bucket];
+  }
+  p.mean_column_nnz =
+      static_cast<double>(p.total_nnz) / static_cast<double>(n);
+  p.nnz_ratio = n >= 2 ? static_cast<double>(p.total_nnz) /
+                             (static_cast<double>(n) *
+                              std::log2(static_cast<double>(n)))
+                       : 0.0;
+  return p;
+}
+
+DepthProfile profile_depths(const CholFactor& factor) {
+  DepthProfile p;
+  const auto depths = filled_graph_depths(factor);
+  if (depths.empty()) return p;
+  double sum = 0.0;
+  for (index_t d : depths) {
+    p.max_depth = std::max(p.max_depth, d);
+    sum += d;
+    const auto bucket = static_cast<std::size_t>(d / 32);
+    if (p.histogram.size() <= bucket) p.histogram.resize(bucket + 1, 0);
+    ++p.histogram[bucket];
+  }
+  p.mean_depth = sum / static_cast<double>(depths.size());
+  return p;
+}
+
+}  // namespace er

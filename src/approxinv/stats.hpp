@@ -1,0 +1,35 @@
+// Diagnostics over an approximate inverse: column-size and depth
+// distributions, used by the ablation benches and by capacity planning.
+#pragma once
+
+#include <vector>
+
+#include "approxinv/approx_inverse.hpp"
+#include "chol/factor.hpp"
+#include "util/types.hpp"
+
+namespace er {
+
+struct ApproxInverseProfile {
+  offset_t total_nnz = 0;
+  double mean_column_nnz = 0.0;
+  index_t max_column_nnz = 0;
+  /// Histogram of column sizes in powers of two: bucket k counts columns
+  /// with nnz in [2^k, 2^{k+1}).
+  std::vector<offset_t> column_size_histogram;
+  /// nnz / (n log2 n) — the paper's normalized size.
+  double nnz_ratio = 0.0;
+};
+
+ApproxInverseProfile profile_approx_inverse(const ApproxInverse& z);
+
+struct DepthProfile {
+  index_t max_depth = 0;
+  double mean_depth = 0.0;
+  /// Depth histogram in buckets of 32.
+  std::vector<offset_t> histogram;
+};
+
+DepthProfile profile_depths(const CholFactor& factor);
+
+}  // namespace er

@@ -1,0 +1,20 @@
+// Complete sparse Cholesky factorization (up-looking, CSparse-style).
+#pragma once
+
+#include <vector>
+
+#include "chol/factor.hpp"
+#include "order/mindeg.hpp"
+#include "sparse/csc.hpp"
+#include "util/types.hpp"
+
+namespace er {
+
+/// Factor P A P^T = L L^T for a symmetric positive definite A.
+/// `perm` maps new -> old; throws std::runtime_error if A is not SPD.
+CholFactor cholesky(const CscMatrix& a, const std::vector<index_t>& perm);
+
+/// Convenience overload that computes the ordering first.
+CholFactor cholesky(const CscMatrix& a, Ordering ordering = Ordering::kMinDeg);
+
+}  // namespace er

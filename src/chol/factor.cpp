@@ -1,0 +1,92 @@
+#include "chol/factor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "order/mindeg.hpp"
+
+namespace er {
+
+void CholFactor::forward_solve(std::vector<real_t>& x) const {
+  if (x.size() != static_cast<std::size_t>(n))
+    throw std::invalid_argument("forward_solve: size mismatch");
+  for (index_t j = 0; j < n; ++j) {
+    const offset_t begin = col_ptr[static_cast<std::size_t>(j)];
+    const offset_t end = col_ptr[static_cast<std::size_t>(j) + 1];
+    const real_t xj = x[static_cast<std::size_t>(j)] /
+                      values[static_cast<std::size_t>(begin)];
+    x[static_cast<std::size_t>(j)] = xj;
+    if (xj == 0.0) continue;
+    for (offset_t p = begin + 1; p < end; ++p)
+      x[static_cast<std::size_t>(row_ind[static_cast<std::size_t>(p)])] -=
+          values[static_cast<std::size_t>(p)] * xj;
+  }
+}
+
+void CholFactor::backward_solve(std::vector<real_t>& x) const {
+  if (x.size() != static_cast<std::size_t>(n))
+    throw std::invalid_argument("backward_solve: size mismatch");
+  for (index_t j = n; j-- > 0;) {
+    const offset_t begin = col_ptr[static_cast<std::size_t>(j)];
+    const offset_t end = col_ptr[static_cast<std::size_t>(j) + 1];
+    real_t s = x[static_cast<std::size_t>(j)];
+    for (offset_t p = begin + 1; p < end; ++p)
+      s -= values[static_cast<std::size_t>(p)] *
+           x[static_cast<std::size_t>(row_ind[static_cast<std::size_t>(p)])];
+    x[static_cast<std::size_t>(j)] = s / values[static_cast<std::size_t>(begin)];
+  }
+}
+
+void CholFactor::solve_permuted(std::vector<real_t>& x) const {
+  forward_solve(x);
+  backward_solve(x);
+}
+
+std::vector<real_t> CholFactor::solve(const std::vector<real_t>& b) const {
+  if (b.size() != static_cast<std::size_t>(n))
+    throw std::invalid_argument("CholFactor::solve: size mismatch");
+  std::vector<real_t> x(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i)
+    x[static_cast<std::size_t>(i)] =
+        b[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])];
+  solve_permuted(x);
+  std::vector<real_t> out(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i)
+    out[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])] =
+        x[static_cast<std::size_t>(i)];
+  return out;
+}
+
+CscMatrix CholFactor::to_csc() const {
+  TripletMatrix t(n, n);
+  t.reserve(static_cast<std::size_t>(nnz()));
+  for (index_t j = 0; j < n; ++j)
+    for (offset_t p = col_ptr[static_cast<std::size_t>(j)];
+         p < col_ptr[static_cast<std::size_t>(j) + 1]; ++p)
+      t.add(row_ind[static_cast<std::size_t>(p)], j,
+            values[static_cast<std::size_t>(p)]);
+  return CscMatrix::from_triplets(t);
+}
+
+bool CholFactor::check_invariants() const {
+  if (col_ptr.size() != static_cast<std::size_t>(n) + 1) return false;
+  if (!is_permutation(perm) || !is_permutation(inv_perm)) return false;
+  if (perm.size() != static_cast<std::size_t>(n)) return false;
+  for (index_t j = 0; j < n; ++j) {
+    const offset_t begin = col_ptr[static_cast<std::size_t>(j)];
+    const offset_t end = col_ptr[static_cast<std::size_t>(j) + 1];
+    if (begin >= end) return false;  // at least the diagonal
+    if (row_ind[static_cast<std::size_t>(begin)] != j) return false;
+    if (values[static_cast<std::size_t>(begin)] <= 0.0) return false;
+    for (offset_t p = begin + 1; p < end; ++p) {
+      if (row_ind[static_cast<std::size_t>(p)] <= j) return false;
+      if (p > begin + 1 &&
+          row_ind[static_cast<std::size_t>(p - 1)] >=
+              row_ind[static_cast<std::size_t>(p)])
+        return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace er

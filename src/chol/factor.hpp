@@ -1,0 +1,58 @@
+// Cholesky factor container shared by the complete and incomplete
+// factorizations, plus triangular solves.
+//
+// Storage layout: CSC with the *diagonal entry first* in every column,
+// followed by the off-diagonal rows in increasing order. This is the layout
+// the up-looking factorization produces naturally and the layout Alg. 2
+// (approximate inverse) consumes directly.
+//
+// The factor lives in *permuted* space: it factors P A P^T where
+// perm[new] = old. Callers either work in permuted coordinates
+// (approximate-inverse columns) or use solve(), which applies the
+// permutations on the way in and out.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csc.hpp"
+#include "util/types.hpp"
+
+namespace er {
+
+struct CholFactor {
+  index_t n = 0;
+  std::vector<offset_t> col_ptr;  // size n+1
+  std::vector<index_t> row_ind;   // diagonal first per column
+  std::vector<real_t> values;
+  std::vector<index_t> perm;      // new -> old
+  std::vector<index_t> inv_perm;  // old -> new
+
+  [[nodiscard]] offset_t nnz() const {
+    return col_ptr.empty() ? 0 : col_ptr.back();
+  }
+
+  /// L(j, j); columns store the diagonal first.
+  [[nodiscard]] real_t diag(index_t j) const {
+    return values[static_cast<std::size_t>(col_ptr[static_cast<std::size_t>(j)])];
+  }
+
+  /// x := L^{-1} x (permuted space).
+  void forward_solve(std::vector<real_t>& x) const;
+
+  /// x := L^{-T} x (permuted space).
+  void backward_solve(std::vector<real_t>& x) const;
+
+  /// x := (L L^T)^{-1} x (permuted space).
+  void solve_permuted(std::vector<real_t>& x) const;
+
+  /// Solve A x = b in original coordinates (applies perm / inv_perm).
+  [[nodiscard]] std::vector<real_t> solve(const std::vector<real_t>& b) const;
+
+  /// Row-sorted CSC copy of L (tests and diagnostics).
+  [[nodiscard]] CscMatrix to_csc() const;
+
+  /// Verify structural invariants (diag-first layout, sorted tails, perm).
+  [[nodiscard]] bool check_invariants() const;
+};
+
+}  // namespace er

@@ -1,0 +1,221 @@
+#include "chol/ichol.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace er {
+
+namespace {
+
+/// One left-looking ICT attempt on the permuted matrix. Returns false on
+/// pivot breakdown (caller shifts and retries).
+bool ict_attempt(const CscMatrix& ap, const IcholOptions& opts, real_t shift,
+                 real_t global_scale, CholFactor& f) {
+  const index_t n = ap.cols();
+  const auto& cp = ap.col_ptr();
+  const auto& ri = ap.row_ind();
+  const auto& vv = ap.values();
+
+  // Absolute dropping threshold: droptol relative to the typical branch
+  // conductance of the whole graph (see header comment).
+  const real_t keep_threshold = opts.droptol * global_scale;
+
+  // Columns of L built incrementally; compressed at the end.
+  std::vector<std::vector<index_t>> lrow(static_cast<std::size_t>(n));
+  std::vector<std::vector<real_t>> lval(static_cast<std::size_t>(n));
+
+  // Left-looking traversal state: for column k already factored,
+  // cursor[k] points at the next off-diagonal entry with row >= current j;
+  // link[k] chains columns whose cursor row equals the current column.
+  std::vector<offset_t> cursor(static_cast<std::size_t>(n), 0);
+  std::vector<index_t> link_head(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> link_next(static_cast<std::size_t>(n), -1);
+
+  // Dense scatter workspace.
+  std::vector<real_t> w(static_cast<std::size_t>(n), 0.0);
+  std::vector<index_t> pattern;
+  std::vector<char> keep_flags;
+  std::vector<index_t> touched(static_cast<std::size_t>(n), -1);
+  // Deferred diagonal corrections from dropped branches (compensation).
+  std::vector<real_t> diag_corr(static_cast<std::size_t>(n), 0.0);
+
+  auto attach = [&](index_t k, index_t row) {
+    link_next[static_cast<std::size_t>(k)] = link_head[static_cast<std::size_t>(row)];
+    link_head[static_cast<std::size_t>(row)] = k;
+  };
+
+  for (index_t j = 0; j < n; ++j) {
+    pattern.clear();
+    real_t dj = 0.0;
+
+    // Scatter A(j:n, j); apply the diagonal shift.
+    for (offset_t p = cp[static_cast<std::size_t>(j)];
+         p < cp[static_cast<std::size_t>(j) + 1]; ++p) {
+      const index_t i = ri[static_cast<std::size_t>(p)];
+      if (i < j) continue;
+      const real_t v = vv[static_cast<std::size_t>(p)];
+      if (i == j) {
+        dj = v * (1.0 + shift);
+        continue;
+      }
+      if (touched[static_cast<std::size_t>(i)] != j) {
+        touched[static_cast<std::size_t>(i)] = j;
+        w[static_cast<std::size_t>(i)] = 0.0;
+        pattern.push_back(i);
+      }
+      w[static_cast<std::size_t>(i)] += v;
+    }
+
+    // Apply updates from all columns k < j with L(j,k) != 0.
+    index_t k = link_head[static_cast<std::size_t>(j)];
+    link_head[static_cast<std::size_t>(j)] = -1;
+    while (k != -1) {
+      const index_t knext = link_next[static_cast<std::size_t>(k)];
+      const auto& rk = lrow[static_cast<std::size_t>(k)];
+      const auto& vk = lval[static_cast<std::size_t>(k)];
+      const auto cur = static_cast<std::size_t>(cursor[static_cast<std::size_t>(k)]);
+      const real_t ljk = vk[cur];
+
+      dj -= ljk * ljk;
+      for (std::size_t p = cur + 1; p < rk.size(); ++p) {
+        const index_t i = rk[p];
+        if (touched[static_cast<std::size_t>(i)] != j) {
+          touched[static_cast<std::size_t>(i)] = j;
+          w[static_cast<std::size_t>(i)] = 0.0;
+          pattern.push_back(i);
+        }
+        w[static_cast<std::size_t>(i)] -= vk[p] * ljk;
+      }
+
+      // Advance k's cursor to its next off-diagonal row and re-attach.
+      if (cur + 1 < rk.size()) {
+        cursor[static_cast<std::size_t>(k)] = static_cast<offset_t>(cur + 1);
+        attach(k, rk[cur + 1]);
+      }
+      k = knext;
+    }
+
+    if (opts.diagonal_compensation)
+      dj += diag_corr[static_cast<std::size_t>(j)];
+    if (dj <= 0.0) return false;  // breakdown: caller shifts & retries
+
+    // Threshold dropping (absolute; see header). With compensation, a
+    // dropped subdiagonal value w_i (an intermediate-graph branch of
+    // conductance -w_i between i and j) is removed from *both* diagonals:
+    // from d_j now and from node i's future pivot. A pivot floor keeps
+    // extreme columns factorable; entries whose compensation would sink the
+    // pivot below the floor are kept instead.
+    auto& rj = lrow[static_cast<std::size_t>(j)];
+    auto& vj = lval[static_cast<std::size_t>(j)];
+    std::sort(pattern.begin(), pattern.end());
+    const real_t pivot_floor = opts.compensation_pivot_floor * dj;
+
+    // First pass: decide drops and apply compensation to d_j.
+    keep_flags.assign(pattern.size(), 1);
+    for (std::size_t pi = 0; pi < pattern.size(); ++pi) {
+      const index_t i = pattern[pi];
+      const real_t v = w[static_cast<std::size_t>(i)];
+      const bool small = std::abs(v) < keep_threshold || v == 0.0;
+      if (!small) continue;
+      if (opts.diagonal_compensation && v != 0.0) {
+        // Opening the branch subtracts (-v) from both endpoints' diagonals;
+        // for M-matrix columns v < 0, so dj + v < dj.
+        if (dj + v <= pivot_floor) continue;  // keep instead of dropping
+        dj += v;
+        diag_corr[static_cast<std::size_t>(i)] += v;
+      }
+      keep_flags[pi] = 0;
+    }
+
+    if (dj <= 0.0) return false;
+    const real_t ljj = std::sqrt(dj);
+    rj.push_back(j);  // diagonal first
+    vj.push_back(ljj);
+    for (std::size_t pi = 0; pi < pattern.size(); ++pi) {
+      if (!keep_flags[pi]) continue;
+      const index_t i = pattern[pi];
+      const real_t v = w[static_cast<std::size_t>(i)];
+      if (v == 0.0) continue;
+      rj.push_back(i);
+      vj.push_back(v / ljj);
+    }
+    if (rj.size() > 1) attach(j, rj[1]);
+    cursor[static_cast<std::size_t>(j)] = 1;  // first off-diagonal slot
+  }
+
+  // Compress into the factor.
+  f.col_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  offset_t nnz = 0;
+  for (index_t j = 0; j < n; ++j)
+    nnz += static_cast<offset_t>(lrow[static_cast<std::size_t>(j)].size());
+  f.row_ind.resize(static_cast<std::size_t>(nnz));
+  f.values.resize(static_cast<std::size_t>(nnz));
+  offset_t pos = 0;
+  for (index_t j = 0; j < n; ++j) {
+    const auto& rj = lrow[static_cast<std::size_t>(j)];
+    const auto& vj = lval[static_cast<std::size_t>(j)];
+    for (std::size_t p = 0; p < rj.size(); ++p) {
+      f.row_ind[static_cast<std::size_t>(pos)] = rj[p];
+      f.values[static_cast<std::size_t>(pos)] = vj[p];
+      ++pos;
+    }
+    f.col_ptr[static_cast<std::size_t>(j) + 1] = pos;
+  }
+  return true;
+}
+
+}  // namespace
+
+CholFactor ichol(const CscMatrix& a, const std::vector<index_t>& perm,
+                 const IcholOptions& opts) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("ichol: not square");
+  const index_t n = a.cols();
+  if (perm.size() != static_cast<std::size_t>(n) || !is_permutation(perm))
+    throw std::invalid_argument("ichol: invalid permutation");
+  if (opts.droptol < 0.0)
+    throw std::invalid_argument("ichol: droptol must be >= 0");
+
+  const CscMatrix ap = a.permute_symmetric(perm);
+
+  // Global conductance scale: median |off-diagonal| of A. Robust to hub
+  // columns and to overall unit changes.
+  real_t global_scale = 1.0;
+  {
+    std::vector<real_t> mags;
+    mags.reserve(static_cast<std::size_t>(ap.nnz()));
+    const auto& cp = ap.col_ptr();
+    const auto& ri = ap.row_ind();
+    const auto& vv = ap.values();
+    for (index_t c = 0; c < n; ++c)
+      for (offset_t p = cp[static_cast<std::size_t>(c)];
+           p < cp[static_cast<std::size_t>(c) + 1]; ++p)
+        if (ri[static_cast<std::size_t>(p)] > c &&
+            vv[static_cast<std::size_t>(p)] != 0.0)
+          mags.push_back(std::abs(vv[static_cast<std::size_t>(p)]));
+    if (!mags.empty()) {
+      auto mid = mags.begin() + static_cast<std::ptrdiff_t>(mags.size() / 2);
+      std::nth_element(mags.begin(), mid, mags.end());
+      global_scale = *mid;
+    }
+  }
+
+  CholFactor f;
+  f.n = n;
+  f.perm = perm;
+  f.inv_perm = invert_permutation(perm);
+
+  real_t shift = 0.0;
+  for (int attempt = 0; attempt <= opts.max_shift_retries; ++attempt) {
+    if (ict_attempt(ap, opts, shift, global_scale, f)) return f;
+    shift = shift == 0.0 ? opts.initial_shift : 2.0 * shift;
+  }
+  throw std::runtime_error("ichol: breakdown persisted after max shifts");
+}
+
+CholFactor ichol(const CscMatrix& a, Ordering ordering,
+                 const IcholOptions& opts) {
+  return ichol(a, compute_ordering(a, ordering), opts);
+}
+
+}  // namespace er

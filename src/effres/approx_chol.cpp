@@ -1,0 +1,53 @@
+#include "effres/approx_chol.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "approxinv/depth.hpp"
+#include "chol/cholesky.hpp"
+#include "graph/laplacian.hpp"
+#include "util/timer.hpp"
+
+namespace er {
+
+double ApproxCholStats::nnz_ratio(index_t n) const {
+  if (n < 2) return 0.0;
+  return static_cast<double>(inverse_nnz) /
+         (static_cast<double>(n) * std::log2(static_cast<double>(n)));
+}
+
+ApproxCholEffRes::ApproxCholEffRes(const Graph& g,
+                                   const ApproxCholOptions& opts)
+    : n_(g.num_nodes()) {
+  const CscMatrix lg = grounded_laplacian(g);
+
+  Timer t;
+  if (opts.complete_factorization) {
+    factor_ = cholesky(lg, opts.ordering);
+  } else {
+    IcholOptions ic;
+    ic.droptol = opts.droptol;
+    factor_ = ichol(lg, opts.ordering, ic);
+  }
+  stats_.factor_seconds = t.seconds();
+  stats_.factor_nnz = factor_.nnz();
+  stats_.max_depth = max_filled_graph_depth(factor_);
+
+  t.reset();
+  ApproxInverseOptions zi;
+  zi.epsilon = opts.epsilon;
+  z_ = ApproxInverse::build(factor_, zi);
+  stats_.inverse_seconds = t.seconds();
+  stats_.inverse_nnz = z_.nnz();
+}
+
+real_t ApproxCholEffRes::resistance(index_t p, index_t q) const {
+  if (p < 0 || p >= n_ || q < 0 || q >= n_)
+    throw std::out_of_range("ApproxCholEffRes::resistance: node out of range");
+  if (p == q) return 0.0;
+  const index_t pp = factor_.inv_perm[static_cast<std::size_t>(p)];
+  const index_t qq = factor_.inv_perm[static_cast<std::size_t>(q)];
+  return z_.column_distance_squared(pp, qq);
+}
+
+}  // namespace er

@@ -1,0 +1,55 @@
+// Algorithm 3 — effective resistances from the sparse approximate inverse
+// of the (incomplete) Cholesky factor. This is the paper's headline method:
+//
+//   1. incomplete Cholesky on the grounded Laplacian (droptol),
+//   2. Alg. 2 sparse approximate inverse Z̃ ≈ L^{-1} (epsilon),
+//   3. per query (p, q): R(p,q) ≈ ||z̃_p - z̃_q||².
+#pragma once
+
+#include "approxinv/approx_inverse.hpp"
+#include "chol/factor.hpp"
+#include "chol/ichol.hpp"
+#include "effres/engine.hpp"
+#include "graph/graph.hpp"
+#include "order/mindeg.hpp"
+
+namespace er {
+
+struct ApproxCholOptions {
+  real_t droptol = 1e-3;   // incomplete-Cholesky drop tolerance (paper: 1e-3)
+  real_t epsilon = 1e-3;   // Alg. 2 truncation budget        (paper: 1e-3)
+  Ordering ordering = Ordering::kMinDeg;
+  /// Use the complete factorization instead of ICT (small graphs / tests).
+  bool complete_factorization = false;
+};
+
+/// Timing/size diagnostics mirroring the columns of the paper's Table I.
+struct ApproxCholStats {
+  double factor_seconds = 0.0;
+  double inverse_seconds = 0.0;
+  offset_t factor_nnz = 0;
+  offset_t inverse_nnz = 0;
+  index_t max_depth = 0;  // `dpt` column
+  /// nnz(Z̃) / (n log2 n) — the paper's normalized size column.
+  [[nodiscard]] double nnz_ratio(index_t n) const;
+};
+
+class ApproxCholEffRes final : public EffResEngine {
+ public:
+  explicit ApproxCholEffRes(const Graph& g, const ApproxCholOptions& opts = {});
+
+  [[nodiscard]] real_t resistance(index_t p, index_t q) const override;
+  [[nodiscard]] std::string name() const override { return "approx-chol"; }
+
+  [[nodiscard]] const ApproxCholStats& stats() const { return stats_; }
+  [[nodiscard]] const ApproxInverse& approximate_inverse() const { return z_; }
+  [[nodiscard]] const CholFactor& factor() const { return factor_; }
+
+ private:
+  index_t n_ = 0;
+  CholFactor factor_;
+  ApproxInverse z_;
+  ApproxCholStats stats_;
+};
+
+}  // namespace er

@@ -1,0 +1,51 @@
+#include "effres/centrality.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace er {
+
+std::vector<real_t> spanning_edge_centralities(const Graph& g,
+                                               const EffResEngine& engine) {
+  std::vector<real_t> out;
+  out.reserve(g.num_edges());
+  for (const auto& e : g.edges())
+    out.push_back(e.weight * engine.resistance(e.u, e.v));
+  return out;
+}
+
+std::vector<index_t> top_k_central_edges(const std::vector<real_t>& centrality,
+                                         index_t k) {
+  std::vector<index_t> order(centrality.size());
+  std::iota(order.begin(), order.end(), 0);
+  const auto kk = std::min<std::size_t>(static_cast<std::size_t>(k),
+                                        centrality.size());
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(kk),
+                    order.end(), [&](index_t a, index_t b) {
+                      return centrality[static_cast<std::size_t>(a)] >
+                             centrality[static_cast<std::size_t>(b)];
+                    });
+  order.resize(kk);
+  return order;
+}
+
+real_t foster_sum(const Graph& g, const EffResEngine& engine) {
+  real_t acc = 0.0;
+  for (const auto& e : g.edges())
+    acc += e.weight * engine.resistance(e.u, e.v);
+  return acc;
+}
+
+real_t commute_time(const Graph& g, const EffResEngine& engine, index_t u,
+                    index_t v) {
+  return 2.0 * g.total_weight() * engine.resistance(u, v);
+}
+
+real_t edge_kirchhoff_index(const Graph& g, const EffResEngine& engine) {
+  real_t acc = 0.0;
+  for (const auto& e : g.edges()) acc += engine.resistance(e.u, e.v);
+  return acc;
+}
+
+}  // namespace er

@@ -1,0 +1,34 @@
+// Spanning-edge centrality and batch helpers built on the ER engines —
+// the graph-mining application of the baseline paper [1].
+#pragma once
+
+#include <vector>
+
+#include "effres/engine.hpp"
+#include "graph/graph.hpp"
+#include "util/types.hpp"
+
+namespace er {
+
+/// Spanning edge centrality c(e) = w_e * R(e): the probability that edge e
+/// belongs to a uniformly random spanning tree. Returned in edge order.
+std::vector<real_t> spanning_edge_centralities(const Graph& g,
+                                               const EffResEngine& engine);
+
+/// Indices of the k edges with the largest centrality, descending.
+std::vector<index_t> top_k_central_edges(const std::vector<real_t>& centrality,
+                                         index_t k);
+
+/// Foster-sum diagnostic: sum of centralities (theory: n - #components).
+real_t foster_sum(const Graph& g, const EffResEngine& engine);
+
+/// Commute time C(u,v) = 2 W(G) R(u,v): expected steps of a random walk
+/// from u to v and back (Chandra et al. [17]).
+real_t commute_time(const Graph& g, const EffResEngine& engine, index_t u,
+                    index_t v);
+
+/// Kirchhoff index (resistance distance sum) restricted to the edges —
+/// a cheap global similarity statistic: sum over edges of R(e).
+real_t edge_kirchhoff_index(const Graph& g, const EffResEngine& engine);
+
+}  // namespace er

@@ -1,0 +1,20 @@
+#include "effres/engine.hpp"
+
+namespace er {
+
+std::vector<real_t> EffResEngine::resistances(
+    const std::vector<ResistanceQuery>& queries) const {
+  std::vector<real_t> out;
+  out.reserve(queries.size());
+  for (const auto& [p, q] : queries) out.push_back(resistance(p, q));
+  return out;
+}
+
+std::vector<ResistanceQuery> all_edge_queries(const Graph& g) {
+  std::vector<ResistanceQuery> qs;
+  qs.reserve(g.num_edges());
+  for (const auto& e : g.edges()) qs.emplace_back(e.u, e.v);
+  return qs;
+}
+
+}  // namespace er

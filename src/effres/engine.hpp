@@ -1,0 +1,39 @@
+// Common interface for effective-resistance engines.
+//
+// Three implementations mirror the paper's evaluation:
+//   * ExactEffRes          — direct solves on the grounded Laplacian (ground truth)
+//   * ApproxCholEffRes     — the paper's Alg. 3 (ICT + approximate inverse)
+//   * RandomProjectionEffRes — the WWW'15 baseline [1] (JL projection + PCG)
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/types.hpp"
+
+namespace er {
+
+/// A (p, q) node pair whose effective resistance is requested.
+using ResistanceQuery = std::pair<index_t, index_t>;
+
+class EffResEngine {
+ public:
+  virtual ~EffResEngine() = default;
+
+  /// Effective resistance between nodes p and q (original node ids).
+  [[nodiscard]] virtual real_t resistance(index_t p, index_t q) const = 0;
+
+  /// Batch interface; default loops over resistance().
+  [[nodiscard]] virtual std::vector<real_t> resistances(
+      const std::vector<ResistanceQuery>& queries) const;
+
+  /// Engine name for reports.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// All graph edges as queries (the paper's Qr = E workload).
+std::vector<ResistanceQuery> all_edge_queries(const Graph& g);
+
+}  // namespace er

@@ -1,0 +1,45 @@
+#include "effres/error_metrics.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+
+namespace er {
+
+ErrorReport measure_edge_errors(const Graph& g, const EffResEngine& approx,
+                                const EffResEngine& exact,
+                                std::size_t sample_count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ResistanceQuery> queries;
+  const std::size_t m = g.num_edges();
+  if (m == 0) return {};
+  queries.reserve(std::min(sample_count, m));
+  if (m <= sample_count) {
+    queries = all_edge_queries(g);
+  } else {
+    for (std::size_t s = 0; s < sample_count; ++s) {
+      const auto eid = static_cast<std::size_t>(rng.uniform_index(m));
+      queries.emplace_back(g.edges()[eid].u, g.edges()[eid].v);
+    }
+  }
+  return measure_errors(queries, approx, exact);
+}
+
+ErrorReport measure_errors(const std::vector<ResistanceQuery>& queries,
+                           const EffResEngine& approx,
+                           const EffResEngine& exact) {
+  ErrorReport rep;
+  RunningStats stats;
+  for (const auto& [p, q] : queries) {
+    const real_t re = exact.resistance(p, q);
+    const real_t ra = approx.resistance(p, q);
+    const double err = relative_error(ra, re);
+    stats.add(err);
+  }
+  rep.average_relative = stats.mean();
+  rep.max_relative = stats.max();
+  rep.samples = stats.count();
+  return rep;
+}
+
+}  // namespace er

@@ -1,0 +1,29 @@
+// Error-measurement protocol of the paper's Table I: sample 1000 random
+// edges, compute exact effective resistances for them, and report the
+// average (Ea) and maximum (Em) relative errors of an approximate engine.
+#pragma once
+
+#include "effres/engine.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace er {
+
+struct ErrorReport {
+  double average_relative = 0.0;  // Ea
+  double max_relative = 0.0;      // Em
+  std::size_t samples = 0;
+};
+
+/// Compare `approx` against `exact` on `sample_count` random edges of g.
+ErrorReport measure_edge_errors(const Graph& g, const EffResEngine& approx,
+                                const EffResEngine& exact,
+                                std::size_t sample_count = 1000,
+                                std::uint64_t seed = 7);
+
+/// Compare on an explicit query list.
+ErrorReport measure_errors(const std::vector<ResistanceQuery>& queries,
+                           const EffResEngine& approx,
+                           const EffResEngine& exact);
+
+}  // namespace er

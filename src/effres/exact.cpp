@@ -1,0 +1,32 @@
+#include "effres/exact.hpp"
+
+#include <stdexcept>
+
+#include "chol/cholesky.hpp"
+#include "graph/laplacian.hpp"
+
+namespace er {
+
+ExactEffRes::ExactEffRes(const Graph& g, Ordering ordering)
+    : n_(g.num_nodes()) {
+  const CscMatrix lg = grounded_laplacian(g);
+  factor_ = cholesky(lg, ordering);
+  work_.assign(static_cast<std::size_t>(n_), 0.0);
+}
+
+real_t ExactEffRes::resistance(index_t p, index_t q) const {
+  if (p < 0 || p >= n_ || q < 0 || q >= n_)
+    throw std::out_of_range("ExactEffRes::resistance: node out of range");
+  if (p == q) return 0.0;
+  // Solve (in permuted space) L L^T x = e_p - e_q, then R = x_p - x_q.
+  std::fill(work_.begin(), work_.end(), 0.0);
+  const index_t pp = factor_.inv_perm[static_cast<std::size_t>(p)];
+  const index_t qq = factor_.inv_perm[static_cast<std::size_t>(q)];
+  work_[static_cast<std::size_t>(pp)] = 1.0;
+  work_[static_cast<std::size_t>(qq)] = -1.0;
+  factor_.solve_permuted(work_);
+  return work_[static_cast<std::size_t>(pp)] -
+         work_[static_cast<std::size_t>(qq)];
+}
+
+}  // namespace er

@@ -1,0 +1,32 @@
+// Exact effective resistances via a complete sparse Cholesky factorization
+// of the grounded Laplacian (paper Eq. (3) with the §II-A grounding trick,
+// which is exact for balanced injections e_p - e_q).
+#pragma once
+
+#include <memory>
+
+#include "chol/factor.hpp"
+#include "effres/engine.hpp"
+#include "graph/graph.hpp"
+#include "order/mindeg.hpp"
+
+namespace er {
+
+class ExactEffRes final : public EffResEngine {
+ public:
+  explicit ExactEffRes(const Graph& g, Ordering ordering = Ordering::kMinDeg);
+
+  [[nodiscard]] real_t resistance(index_t p, index_t q) const override;
+  [[nodiscard]] std::string name() const override { return "exact"; }
+
+  /// The underlying factor (e.g. for reuse as a solver).
+  [[nodiscard]] const CholFactor& factor() const { return factor_; }
+
+ private:
+  index_t n_ = 0;
+  CholFactor factor_;
+  // Workspace reused across queries (single-threaded usage assumed).
+  mutable std::vector<real_t> work_;
+};
+
+}  // namespace er

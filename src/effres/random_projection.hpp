@@ -1,0 +1,59 @@
+// Random-projection effective resistances — the WWW'15 baseline [1]
+// (Mavroforakis, Garcia-Lebron, Koutis, Terzi), built on Spielman-Srivastava
+// (paper Eq. (4)-(5)):
+//
+//   R(p,q) ≈ || Y e_p - Y e_q ||²  with  Y = Q W^{1/2} B L†,
+//
+// where Q is a k x m random ±1/sqrt(k) matrix. Each of the k rows costs one
+// Laplacian solve; the authors use the CMG solver, this implementation uses
+// PCG preconditioned with incomplete Cholesky (same role — see DESIGN.md §2).
+#pragma once
+
+#include <vector>
+
+#include "chol/factor.hpp"
+#include "effres/engine.hpp"
+#include "graph/graph.hpp"
+#include "solver/pcg.hpp"
+
+namespace er {
+
+struct RandomProjectionOptions {
+  /// Number of projection rows; 0 means auto: ceil(scale * log2(n)).
+  index_t dimensions = 0;
+  real_t auto_scale = 16.0;
+  std::uint64_t seed = 12345;
+  real_t solver_tolerance = 1e-8;
+  int solver_max_iterations = 1000;
+  real_t ichol_droptol = 1e-3;  // preconditioner quality
+};
+
+struct RandomProjectionStats {
+  index_t dimensions = 0;
+  double build_seconds = 0.0;
+  long total_solver_iterations = 0;
+  /// nnz of the dense k x n projected matrix, normalized by n log2 n —
+  /// the paper's nnz(Q)/(n log n) column.
+  offset_t projection_nnz = 0;
+  [[nodiscard]] double nnz_ratio(index_t n) const;
+};
+
+class RandomProjectionEffRes final : public EffResEngine {
+ public:
+  RandomProjectionEffRes(const Graph& g,
+                         const RandomProjectionOptions& opts = {});
+
+  [[nodiscard]] real_t resistance(index_t p, index_t q) const override;
+  [[nodiscard]] std::string name() const override { return "random-projection"; }
+
+  [[nodiscard]] const RandomProjectionStats& stats() const { return stats_; }
+
+ private:
+  index_t n_ = 0;
+  index_t k_ = 0;
+  // Column-major k x n embedding: column p is the k-vector of node p.
+  std::vector<real_t> embedding_;
+  RandomProjectionStats stats_;
+};
+
+}  // namespace er

@@ -1,0 +1,64 @@
+#include "effres/random_walk.hpp"
+
+#include <stdexcept>
+
+#include "graph/components.hpp"
+
+namespace er {
+
+RandomWalkEffRes::RandomWalkEffRes(const Graph& g,
+                                   const RandomWalkOptions& opts)
+    : g_(&g), opts_(opts), total_weight_(g.total_weight()), rng_(opts.seed) {
+  if (!is_connected(g))
+    throw std::invalid_argument("RandomWalkEffRes: graph must be connected");
+  if (opts.walks == 0)
+    throw std::invalid_argument("RandomWalkEffRes: walks must be > 0");
+}
+
+std::size_t RandomWalkEffRes::hitting_steps(index_t from, index_t to) const {
+  const auto& ptr = g_->adjacency_ptr();
+  const auto& nbr = g_->neighbors();
+  const auto& wts = g_->adjacency_weights();
+
+  index_t u = from;
+  std::size_t steps = 0;
+  while (u != to && steps < opts_.max_steps_per_walk) {
+    const offset_t begin = ptr[static_cast<std::size_t>(u)];
+    const offset_t end = ptr[static_cast<std::size_t>(u) + 1];
+    // Weighted step: unweighted graphs take the O(1) uniform path.
+    real_t total = 0.0;
+    for (offset_t k = begin; k < end; ++k)
+      total += wts[static_cast<std::size_t>(k)];
+    real_t pick = rng_.uniform() * total;
+    offset_t chosen = end - 1;
+    for (offset_t k = begin; k < end; ++k) {
+      pick -= wts[static_cast<std::size_t>(k)];
+      if (pick <= 0.0) {
+        chosen = k;
+        break;
+      }
+    }
+    u = nbr[static_cast<std::size_t>(chosen)];
+    ++steps;
+  }
+  return steps;
+}
+
+real_t RandomWalkEffRes::resistance(index_t p, index_t q) const {
+  if (p < 0 || p >= g_->num_nodes() || q < 0 || q >= g_->num_nodes())
+    throw std::out_of_range("RandomWalkEffRes: node out of range");
+  if (p == q) return 0.0;
+  // Commute time estimate. On weighted graphs a "step" across edge e costs
+  // the walk one unit regardless of weight; the identity
+  // C(p,q) = 2 W R(p,q) holds with steps counted this way.
+  std::size_t total_steps = 0;
+  for (std::size_t w = 0; w < opts_.walks; ++w) {
+    total_steps += hitting_steps(p, q);
+    total_steps += hitting_steps(q, p);
+  }
+  const real_t commute =
+      static_cast<real_t>(total_steps) / static_cast<real_t>(opts_.walks);
+  return commute / (2.0 * total_weight_);
+}
+
+}  // namespace er

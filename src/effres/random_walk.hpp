@@ -1,0 +1,43 @@
+// Monte-Carlo effective resistances from random-walk commute times — the
+// family of methods the paper cites as [2][3] and excludes from its
+// comparison because they are practical only on unweighted graphs (the
+// variance explodes under weight spread). Provided for completeness and as
+// an algebra-free cross-check of the other engines:
+//
+//   C(p,q) = E[hit q from p] + E[hit p from q] = 2 W(G) R(p,q),
+//
+// with W(G) the total edge weight. Each query simulates `walks` round trips.
+#pragma once
+
+#include "effres/engine.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace er {
+
+struct RandomWalkOptions {
+  std::size_t walks = 200;           // round trips per query
+  std::uint64_t seed = 31;
+  /// Abort a single walk after this many steps (guards pathological
+  /// weight distributions; aborted walks bias the estimate down).
+  std::size_t max_steps_per_walk = 50'000'000;
+};
+
+class RandomWalkEffRes final : public EffResEngine {
+ public:
+  explicit RandomWalkEffRes(const Graph& g, const RandomWalkOptions& opts = {});
+
+  [[nodiscard]] real_t resistance(index_t p, index_t q) const override;
+  [[nodiscard]] std::string name() const override { return "random-walk"; }
+
+ private:
+  /// One walk from `from` until it hits `to`; returns the step count.
+  std::size_t hitting_steps(index_t from, index_t to) const;
+
+  const Graph* g_;
+  RandomWalkOptions opts_;
+  real_t total_weight_ = 0.0;
+  mutable Rng rng_;
+};
+
+}  // namespace er

@@ -1,0 +1,35 @@
+#include "effres/updates.hpp"
+
+#include <stdexcept>
+
+namespace er {
+
+EdgeUpdatePreview::EdgeUpdatePreview(const ExactEffRes& base, index_t a,
+                                     index_t b, real_t w)
+    : base_(&base), a_(a), b_(b), w_(w) {
+  if (!(w > 0.0))
+    throw std::invalid_argument("EdgeUpdatePreview: weight must be positive");
+  if (a == b)
+    throw std::invalid_argument("EdgeUpdatePreview: self-loop");
+  const CholFactor& f = base.factor();
+  std::vector<real_t> rhs(static_cast<std::size_t>(f.n), 0.0);
+  rhs[static_cast<std::size_t>(a)] = 1.0;
+  rhs[static_cast<std::size_t>(b)] = -1.0;
+  potential_ = f.solve(rhs);
+  r_ab_ = potential_[static_cast<std::size_t>(a)] -
+          potential_[static_cast<std::size_t>(b)];
+}
+
+real_t EdgeUpdatePreview::delta(index_t p, index_t q) const {
+  if (p == q) return 0.0;
+  const real_t m = potential_[static_cast<std::size_t>(p)] -
+                   potential_[static_cast<std::size_t>(q)];
+  return -w_ * m * m / (1.0 + w_ * r_ab_);
+}
+
+real_t EdgeUpdatePreview::updated_resistance(index_t p, index_t q) const {
+  if (p == q) return 0.0;
+  return base_->resistance(p, q) + delta(p, q);
+}
+
+}  // namespace er

@@ -1,0 +1,43 @@
+// Incremental effective-resistance updates via the Sherman–Morrison
+// identity. Adding an edge (a, b) of weight w to G updates every
+// resistance in closed form:
+//
+//   R'(p,q) = R(p,q) − w · M(p,q)² / (1 + w · R(a,b)),
+//   M(p,q) = (e_p − e_q)ᵀ L⁺ (e_a − e_b),
+//
+// so previewing a candidate edge costs ONE extra solve, after which any
+// number of pair queries are O(1) dense reads. This is the "what would this
+// new wire do to the grid" primitive used in incremental design loops.
+#pragma once
+
+#include <vector>
+
+#include "effres/exact.hpp"
+#include "util/types.hpp"
+
+namespace er {
+
+class EdgeUpdatePreview {
+ public:
+  /// Prepare the preview of adding edge (a, b) with weight w > 0 on top of
+  /// the engine's graph. Performs one solve against the engine's factor.
+  EdgeUpdatePreview(const ExactEffRes& base, index_t a, index_t b, real_t w);
+
+  /// Resistance between p and q in the graph WITH the new edge.
+  [[nodiscard]] real_t updated_resistance(index_t p, index_t q) const;
+
+  /// The change R'(p,q) - R(p,q) (always <= 0, Rayleigh monotonicity).
+  [[nodiscard]] real_t delta(index_t p, index_t q) const;
+
+  [[nodiscard]] real_t new_edge_weight() const { return w_; }
+
+ private:
+  const ExactEffRes* base_;
+  index_t a_;
+  index_t b_;
+  real_t w_;
+  real_t r_ab_ = 0.0;              // R(a, b) before the update
+  std::vector<real_t> potential_;  // L^{-1} (e_a - e_b), original node ids
+};
+
+}  // namespace er

@@ -1,0 +1,72 @@
+#include "graph/components.hpp"
+
+#include <stdexcept>
+
+namespace er {
+
+Components connected_components(const Graph& g) {
+  const index_t n = g.num_nodes();
+  Components out;
+  out.label.assign(static_cast<std::size_t>(n), -1);
+  const auto& ptr = g.adjacency_ptr();
+  const auto& nbr = g.neighbors();
+
+  std::vector<index_t> stack;
+  for (index_t s = 0; s < n; ++s) {
+    if (out.label[static_cast<std::size_t>(s)] >= 0) continue;
+    const index_t c = out.count++;
+    stack.push_back(s);
+    out.label[static_cast<std::size_t>(s)] = c;
+    while (!stack.empty()) {
+      const index_t u = stack.back();
+      stack.pop_back();
+      for (offset_t k = ptr[static_cast<std::size_t>(u)];
+           k < ptr[static_cast<std::size_t>(u) + 1]; ++k) {
+        const index_t v = nbr[static_cast<std::size_t>(k)];
+        if (out.label[static_cast<std::size_t>(v)] < 0) {
+          out.label[static_cast<std::size_t>(v)] = c;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_nodes() == 0) return false;
+  return connected_components(g).count == 1;
+}
+
+BfsTree bfs(const Graph& g, index_t source) {
+  const index_t n = g.num_nodes();
+  if (source < 0 || source >= n)
+    throw std::out_of_range("bfs: source out of range");
+  BfsTree t;
+  t.parent.assign(static_cast<std::size_t>(n), -2);
+  t.level.assign(static_cast<std::size_t>(n), -1);
+  t.order.reserve(static_cast<std::size_t>(n));
+
+  const auto& ptr = g.adjacency_ptr();
+  const auto& nbr = g.neighbors();
+
+  t.parent[static_cast<std::size_t>(source)] = -1;
+  t.level[static_cast<std::size_t>(source)] = 0;
+  t.order.push_back(source);
+  for (std::size_t head = 0; head < t.order.size(); ++head) {
+    const index_t u = t.order[head];
+    for (offset_t k = ptr[static_cast<std::size_t>(u)];
+         k < ptr[static_cast<std::size_t>(u) + 1]; ++k) {
+      const index_t v = nbr[static_cast<std::size_t>(k)];
+      if (t.parent[static_cast<std::size_t>(v)] == -2) {
+        t.parent[static_cast<std::size_t>(v)] = u;
+        t.level[static_cast<std::size_t>(v)] =
+            t.level[static_cast<std::size_t>(u)] + 1;
+        t.order.push_back(v);
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace er

@@ -1,0 +1,31 @@
+// Connected components and BFS utilities.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/types.hpp"
+
+namespace er {
+
+struct Components {
+  index_t count = 0;
+  std::vector<index_t> label;  // node -> component id in [0, count)
+};
+
+/// Label connected components with iterative BFS.
+Components connected_components(const Graph& g);
+
+/// True if the graph has exactly one connected component (and >= 1 node).
+bool is_connected(const Graph& g);
+
+/// BFS order and parent array from a source node (parent[src] = -1;
+/// unreachable nodes keep parent -2).
+struct BfsTree {
+  std::vector<index_t> order;    // visited nodes in BFS order
+  std::vector<index_t> parent;   // -1 root, -2 unreached
+  std::vector<index_t> level;    // distance from source (-1 unreached)
+};
+BfsTree bfs(const Graph& g, index_t source);
+
+}  // namespace er

@@ -1,0 +1,323 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/components.hpp"
+
+namespace er {
+
+namespace {
+
+/// Pack an undirected pair into a 64-bit key for dedup sets.
+std::uint64_t edge_key(index_t u, index_t v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
+         static_cast<std::uint32_t>(v);
+}
+
+}  // namespace
+
+real_t draw_weight(WeightKind kind, Rng& rng) {
+  switch (kind) {
+    case WeightKind::kUnit:
+      return 1.0;
+    case WeightKind::kUniform:
+      return rng.uniform(0.5, 2.0);
+    case WeightKind::kLogUniform:
+      return std::pow(10.0, rng.uniform(-1.0, 1.0));
+  }
+  return 1.0;
+}
+
+Graph grid_2d(index_t nx, index_t ny, WeightKind kind, std::uint64_t seed) {
+  if (nx <= 0 || ny <= 0) throw std::invalid_argument("grid_2d: empty grid");
+  Rng rng(seed);
+  Graph g(nx * ny);
+  g.reserve_edges(static_cast<std::size_t>(nx) * ny * 2);
+  auto id = [nx](index_t x, index_t y) { return y * nx + x; };
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      if (x + 1 < nx) g.add_edge(id(x, y), id(x + 1, y), draw_weight(kind, rng));
+      if (y + 1 < ny) g.add_edge(id(x, y), id(x, y + 1), draw_weight(kind, rng));
+    }
+  }
+  return g;
+}
+
+Graph grid_3d(index_t nx, index_t ny, index_t nz, WeightKind kind,
+              std::uint64_t seed) {
+  if (nx <= 0 || ny <= 0 || nz <= 0)
+    throw std::invalid_argument("grid_3d: empty grid");
+  Rng rng(seed);
+  Graph g(nx * ny * nz);
+  auto id = [nx, ny](index_t x, index_t y, index_t z) {
+    return (z * ny + y) * nx + x;
+  };
+  for (index_t z = 0; z < nz; ++z)
+    for (index_t y = 0; y < ny; ++y)
+      for (index_t x = 0; x < nx; ++x) {
+        if (x + 1 < nx)
+          g.add_edge(id(x, y, z), id(x + 1, y, z), draw_weight(kind, rng));
+        if (y + 1 < ny)
+          g.add_edge(id(x, y, z), id(x, y + 1, z), draw_weight(kind, rng));
+        if (z + 1 < nz)
+          g.add_edge(id(x, y, z), id(x, y, z + 1), draw_weight(kind, rng));
+      }
+  return g;
+}
+
+Graph random_geometric(index_t n, real_t radius, WeightKind kind,
+                       std::uint64_t seed) {
+  if (n <= 0) throw std::invalid_argument("random_geometric: n <= 0");
+  Rng rng(seed);
+  std::vector<real_t> px(static_cast<std::size_t>(n)),
+      py(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    px[static_cast<std::size_t>(i)] = rng.uniform();
+    py[static_cast<std::size_t>(i)] = rng.uniform();
+  }
+  // Uniform cell grid of pitch `radius` for neighbour search.
+  const auto cells = static_cast<index_t>(std::max(1.0, std::floor(1.0 / radius)));
+  std::vector<std::vector<index_t>> bucket(
+      static_cast<std::size_t>(cells) * static_cast<std::size_t>(cells));
+  auto cell_of = [&](real_t x) {
+    auto c = static_cast<index_t>(x * cells);
+    return std::min(c, static_cast<index_t>(cells - 1));
+  };
+  for (index_t i = 0; i < n; ++i)
+    bucket[static_cast<std::size_t>(cell_of(py[static_cast<std::size_t>(i)])) * cells +
+           cell_of(px[static_cast<std::size_t>(i)])]
+        .push_back(i);
+
+  Graph g(n);
+  const real_t r2 = radius * radius;
+  for (index_t i = 0; i < n; ++i) {
+    const index_t cx = cell_of(px[static_cast<std::size_t>(i)]);
+    const index_t cy = cell_of(py[static_cast<std::size_t>(i)]);
+    for (index_t dy = -1; dy <= 1; ++dy) {
+      for (index_t dx = -1; dx <= 1; ++dx) {
+        const index_t bx = cx + dx, by = cy + dy;
+        if (bx < 0 || bx >= cells || by < 0 || by >= cells) continue;
+        for (index_t j :
+             bucket[static_cast<std::size_t>(by) * cells + bx]) {
+          if (j <= i) continue;
+          const real_t ddx = px[static_cast<std::size_t>(i)] -
+                             px[static_cast<std::size_t>(j)];
+          const real_t ddy = py[static_cast<std::size_t>(i)] -
+                             py[static_cast<std::size_t>(j)];
+          const real_t d2 = ddx * ddx + ddy * ddy;
+          if (d2 <= r2) {
+            real_t w = kind == WeightKind::kUnit
+                           ? std::min(real_t{10.0},
+                                      1.0 / std::max(std::sqrt(d2), real_t{0.1} * radius))
+                           : draw_weight(kind, rng);
+            g.add_edge(i, j, w);
+          }
+        }
+      }
+    }
+  }
+  ensure_connected(g);
+  return g;
+}
+
+Graph barabasi_albert(index_t n, index_t m_attach, WeightKind kind,
+                      std::uint64_t seed) {
+  if (n <= m_attach || m_attach <= 0)
+    throw std::invalid_argument("barabasi_albert: need n > m_attach > 0");
+  Rng rng(seed);
+  Graph g(n);
+  g.reserve_edges(static_cast<std::size_t>(n) * m_attach);
+
+  // Repeated-targets list: preferential attachment by sampling uniformly
+  // from the endpoint multiset.
+  std::vector<index_t> targets;
+  targets.reserve(2 * static_cast<std::size_t>(n) * m_attach);
+
+  // Seed clique on m_attach + 1 nodes.
+  for (index_t u = 0; u <= m_attach; ++u)
+    for (index_t v = u + 1; v <= m_attach; ++v) {
+      g.add_edge(u, v, draw_weight(kind, rng));
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+
+  std::unordered_set<index_t> picked;
+  for (index_t u = m_attach + 1; u < n; ++u) {
+    picked.clear();
+    while (static_cast<index_t>(picked.size()) < m_attach) {
+      const index_t t = targets[static_cast<std::size_t>(
+          rng.uniform_index(targets.size()))];
+      picked.insert(t);
+    }
+    for (index_t v : picked) {
+      g.add_edge(u, v, draw_weight(kind, rng));
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  return g;
+}
+
+Graph rmat(index_t scale, std::size_t m, double a, double b, double c,
+           WeightKind kind, std::uint64_t seed) {
+  if (scale <= 0 || scale > 30) throw std::invalid_argument("rmat: bad scale");
+  const double d = 1.0 - a - b - c;
+  if (d < 0) throw std::invalid_argument("rmat: probabilities exceed 1");
+  Rng rng(seed);
+  const index_t n = index_t{1} << scale;
+  Graph g(n);
+  g.reserve_edges(m);
+
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(2 * m);
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 20 * m + 1000;
+  while (g.num_edges() < m && attempts++ < max_attempts) {
+    index_t u = 0, v = 0;
+    for (index_t bit = 0; bit < scale; ++bit) {
+      const double r = rng.uniform();
+      index_t du = 0, dv = 0;
+      if (r < a) {
+      } else if (r < a + b) {
+        dv = 1;
+      } else if (r < a + b + c) {
+        du = 1;
+      } else {
+        du = 1;
+        dv = 1;
+      }
+      u = (u << 1) | du;
+      v = (v << 1) | dv;
+    }
+    if (u == v) continue;
+    const std::uint64_t key = edge_key(u, v);
+    if (!seen.insert(key).second) continue;
+    g.add_edge(u, v, draw_weight(kind, rng));
+  }
+  ensure_connected(g);
+  return g;
+}
+
+Graph watts_strogatz(index_t n, index_t k, double beta, WeightKind kind,
+                     std::uint64_t seed) {
+  if (n <= 2 * k || k <= 0)
+    throw std::invalid_argument("watts_strogatz: need n > 2k > 0");
+  Rng rng(seed);
+  std::unordered_set<std::uint64_t> seen;
+  Graph g(n);
+  for (index_t u = 0; u < n; ++u) {
+    for (index_t j = 1; j <= k; ++j) {
+      index_t v = (u + j) % n;
+      if (rng.uniform() < beta) {
+        // Rewire to a uniform random non-neighbour target.
+        for (int tries = 0; tries < 32; ++tries) {
+          const index_t cand = rng.uniform_int(n);
+          if (cand != u && !seen.count(edge_key(u, cand))) {
+            v = cand;
+            break;
+          }
+        }
+      }
+      if (v == u || seen.count(edge_key(u, v))) continue;
+      seen.insert(edge_key(u, v));
+      g.add_edge(u, v, draw_weight(kind, rng));
+    }
+  }
+  ensure_connected(g);
+  return g;
+}
+
+Graph multilayer_mesh(index_t nx, index_t ny, index_t layers, WeightKind kind,
+                      std::uint64_t seed) {
+  if (layers <= 0) throw std::invalid_argument("multilayer_mesh: layers <= 0");
+  Rng rng(seed);
+
+  // Layer l is a grid with pitch 2^l: nodes at (x, y) where x % 2^l == 0.
+  // Node ids are assigned layer by layer.
+  std::vector<index_t> layer_nx(static_cast<std::size_t>(layers));
+  std::vector<index_t> layer_ny(static_cast<std::size_t>(layers));
+  std::vector<index_t> layer_base(static_cast<std::size_t>(layers));
+  index_t total = 0;
+  for (index_t l = 0; l < layers; ++l) {
+    const index_t pitch = index_t{1} << l;
+    layer_nx[static_cast<std::size_t>(l)] = (nx + pitch - 1) / pitch;
+    layer_ny[static_cast<std::size_t>(l)] = (ny + pitch - 1) / pitch;
+    layer_base[static_cast<std::size_t>(l)] = total;
+    total += layer_nx[static_cast<std::size_t>(l)] *
+             layer_ny[static_cast<std::size_t>(l)];
+  }
+
+  Graph g(total);
+  auto id = [&](index_t l, index_t x, index_t y) {
+    return layer_base[static_cast<std::size_t>(l)] +
+           y * layer_nx[static_cast<std::size_t>(l)] + x;
+  };
+
+  for (index_t l = 0; l < layers; ++l) {
+    const index_t lx = layer_nx[static_cast<std::size_t>(l)];
+    const index_t ly = layer_ny[static_cast<std::size_t>(l)];
+    // In-layer mesh; upper layers have lower sheet resistance (higher w).
+    const real_t scale = std::pow(4.0, static_cast<real_t>(l));
+    for (index_t y = 0; y < ly; ++y)
+      for (index_t x = 0; x < lx; ++x) {
+        if (x + 1 < lx)
+          g.add_edge(id(l, x, y), id(l, x + 1, y),
+                     scale * draw_weight(kind, rng));
+        if (y + 1 < ly)
+          g.add_edge(id(l, x, y), id(l, x, y + 1),
+                     scale * draw_weight(kind, rng));
+      }
+    // Vias to layer above at every other node of the coarser layer.
+    if (l + 1 < layers) {
+      const index_t ux = layer_nx[static_cast<std::size_t>(l) + 1];
+      const index_t uy = layer_ny[static_cast<std::size_t>(l) + 1];
+      for (index_t y = 0; y < uy; ++y)
+        for (index_t x = 0; x < ux; ++x) {
+          const index_t fx = std::min<index_t>(x * 2, lx - 1);
+          const index_t fy = std::min<index_t>(y * 2, ly - 1);
+          g.add_edge(id(l, fx, fy), id(l + 1, x, y),
+                     2.0 * scale * draw_weight(kind, rng));
+        }
+    }
+  }
+  return g;
+}
+
+void ensure_connected(Graph& g) {
+  const Components comp = connected_components(g);
+  if (comp.count <= 1) return;
+  std::vector<index_t> rep(static_cast<std::size_t>(comp.count), -1);
+  for (index_t v = 0; v < g.num_nodes(); ++v) {
+    const index_t c = comp.label[static_cast<std::size_t>(v)];
+    if (rep[static_cast<std::size_t>(c)] < 0) rep[static_cast<std::size_t>(c)] = v;
+  }
+  for (index_t c = 1; c < comp.count; ++c)
+    g.add_edge(rep[0], rep[static_cast<std::size_t>(c)], 1.0);
+}
+
+Graph erdos_renyi(index_t n, std::size_t m, WeightKind kind,
+                  std::uint64_t seed) {
+  if (n <= 1) throw std::invalid_argument("erdos_renyi: n <= 1");
+  Rng rng(seed);
+  Graph g(n);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(2 * m);
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 20 * m + 1000;
+  while (g.num_edges() < m && attempts++ < max_attempts) {
+    const index_t u = rng.uniform_int(n);
+    const index_t v = rng.uniform_int(n);
+    if (u == v) continue;
+    if (!seen.insert(edge_key(u, v)).second) continue;
+    g.add_edge(u, v, draw_weight(kind, rng));
+  }
+  ensure_connected(g);
+  return g;
+}
+
+}  // namespace er

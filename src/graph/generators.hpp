@@ -1,0 +1,82 @@
+// Synthetic graph generators — substitutes for the paper's benchmark suite.
+//
+// Table I of the paper uses SNAP social networks, finite-element meshes and
+// circuit matrices. Those artifacts are not redistributable here, so each
+// family is replaced by a generator that reproduces its structural regime
+// (degree distribution, mesh-likeness, fill-in behaviour under elimination):
+//   * social / co-authorship  -> Barabási–Albert, R-MAT
+//   * finite-element meshes   -> 3D grids, random geometric graphs
+//   * circuit / power grids   -> 2D grids, multilayer meshes
+// See DESIGN.md §2 for the substitution rationale.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace er {
+
+/// Weight assignment policy for generators.
+enum class WeightKind {
+  kUnit,          // all weights 1
+  kUniform,       // uniform in [0.5, 2)
+  kLogUniform,    // 10^uniform(-1, 1): two decades of spread
+};
+
+real_t draw_weight(WeightKind kind, Rng& rng);
+
+/// nx-by-ny 4-neighbour grid. Mesh-like; substitutes 2D circuit matrices
+/// (G2_circuit / G3_circuit / NACA0015 regimes).
+Graph grid_2d(index_t nx, index_t ny, WeightKind kind = WeightKind::kUnit,
+              std::uint64_t seed = 1);
+
+/// nx-by-ny-by-nz 6-neighbour grid. Substitutes 3D FE meshes
+/// (fe_tooth / fe_rotor regimes).
+Graph grid_3d(index_t nx, index_t ny, index_t nz,
+              WeightKind kind = WeightKind::kUnit, std::uint64_t seed = 1);
+
+/// Random geometric graph on the unit square: n points, edges within
+/// `radius`, weight = 1/distance (capped). Mesh-like with irregular degrees.
+/// Connectivity is enforced by linking consecutive components.
+Graph random_geometric(index_t n, real_t radius,
+                       WeightKind kind = WeightKind::kUnit,
+                       std::uint64_t seed = 1);
+
+/// Barabási–Albert preferential attachment: heavy-tailed degrees,
+/// substitutes co-authorship graphs. Each new node attaches `m_attach`
+/// edges. Connected by construction.
+Graph barabasi_albert(index_t n, index_t m_attach,
+                      WeightKind kind = WeightKind::kUnit,
+                      std::uint64_t seed = 1);
+
+/// R-MAT generator (Chakrabarti et al.): power-law + community structure,
+/// substitutes large social networks (com-Youtube regime).
+/// Generates ~m distinct edges on 2^scale nodes; isolated nodes are
+/// stitched onto the graph so the result is connected.
+Graph rmat(index_t scale, std::size_t m, double a = 0.57, double b = 0.19,
+           double c = 0.19, WeightKind kind = WeightKind::kUnit,
+           std::uint64_t seed = 1);
+
+/// Watts–Strogatz small world: ring of n nodes, k nearest neighbours,
+/// rewiring probability beta.
+Graph watts_strogatz(index_t n, index_t k, double beta,
+                     WeightKind kind = WeightKind::kUnit,
+                     std::uint64_t seed = 1);
+
+/// Multilayer power-grid-like mesh: `layers` stacked 2D grids with
+/// progressively coarser pitch, connected by vias. Substitutes the IBM/THU
+/// power-grid benchmark topology (ibmpg / thupg regimes) when only the graph
+/// (not the electrical netlist) is needed.
+Graph multilayer_mesh(index_t nx, index_t ny, index_t layers,
+                      WeightKind kind = WeightKind::kLogUniform,
+                      std::uint64_t seed = 1);
+
+/// Connect a possibly-disconnected graph by adding one unit edge between
+/// consecutive components (representatives chosen deterministically).
+void ensure_connected(Graph& g);
+
+/// Erdős–Rényi G(n, m): m distinct uniform random edges, then connected.
+Graph erdos_renyi(index_t n, std::size_t m, WeightKind kind = WeightKind::kUnit,
+                  std::uint64_t seed = 1);
+
+}  // namespace er

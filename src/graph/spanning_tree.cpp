@@ -1,0 +1,105 @@
+#include "graph/spanning_tree.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/components.hpp"
+#include "graph/laplacian.hpp"
+#include "sparse/dense.hpp"
+
+namespace er {
+
+std::vector<index_t> sample_uniform_spanning_tree(const Graph& g, Rng& rng) {
+  const index_t n = g.num_nodes();
+  if (n == 0) return {};
+  if (!is_connected(g))
+    throw std::invalid_argument("sample_uniform_spanning_tree: disconnected");
+
+  const auto& ptr = g.adjacency_ptr();
+  const auto& nbr = g.neighbors();
+  const auto& wts = g.adjacency_weights();
+  const auto& eids = g.adjacency_edge_ids();
+
+  // Wilson's algorithm: root the tree at node 0, then for every node not
+  // yet in the tree run a weighted loop-erased random walk until it hits
+  // the tree.
+  std::vector<char> in_tree(static_cast<std::size_t>(n), 0);
+  // next[v] = adjacency slot taken when leaving v in the current walk
+  // (records both the successor and the edge id).
+  std::vector<offset_t> next_slot(static_cast<std::size_t>(n), -1);
+  in_tree[0] = 1;
+
+  std::vector<index_t> tree;
+  tree.reserve(static_cast<std::size_t>(n) - 1);
+
+  for (index_t start = 1; start < n; ++start) {
+    if (in_tree[static_cast<std::size_t>(start)]) continue;
+    // Random walk from start, remembering the last exit from each node
+    // (this implicitly erases loops).
+    index_t u = start;
+    while (!in_tree[static_cast<std::size_t>(u)]) {
+      const offset_t begin = ptr[static_cast<std::size_t>(u)];
+      const offset_t end = ptr[static_cast<std::size_t>(u) + 1];
+      if (begin == end)
+        throw std::logic_error("sample_uniform_spanning_tree: dangling node");
+      // Weighted neighbour choice.
+      real_t total = 0.0;
+      for (offset_t k = begin; k < end; ++k)
+        total += wts[static_cast<std::size_t>(k)];
+      real_t pick = rng.uniform() * total;
+      offset_t chosen = end - 1;
+      for (offset_t k = begin; k < end; ++k) {
+        pick -= wts[static_cast<std::size_t>(k)];
+        if (pick <= 0.0) {
+          chosen = k;
+          break;
+        }
+      }
+      next_slot[static_cast<std::size_t>(u)] = chosen;
+      u = nbr[static_cast<std::size_t>(chosen)];
+    }
+    // Retrace the loop-erased path and add it to the tree.
+    u = start;
+    while (!in_tree[static_cast<std::size_t>(u)]) {
+      in_tree[static_cast<std::size_t>(u)] = 1;
+      const offset_t slot = next_slot[static_cast<std::size_t>(u)];
+      tree.push_back(eids[static_cast<std::size_t>(slot)]);
+      u = nbr[static_cast<std::size_t>(slot)];
+    }
+  }
+  return tree;
+}
+
+std::vector<real_t> estimate_spanning_edge_probabilities(const Graph& g,
+                                                         std::size_t samples,
+                                                         std::uint64_t seed) {
+  std::vector<real_t> freq(g.num_edges(), 0.0);
+  Rng rng(seed);
+  for (std::size_t s = 0; s < samples; ++s) {
+    const auto tree = sample_uniform_spanning_tree(g, rng);
+    for (index_t e : tree) freq[static_cast<std::size_t>(e)] += 1.0;
+  }
+  for (real_t& f : freq) f /= static_cast<real_t>(samples);
+  return freq;
+}
+
+real_t count_spanning_trees(const Graph& g) {
+  const index_t n = g.num_nodes();
+  if (n <= 1) return 1.0;
+  if (n > 500)
+    throw std::invalid_argument("count_spanning_trees: graph too large");
+  // Matrix-tree theorem: delete row/col 0 of the Laplacian, take det.
+  const CscMatrix l = laplacian(g);
+  const index_t m = n - 1;
+  DenseMatrix a(m, m);
+  for (index_t i = 0; i < m; ++i)
+    for (index_t j = 0; j < m; ++j) a(i, j) = l.at(i + 1, j + 1);
+  // Determinant via Cholesky: det = prod diag^2 (reduced Laplacian is SPD
+  // for connected graphs).
+  if (!a.cholesky_in_place()) return 0.0;  // disconnected
+  real_t det = 1.0;
+  for (index_t i = 0; i < m; ++i) det *= a(i, i) * a(i, i);
+  return det;
+}
+
+}  // namespace er

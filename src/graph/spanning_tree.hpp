@@ -1,0 +1,30 @@
+// Uniform random spanning trees via Wilson's algorithm (loop-erased random
+// walks). Effective resistances and spanning-tree statistics are two views
+// of the same object: Pr[e in uniform spanning tree] = w_e * R(e), so tree
+// sampling provides a Monte-Carlo validator for every ER engine, entirely
+// independent of the linear-algebra stack.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace er {
+
+/// Sample one spanning tree of a connected weighted graph uniformly at
+/// random (weighted by tree weight: Pr[T] ∝ Π_{e∈T} w_e).
+/// Returns edge ids (into g.edges()) of the n-1 tree edges.
+std::vector<index_t> sample_uniform_spanning_tree(const Graph& g, Rng& rng);
+
+/// Monte-Carlo estimate of Pr[e ∈ UST] per edge from `samples` trees.
+std::vector<real_t> estimate_spanning_edge_probabilities(const Graph& g,
+                                                         std::size_t samples,
+                                                         std::uint64_t seed);
+
+/// Number of spanning trees of a small graph via the matrix-tree theorem
+/// (dense determinant of the reduced Laplacian; n must be modest).
+real_t count_spanning_trees(const Graph& g);
+
+}  // namespace er

@@ -1,0 +1,82 @@
+#include "order/etree.hpp"
+
+#include <stdexcept>
+
+namespace er {
+
+std::vector<index_t> etree(const CscMatrix& a) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("etree: not square");
+  const index_t n = a.cols();
+  std::vector<index_t> parent(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> ancestor(static_cast<std::size_t>(n), -1);
+
+  const auto& cp = a.col_ptr();
+  const auto& ri = a.row_ind();
+
+  for (index_t k = 0; k < n; ++k) {
+    for (offset_t p = cp[static_cast<std::size_t>(k)];
+         p < cp[static_cast<std::size_t>(k) + 1]; ++p) {
+      index_t i = ri[static_cast<std::size_t>(p)];
+      // Traverse from i up to the root of its current subtree, compressing
+      // paths onto k.
+      while (i != -1 && i < k) {
+        const index_t next = ancestor[static_cast<std::size_t>(i)];
+        ancestor[static_cast<std::size_t>(i)] = k;
+        if (next == -1) parent[static_cast<std::size_t>(i)] = k;
+        i = next;
+      }
+    }
+  }
+  return parent;
+}
+
+std::vector<index_t> postorder(const std::vector<index_t>& parent) {
+  const auto n = static_cast<index_t>(parent.size());
+  // Build child lists (reverse order so traversal visits small first).
+  std::vector<index_t> head(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> next(static_cast<std::size_t>(n), -1);
+  for (index_t v = n; v-- > 0;) {
+    const index_t p = parent[static_cast<std::size_t>(v)];
+    if (p >= 0) {
+      next[static_cast<std::size_t>(v)] = head[static_cast<std::size_t>(p)];
+      head[static_cast<std::size_t>(p)] = v;
+    }
+  }
+
+  std::vector<index_t> post;
+  post.reserve(static_cast<std::size_t>(n));
+  std::vector<index_t> stack;
+  for (index_t root = 0; root < n; ++root) {
+    if (parent[static_cast<std::size_t>(root)] != -1) continue;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const index_t v = stack.back();
+      const index_t child = head[static_cast<std::size_t>(v)];
+      if (child == -1) {
+        stack.pop_back();
+        post.push_back(v);
+      } else {
+        head[static_cast<std::size_t>(v)] = next[static_cast<std::size_t>(child)];
+        stack.push_back(child);
+      }
+    }
+  }
+  return post;
+}
+
+std::vector<index_t> tree_heights(const std::vector<index_t>& parent) {
+  const auto n = static_cast<index_t>(parent.size());
+  std::vector<index_t> height(static_cast<std::size_t>(n), 0);
+  // Nodes are numbered so that parent > child in an etree; a forward sweep
+  // propagates heights in one pass.
+  for (index_t v = 0; v < n; ++v) {
+    const index_t p = parent[static_cast<std::size_t>(v)];
+    if (p >= 0)
+      height[static_cast<std::size_t>(p)] =
+          std::max(height[static_cast<std::size_t>(p)],
+                   static_cast<index_t>(height[static_cast<std::size_t>(v)] + 1));
+  }
+  return height;
+}
+
+}  // namespace er

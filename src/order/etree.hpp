@@ -1,0 +1,24 @@
+// Elimination tree and related symbolic analysis (Davis, "Direct Methods
+// for Sparse Linear Systems", ch. 4).
+#pragma once
+
+#include <vector>
+
+#include "sparse/csc.hpp"
+#include "util/types.hpp"
+
+namespace er {
+
+/// Elimination tree of a symmetric matrix (full symmetric CSC input; only
+/// the upper-triangular entries are inspected). parent[root] == -1.
+std::vector<index_t> etree(const CscMatrix& a);
+
+/// Postorder of a forest given by parent[]; returns a permutation
+/// (new -> old is NOT this; post[k] = k-th node in postorder).
+std::vector<index_t> postorder(const std::vector<index_t>& parent);
+
+/// Height of each node in the forest (leaves have height 0); the maximum is
+/// a lower bound proxy for dependency depth.
+std::vector<index_t> tree_heights(const std::vector<index_t>& parent);
+
+}  // namespace er

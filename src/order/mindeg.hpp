@@ -1,0 +1,41 @@
+// Quotient-graph minimum-degree ordering with AMD-style approximate
+// external degrees (Amestoy, Davis, Duff). This is the library's
+// fill-reducing ordering — the role METIS/AMD plays in the paper's setup.
+//
+// Differences from reference AMD: no supervariable (indistinguishable-node)
+// compression and no aggressive element absorption; quality is within a
+// small factor on the mesh/social graphs used here, which is all the
+// downstream algorithms need (they only consume the resulting permutation).
+#pragma once
+
+#include <vector>
+
+#include "sparse/csc.hpp"
+#include "util/types.hpp"
+
+namespace er {
+
+/// Minimum-degree ordering of a symmetric matrix pattern.
+/// Returns perm with perm[new] = old.
+std::vector<index_t> mindeg_order(const CscMatrix& a);
+
+/// Ordering strategies understood by the factorization layer.
+enum class Ordering {
+  kNatural,  // identity
+  kRcm,      // reverse Cuthill-McKee
+  kMinDeg,   // quotient-graph minimum degree (default)
+};
+
+/// Dispatch helper: compute the permutation for the given strategy.
+std::vector<index_t> compute_ordering(const CscMatrix& a, Ordering kind);
+
+/// Identity permutation of size n.
+std::vector<index_t> identity_permutation(index_t n);
+
+/// Validate that perm is a permutation of [0, n).
+bool is_permutation(const std::vector<index_t>& perm);
+
+/// inverse[perm[i]] = i.
+std::vector<index_t> invert_permutation(const std::vector<index_t>& perm);
+
+}  // namespace er

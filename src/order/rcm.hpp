@@ -1,0 +1,16 @@
+// Reverse Cuthill-McKee bandwidth-reducing ordering.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csc.hpp"
+#include "util/types.hpp"
+
+namespace er {
+
+/// RCM ordering of a symmetric matrix's adjacency structure.
+/// Returns perm with perm[new] = old. Starts each component from a
+/// pseudo-peripheral node found by repeated BFS.
+std::vector<index_t> rcm_order(const CscMatrix& a);
+
+}  // namespace er

@@ -1,0 +1,321 @@
+#include "partition/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace er {
+
+namespace {
+
+/// One level of the multilevel hierarchy.
+struct Level {
+  Graph graph;
+  std::vector<real_t> node_weight;  // accumulated original node counts
+  std::vector<index_t> map_to_coarse;  // fine node -> coarse node
+};
+
+/// Heavy-edge matching: visit nodes in random order, match each unmatched
+/// node with its heaviest unmatched neighbour.
+std::vector<index_t> heavy_edge_matching(const Graph& g, Rng& rng) {
+  const index_t n = g.num_nodes();
+  std::vector<index_t> match(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  for (index_t i = n; i-- > 1;)
+    std::swap(order[static_cast<std::size_t>(i)],
+              order[static_cast<std::size_t>(rng.uniform_int(i + 1))]);
+
+  const auto& ptr = g.adjacency_ptr();
+  const auto& nbr = g.neighbors();
+  const auto& wts = g.adjacency_weights();
+  for (index_t u : order) {
+    if (match[static_cast<std::size_t>(u)] != -1) continue;
+    index_t best = -1;
+    real_t best_w = -1.0;
+    for (offset_t k = ptr[static_cast<std::size_t>(u)];
+         k < ptr[static_cast<std::size_t>(u) + 1]; ++k) {
+      const index_t v = nbr[static_cast<std::size_t>(k)];
+      if (v == u || match[static_cast<std::size_t>(v)] != -1) continue;
+      if (wts[static_cast<std::size_t>(k)] > best_w) {
+        best_w = wts[static_cast<std::size_t>(k)];
+        best = v;
+      }
+    }
+    if (best >= 0) {
+      match[static_cast<std::size_t>(u)] = best;
+      match[static_cast<std::size_t>(best)] = u;
+    } else {
+      match[static_cast<std::size_t>(u)] = u;  // stays single
+    }
+  }
+  return match;
+}
+
+/// Contract matched pairs into a coarser level.
+Level coarsen(const Graph& g, const std::vector<real_t>& node_weight,
+              Rng& rng) {
+  const index_t n = g.num_nodes();
+  const auto match = heavy_edge_matching(g, rng);
+
+  Level lvl;
+  lvl.map_to_coarse.assign(static_cast<std::size_t>(n), -1);
+  index_t coarse_n = 0;
+  for (index_t u = 0; u < n; ++u) {
+    if (lvl.map_to_coarse[static_cast<std::size_t>(u)] != -1) continue;
+    const index_t v = match[static_cast<std::size_t>(u)];
+    lvl.map_to_coarse[static_cast<std::size_t>(u)] = coarse_n;
+    lvl.map_to_coarse[static_cast<std::size_t>(v)] = coarse_n;
+    ++coarse_n;
+  }
+
+  lvl.node_weight.assign(static_cast<std::size_t>(coarse_n), 0.0);
+  for (index_t u = 0; u < n; ++u)
+    lvl.node_weight[static_cast<std::size_t>(
+        lvl.map_to_coarse[static_cast<std::size_t>(u)])] +=
+        node_weight[static_cast<std::size_t>(u)];
+
+  Graph cg(coarse_n);
+  cg.reserve_edges(g.num_edges());
+  for (const auto& e : g.edges()) {
+    const index_t cu = lvl.map_to_coarse[static_cast<std::size_t>(e.u)];
+    const index_t cv = lvl.map_to_coarse[static_cast<std::size_t>(e.v)];
+    if (cu != cv) cg.add_edge(cu, cv, e.weight);
+  }
+  lvl.graph = cg.coalesce_parallel_edges();
+  return lvl;
+}
+
+/// Greedy region growing on the coarsest graph: grow each part by BFS from
+/// an unassigned seed until the target weight is reached.
+std::vector<index_t> initial_partition(const Graph& g,
+                                       const std::vector<real_t>& node_weight,
+                                       index_t k, Rng& rng) {
+  const index_t n = g.num_nodes();
+  std::vector<index_t> part(static_cast<std::size_t>(n), -1);
+  real_t total = 0.0;
+  for (real_t w : node_weight) total += w;
+  const real_t target = total / static_cast<real_t>(k);
+
+  const auto& ptr = g.adjacency_ptr();
+  const auto& nbr = g.neighbors();
+
+  std::vector<index_t> queue;
+  index_t assigned = 0;
+  for (index_t p = 0; p < k && assigned < n; ++p) {
+    // Seed: random unassigned node.
+    index_t seed = -1;
+    for (int tries = 0; tries < 64 && seed < 0; ++tries) {
+      const index_t cand = rng.uniform_int(n);
+      if (part[static_cast<std::size_t>(cand)] == -1) seed = cand;
+    }
+    if (seed < 0) {
+      for (index_t v = 0; v < n; ++v)
+        if (part[static_cast<std::size_t>(v)] == -1) {
+          seed = v;
+          break;
+        }
+    }
+    if (seed < 0) break;
+
+    // Claim nodes when they are *popped*, not when pushed: on small-diameter
+    // (heavy-tailed) graphs the BFS frontier can exceed the whole target, so
+    // eager assignment would swallow most of the graph into one part.
+    real_t grown = 0.0;
+    queue.clear();
+    queue.push_back(seed);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const index_t u = queue[head];
+      if (part[static_cast<std::size_t>(u)] != -1) continue;
+      part[static_cast<std::size_t>(u)] = p;
+      grown += node_weight[static_cast<std::size_t>(u)];
+      ++assigned;
+      if (grown >= target && p + 1 < k) break;
+      for (offset_t e = ptr[static_cast<std::size_t>(u)];
+           e < ptr[static_cast<std::size_t>(u) + 1]; ++e) {
+        const index_t v = nbr[static_cast<std::size_t>(e)];
+        if (part[static_cast<std::size_t>(v)] == -1) queue.push_back(v);
+      }
+    }
+  }
+  // Any leftovers: attach to an adjacent part (or part 0).
+  for (index_t v = 0; v < n; ++v) {
+    if (part[static_cast<std::size_t>(v)] != -1) continue;
+    index_t p = 0;
+    for (offset_t e = ptr[static_cast<std::size_t>(v)];
+         e < ptr[static_cast<std::size_t>(v) + 1]; ++e) {
+      const index_t u = nbr[static_cast<std::size_t>(e)];
+      if (part[static_cast<std::size_t>(u)] != -1) {
+        p = part[static_cast<std::size_t>(u)];
+        break;
+      }
+    }
+    part[static_cast<std::size_t>(v)] = p;
+  }
+  return part;
+}
+
+/// Boundary refinement: greedy positive-gain moves under a balance cap.
+void refine(const Graph& g, const std::vector<real_t>& node_weight, index_t k,
+            real_t balance_factor, int passes, std::vector<index_t>& part) {
+  const index_t n = g.num_nodes();
+  const auto& ptr = g.adjacency_ptr();
+  const auto& nbr = g.neighbors();
+  const auto& wts = g.adjacency_weights();
+
+  std::vector<real_t> part_weight(static_cast<std::size_t>(k), 0.0);
+  real_t total = 0.0;
+  for (index_t v = 0; v < n; ++v) {
+    part_weight[static_cast<std::size_t>(part[static_cast<std::size_t>(v)])] +=
+        node_weight[static_cast<std::size_t>(v)];
+    total += node_weight[static_cast<std::size_t>(v)];
+  }
+  const real_t cap = balance_factor * total / static_cast<real_t>(k);
+
+  std::vector<real_t> gain_to(static_cast<std::size_t>(k), 0.0);
+  std::vector<index_t> touched;
+  for (int pass = 0; pass < passes; ++pass) {
+    bool moved_any = false;
+    for (index_t v = 0; v < n; ++v) {
+      const index_t from = part[static_cast<std::size_t>(v)];
+      touched.clear();
+      real_t internal = 0.0;
+      for (offset_t e = ptr[static_cast<std::size_t>(v)];
+           e < ptr[static_cast<std::size_t>(v) + 1]; ++e) {
+        const index_t pu = part[static_cast<std::size_t>(
+            nbr[static_cast<std::size_t>(e)])];
+        const real_t w = wts[static_cast<std::size_t>(e)];
+        if (pu == from) {
+          internal += w;
+        } else {
+          if (gain_to[static_cast<std::size_t>(pu)] == 0.0) touched.push_back(pu);
+          gain_to[static_cast<std::size_t>(pu)] += w;
+        }
+      }
+      // Positive-gain moves always; when the source part is overloaded,
+      // zero/negative-gain moves to a lighter part are allowed too, so
+      // refinement doubles as rebalancing.
+      const bool from_over =
+          part_weight[static_cast<std::size_t>(from)] > cap;
+      index_t best = -1;
+      real_t best_gain = from_over ? -1e30 : 0.0;
+      for (index_t p : touched) {
+        const real_t gain = gain_to[static_cast<std::size_t>(p)] - internal;
+        const bool fits = part_weight[static_cast<std::size_t>(p)] +
+                              node_weight[static_cast<std::size_t>(v)] <=
+                          cap;
+        const bool lighter = part_weight[static_cast<std::size_t>(p)] <
+                             part_weight[static_cast<std::size_t>(from)];
+        if (gain > best_gain && (fits || (from_over && lighter))) {
+          best_gain = gain;
+          best = p;
+        }
+        gain_to[static_cast<std::size_t>(p)] = 0.0;
+      }
+      if (best >= 0) {
+        part_weight[static_cast<std::size_t>(from)] -=
+            node_weight[static_cast<std::size_t>(v)];
+        part_weight[static_cast<std::size_t>(best)] +=
+            node_weight[static_cast<std::size_t>(v)];
+        part[static_cast<std::size_t>(v)] = best;
+        moved_any = true;
+      }
+    }
+    if (!moved_any) break;
+  }
+}
+
+}  // namespace
+
+real_t PartitionResult::cut_weight(const Graph& g) const {
+  real_t acc = 0.0;
+  for (const auto& e : g.edges())
+    if (part[static_cast<std::size_t>(e.u)] !=
+        part[static_cast<std::size_t>(e.v)])
+      acc += e.weight;
+  return acc;
+}
+
+std::size_t PartitionResult::cut_edges(const Graph& g) const {
+  std::size_t acc = 0;
+  for (const auto& e : g.edges())
+    if (part[static_cast<std::size_t>(e.u)] !=
+        part[static_cast<std::size_t>(e.v)])
+      ++acc;
+  return acc;
+}
+
+real_t PartitionResult::balance(const Graph& g) const {
+  if (num_parts == 0) return 0.0;
+  std::vector<index_t> count(static_cast<std::size_t>(num_parts), 0);
+  for (index_t p : part) ++count[static_cast<std::size_t>(p)];
+  const index_t target =
+      (g.num_nodes() + num_parts - 1) / num_parts;  // ceil(n/k)
+  index_t mx = 0;
+  for (index_t c : count) mx = std::max(mx, c);
+  return static_cast<real_t>(mx) / static_cast<real_t>(target);
+}
+
+PartitionResult partition_graph(const Graph& g, const PartitionOptions& opts) {
+  if (opts.num_parts <= 0)
+    throw std::invalid_argument("partition_graph: num_parts must be > 0");
+  const index_t n = g.num_nodes();
+  PartitionResult res;
+  res.num_parts = opts.num_parts;
+  if (opts.num_parts == 1 || n <= opts.num_parts) {
+    // Trivial cases: all in one part, or one node per part round-robin.
+    res.part.assign(static_cast<std::size_t>(n), 0);
+    if (n <= opts.num_parts)
+      for (index_t v = 0; v < n; ++v)
+        res.part[static_cast<std::size_t>(v)] = v % opts.num_parts;
+    return res;
+  }
+
+  Rng rng(opts.seed);
+
+  // --- Coarsening phase. ---
+  std::vector<Level> levels;
+  {
+    Level base;
+    base.graph = g;
+    base.node_weight.assign(static_cast<std::size_t>(n), 1.0);
+    levels.push_back(std::move(base));
+  }
+  const index_t coarse_target = std::max<index_t>(
+      opts.num_parts * opts.coarsen_target_per_part, 2 * opts.num_parts);
+  while (levels.back().graph.num_nodes() > coarse_target) {
+    Level next = coarsen(levels.back().graph, levels.back().node_weight, rng);
+    // Stop if matching stalls (e.g. star graphs).
+    if (next.graph.num_nodes() >
+        static_cast<index_t>(0.95 * levels.back().graph.num_nodes()))
+      break;
+    levels.push_back(std::move(next));
+  }
+
+  // --- Initial partition on the coarsest level. ---
+  std::vector<index_t> part = initial_partition(
+      levels.back().graph, levels.back().node_weight, opts.num_parts, rng);
+  refine(levels.back().graph, levels.back().node_weight, opts.num_parts,
+         opts.balance_factor, opts.refinement_passes, part);
+
+  // --- Uncoarsening with refinement. ---
+  for (std::size_t lvl = levels.size(); lvl-- > 1;) {
+    const Level& fine = levels[lvl - 1];
+    const Level& coarse = levels[lvl];
+    std::vector<index_t> fine_part(
+        static_cast<std::size_t>(fine.graph.num_nodes()));
+    for (index_t v = 0; v < fine.graph.num_nodes(); ++v)
+      fine_part[static_cast<std::size_t>(v)] = part[static_cast<std::size_t>(
+          coarse.map_to_coarse[static_cast<std::size_t>(v)])];
+    part = std::move(fine_part);
+    refine(fine.graph, fine.node_weight, opts.num_parts, opts.balance_factor,
+           opts.refinement_passes, part);
+  }
+
+  res.part = std::move(part);
+  return res;
+}
+
+}  // namespace er

@@ -1,0 +1,85 @@
+// DC and transient analysis of power grids, on both the original network
+// and reduced models (paper Table II workloads).
+//
+// Everything is expressed in voltage drops d = Vdd - v, so the system is
+// G d = J with G SPD. Transient uses fixed-step backward Euler with a single
+// factorization, matching the paper's setup ("1000 fixed-size time steps...
+// performing just once matrix factorization").
+#pragma once
+
+#include <vector>
+
+#include "pg/power_grid.hpp"
+#include "reduction/pipeline.hpp"
+#include "util/types.hpp"
+
+namespace er {
+
+struct DcSolution {
+  std::vector<real_t> drops;  // per node of the analyzed network
+  double factor_seconds = 0.0;
+  double solve_seconds = 0.0;
+};
+
+/// Solve G d = injections on a conductance network.
+DcSolution solve_dc(const ConductanceNetwork& net,
+                    const std::vector<real_t>& injections);
+
+/// Map a full-grid injection vector onto a reduced model (entries of
+/// eliminated nodes must be zero — loads are ports and always survive).
+std::vector<real_t> map_injections(const ReducedModel& model,
+                                   const std::vector<real_t>& full);
+
+/// Map node capacitances onto a reduced model. Kept nodes add their cap at
+/// their reduced id; eliminated interior caps are redistributed equally
+/// over their block's kept nodes (standard realizable-reduction practice;
+/// see DESIGN.md).
+std::vector<real_t> map_capacitances(const ReducedModel& model,
+                                     const std::vector<real_t>& full);
+
+struct TransientOptions {
+  real_t step = 2e-11;  // seconds
+  int steps = 1000;     // paper: 1000 fixed-size steps
+};
+
+struct TransientResult {
+  /// Per probe: drop waveform across steps (probe ids are in the analyzed
+  /// network's index space).
+  std::vector<std::vector<real_t>> series;
+  double factor_seconds = 0.0;
+  double solve_seconds = 0.0;
+  [[nodiscard]] double total_seconds() const {
+    return factor_seconds + solve_seconds;
+  }
+};
+
+/// Backward-Euler transient on a network. `loads` are (node-in-network,
+/// waveform) pairs; `caps` is per node of the network.
+TransientResult run_transient(const ConductanceNetwork& net,
+                              const std::vector<real_t>& caps,
+                              const std::vector<CurrentLoad>& loads,
+                              const TransientOptions& opts,
+                              const std::vector<index_t>& probes);
+
+/// Loads of a power grid re-indexed onto a reduced model.
+std::vector<CurrentLoad> map_loads(const ReducedModel& model,
+                                   const std::vector<CurrentLoad>& loads);
+
+/// Error metrics of the paper's Table II: Err = mean absolute difference
+/// (volts) over the given original-space port nodes (and steps, for
+/// transient); Rel = Err / max reference drop.
+struct SolutionError {
+  double err_volts = 0.0;
+  double rel = 0.0;
+};
+
+SolutionError compare_dc(const std::vector<real_t>& reference_drops,
+                         const DcSolution& reduced_solution,
+                         const ReducedModel& model,
+                         const std::vector<index_t>& port_nodes);
+
+SolutionError compare_transient(const TransientResult& reference,
+                                const TransientResult& reduced,
+                                double reference_max_drop);
+
+}  // namespace er

@@ -1,0 +1,145 @@
+#include "pg/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace er {
+
+PowerGrid generate_power_grid(const PgGeneratorOptions& opts) {
+  if (opts.nx < 2 || opts.ny < 2 || opts.layers < 1)
+    throw std::invalid_argument("generate_power_grid: grid too small");
+  Rng rng(opts.seed);
+
+  // Layer l has pitch 2^l over the bottom mesh; compute per-layer shapes.
+  std::vector<index_t> lnx(static_cast<std::size_t>(opts.layers));
+  std::vector<index_t> lny(static_cast<std::size_t>(opts.layers));
+  std::vector<index_t> base(static_cast<std::size_t>(opts.layers));
+  index_t total = 0;
+  for (index_t l = 0; l < opts.layers; ++l) {
+    const index_t pitch = index_t{1} << l;
+    lnx[static_cast<std::size_t>(l)] = std::max<index_t>((opts.nx + pitch - 1) / pitch, 2);
+    lny[static_cast<std::size_t>(l)] = std::max<index_t>((opts.ny + pitch - 1) / pitch, 2);
+    base[static_cast<std::size_t>(l)] = total;
+    total += lnx[static_cast<std::size_t>(l)] * lny[static_cast<std::size_t>(l)];
+  }
+
+  PowerGrid pg;
+  pg.num_nodes = total;
+  pg.vdd = opts.vdd;
+  auto id = [&](index_t l, index_t x, index_t y) {
+    return base[static_cast<std::size_t>(l)] +
+           y * lnx[static_cast<std::size_t>(l)] + x;
+  };
+
+  // Meshes and vias. Upper layers are thicker metal: lower resistance.
+  for (index_t l = 0; l < opts.layers; ++l) {
+    const real_t r_layer =
+        opts.segment_resistance *
+        std::pow(opts.layer_resistance_scale, static_cast<real_t>(l));
+    const index_t w = lnx[static_cast<std::size_t>(l)];
+    const index_t h = lny[static_cast<std::size_t>(l)];
+    for (index_t y = 0; y < h; ++y)
+      for (index_t x = 0; x < w; ++x) {
+        // +-20% process variation on each segment.
+        if (x + 1 < w)
+          pg.resistors.push_back(
+              {id(l, x, y), id(l, x + 1, y), r_layer * rng.uniform(0.8, 1.2)});
+        if (y + 1 < h)
+          pg.resistors.push_back(
+              {id(l, x, y), id(l, x, y + 1), r_layer * rng.uniform(0.8, 1.2)});
+      }
+    if (l + 1 < opts.layers) {
+      const index_t uw = lnx[static_cast<std::size_t>(l) + 1];
+      const index_t uh = lny[static_cast<std::size_t>(l) + 1];
+      for (index_t y = 0; y < uh; ++y)
+        for (index_t x = 0; x < uw; ++x) {
+          const index_t fx = std::min<index_t>(2 * x, w - 1);
+          const index_t fy = std::min<index_t>(2 * y, h - 1);
+          pg.resistors.push_back({id(l, fx, fy), id(l + 1, x, y),
+                                  opts.via_resistance * rng.uniform(0.8, 1.2)});
+        }
+    }
+  }
+
+  // Pads: evenly spaced along the top-layer perimeter.
+  {
+    const index_t top = opts.layers - 1;
+    const index_t w = lnx[static_cast<std::size_t>(top)];
+    const index_t h = lny[static_cast<std::size_t>(top)];
+    const index_t k = std::max<index_t>(opts.pads_per_side, 1);
+    for (index_t s = 0; s < k; ++s) {
+      const index_t x = static_cast<index_t>(
+          (static_cast<double>(s) + 0.5) * w / k);
+      const index_t y = static_cast<index_t>(
+          (static_cast<double>(s) + 0.5) * h / k);
+      pg.pads.push_back({id(top, std::min(x, w - 1), 0), opts.pad_conductance});
+      pg.pads.push_back(
+          {id(top, std::min(x, w - 1), h - 1), opts.pad_conductance});
+      pg.pads.push_back({id(top, 0, std::min(y, h - 1)), opts.pad_conductance});
+      pg.pads.push_back(
+          {id(top, w - 1, std::min(y, h - 1)), opts.pad_conductance});
+    }
+  }
+
+  // Loads: random bottom-layer nodes with staggered pulse phases (modeled
+  // as different duty cycles around 0.5).
+  {
+    const index_t bottom_nodes = lnx[0] * lny[0];
+    const auto want = static_cast<index_t>(
+        std::max(1.0, opts.load_density * static_cast<double>(bottom_nodes)));
+    std::vector<char> used(static_cast<std::size_t>(bottom_nodes), 0);
+    index_t placed = 0;
+    while (placed < want) {
+      const index_t v = rng.uniform_int(bottom_nodes);
+      if (used[static_cast<std::size_t>(v)]) continue;
+      used[static_cast<std::size_t>(v)] = 1;
+      CurrentLoad load;
+      load.node = v;  // bottom layer has base 0
+      load.dc = opts.load_dc * rng.uniform(0.5, 1.5);
+      load.pulse = opts.load_pulse * rng.uniform(0.5, 1.5);
+      load.period = opts.load_period * rng.uniform(0.8, 1.25);
+      load.duty = rng.uniform(0.3, 0.7);
+      pg.loads.push_back(load);
+      ++placed;
+    }
+  }
+
+  // Capacitance at every node (larger on the bottom layer).
+  for (index_t l = 0; l < opts.layers; ++l) {
+    const real_t c = opts.node_capacitance * (l == 0 ? 2.0 : 1.0);
+    const index_t count =
+        lnx[static_cast<std::size_t>(l)] * lny[static_cast<std::size_t>(l)];
+    for (index_t v = 0; v < count; ++v)
+      pg.capacitors.push_back(
+          {base[static_cast<std::size_t>(l)] + v, c * rng.uniform(0.8, 1.2)});
+  }
+
+  return pg;
+}
+
+PgGeneratorOptions ibmpg_like_preset(int index, real_t size_scale) {
+  PgGeneratorOptions o;
+  // Relative sizes follow ibmpg2 (~0.13M) .. ibmpg6 (~1.7M), scaled.
+  index_t side = 64;
+  switch (index) {
+    case 2: side = 64; o.layers = 3; break;
+    case 3: side = 160; o.layers = 3; break;
+    case 4: side = 170; o.layers = 3; break;
+    case 5: side = 180; o.layers = 4; break;
+    case 6: side = 224; o.layers = 4; break;
+    default:
+      throw std::invalid_argument("ibmpg_like_preset: index must be 2..6");
+  }
+  side = std::max<index_t>(static_cast<index_t>(side * size_scale), 8);
+  o.nx = side;
+  o.ny = side;
+  o.pads_per_side = std::max<index_t>(2, side / 16);
+  o.load_density = 0.10;
+  o.seed = static_cast<std::uint64_t>(1000 + index);
+  return o;
+}
+
+}  // namespace er

@@ -1,0 +1,43 @@
+// Synthetic IBM-benchmark-style power-grid generator.
+//
+// The paper's Table II evaluates on the IBM power grid benchmarks
+// (ibmpg2..6 and their transient variants), which are multi-layer
+// mesh-structured RC grids with pads on the top layer and current loads on
+// the bottom. Those netlists are not redistributable, so this generator
+// reproduces the topology class (see DESIGN.md §2): stacked 2D meshes with
+// progressively coarser pitch and lower sheet resistance, vias between
+// layers, perimeter pads on the top layer, randomly-placed pulsed loads on
+// the bottom layer, and a capacitance at every node.
+#pragma once
+
+#include "pg/power_grid.hpp"
+#include "util/types.hpp"
+
+namespace er {
+
+struct PgGeneratorOptions {
+  index_t nx = 32;              // bottom-layer mesh width
+  index_t ny = 32;              // bottom-layer mesh height
+  index_t layers = 3;           // metal layers (>= 1)
+  real_t segment_resistance = 1.0;   // bottom-layer segment R (ohms)
+  real_t via_resistance = 0.5;       // inter-layer via R
+  real_t layer_resistance_scale = 0.4;  // R multiplier per layer going up
+  real_t pad_conductance = 1e2;  // pad series conductance (to Vdd)
+  index_t pads_per_side = 4;     // pads along each top-layer edge
+  real_t load_density = 0.10;    // fraction of bottom nodes carrying loads
+  real_t load_dc = 5e-4;         // amps per load
+  real_t load_pulse = 1e-3;      // pulse amplitude
+  real_t load_period = 2e-9;     // seconds
+  real_t node_capacitance = 1e-15;  // farads at every node
+  real_t vdd = 1.8;
+  std::uint64_t seed = 1;
+};
+
+/// Generate a synthetic multi-layer power grid.
+PowerGrid generate_power_grid(const PgGeneratorOptions& opts);
+
+/// Convenience presets roughly tracking the relative sizes of ibmpg2..6
+/// (scaled to laptop budgets; see EXPERIMENTS.md for the mapping).
+PgGeneratorOptions ibmpg_like_preset(int index /* 2..6 */, real_t size_scale);
+
+}  // namespace er

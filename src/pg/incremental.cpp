@@ -1,0 +1,97 @@
+#include "pg/incremental.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace er {
+
+GridModification random_modification(index_t num_blocks, real_t fraction,
+                                     real_t resistance_scale,
+                                     std::uint64_t seed) {
+  if (num_blocks <= 0)
+    throw std::invalid_argument("random_modification: no blocks");
+  GridModification mod;
+  mod.resistance_scale = resistance_scale;
+  Rng rng(seed);
+  const auto want = std::max<index_t>(
+      1, static_cast<index_t>(fraction * static_cast<real_t>(num_blocks)));
+  std::vector<char> used(static_cast<std::size_t>(num_blocks), 0);
+  while (static_cast<index_t>(mod.dirty_blocks.size()) < want) {
+    const index_t b = rng.uniform_int(num_blocks);
+    if (used[static_cast<std::size_t>(b)]) continue;
+    used[static_cast<std::size_t>(b)] = 1;
+    mod.dirty_blocks.push_back(b);
+  }
+  std::sort(mod.dirty_blocks.begin(), mod.dirty_blocks.end());
+  return mod;
+}
+
+ConductanceNetwork apply_modification(const ConductanceNetwork& net,
+                                      const BlockStructure& structure,
+                                      const GridModification& mod) {
+  std::vector<char> dirty(static_cast<std::size_t>(structure.num_blocks), 0);
+  for (index_t b : mod.dirty_blocks) dirty[static_cast<std::size_t>(b)] = 1;
+
+  ConductanceNetwork out;
+  out.shunts = net.shunts;
+  Graph g(net.graph.num_nodes());
+  g.reserve_edges(net.graph.num_edges());
+  // Scaling R by s scales conductance by 1/s.
+  const real_t wscale = 1.0 / mod.resistance_scale;
+  for (const auto& e : net.graph.edges()) {
+    const index_t bu = structure.block_of[static_cast<std::size_t>(e.u)];
+    const index_t bv = structure.block_of[static_cast<std::size_t>(e.v)];
+    const bool in_dirty = bu == bv && dirty[static_cast<std::size_t>(bu)];
+    g.add_edge(e.u, e.v, in_dirty ? e.weight * wscale : e.weight);
+  }
+  out.graph = std::move(g);
+  return out;
+}
+
+IncrementalReducer::IncrementalReducer(const ConductanceNetwork& net,
+                                       const std::vector<char>& is_port,
+                                       const ReductionOptions& opts)
+    : is_port_(is_port), opts_(opts) {
+  Timer t;
+  structure_ = build_block_structure(net, is_port_, opts_);
+  blocks_.reserve(static_cast<std::size_t>(structure_.num_blocks));
+  for (index_t b = 0; b < structure_.num_blocks; ++b)
+    blocks_.push_back(reduce_block(net, is_port_, structure_, b, opts_));
+  model_ = stitch_blocks(net, structure_, blocks_);
+  initial_seconds_ = t.seconds();
+  model_.stats.total_seconds = initial_seconds_;
+}
+
+const ReducedModel& IncrementalReducer::update(
+    const ConductanceNetwork& modified,
+    const std::vector<index_t>& dirty_blocks) {
+  Timer t;
+  // Refresh cached block-internal edge weights from the modified network.
+  BlockStructure st = structure_;
+  for (auto& edges : st.block_edges) edges.clear();
+  st.cut_edges.clear();
+  for (const auto& e : modified.graph.edges()) {
+    const index_t bu = st.block_of[static_cast<std::size_t>(e.u)];
+    const index_t bv = st.block_of[static_cast<std::size_t>(e.v)];
+    if (bu == bv)
+      st.block_edges[static_cast<std::size_t>(bu)].push_back(e);
+    else
+      st.cut_edges.push_back(e);
+  }
+  structure_ = std::move(st);
+
+  for (index_t b : dirty_blocks) {
+    if (b < 0 || b >= structure_.num_blocks)
+      throw std::out_of_range("IncrementalReducer::update: bad block id");
+    blocks_[static_cast<std::size_t>(b)] =
+        reduce_block(modified, is_port_, structure_, b, opts_);
+  }
+  model_ = stitch_blocks(modified, structure_, blocks_);
+  update_seconds_ = t.seconds();
+  model_.stats.total_seconds = update_seconds_;
+  return model_;
+}
+
+}  // namespace er

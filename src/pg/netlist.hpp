@@ -1,0 +1,31 @@
+// SPICE-subset netlist reader/writer for power grids.
+//
+// Grammar (one element per line, case-insensitive leading letter):
+//   * comment                      (also lines starting with '#')
+//   Rname nodeA nodeB value        resistor (ohms)
+//   Cname node 0 value             capacitor to ground (farads)
+//   Iname node 0 dc [pulse period duty]   current load (amps)
+//   Vname node 0 vdd [conductance] pad: supply attachment
+//   .end                           terminator (optional)
+// Nodes are non-negative integers; node 0 in C/I/V lines denotes ground.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "pg/power_grid.hpp"
+
+namespace er {
+
+/// Parse a netlist from a stream; throws std::runtime_error with a line
+/// number on malformed input.
+PowerGrid read_netlist(std::istream& in);
+
+/// Parse a netlist file.
+PowerGrid read_netlist_file(const std::string& path);
+
+/// Serialize a power grid as a netlist.
+void write_netlist(const PowerGrid& pg, std::ostream& out);
+void write_netlist_file(const PowerGrid& pg, const std::string& path);
+
+}  // namespace er

@@ -1,0 +1,71 @@
+#include "pg/power_grid.hpp"
+
+#include <cmath>
+
+namespace er {
+
+real_t CurrentLoad::current_at(real_t time) const {
+  real_t i = dc;
+  if (pulse != 0.0 && period > 0.0) {
+    const real_t phase = time - std::floor(time / period) * period;
+    if (phase < duty * period) i += pulse;
+  }
+  return i;
+}
+
+ConductanceNetwork PowerGrid::to_network() const {
+  ConductanceNetwork net;
+  net.graph = Graph(num_nodes);
+  net.graph.reserve_edges(resistors.size());
+  for (const auto& r : resistors)
+    net.graph.add_edge(r.a, r.b, 1.0 / r.resistance);
+  net.shunts.assign(static_cast<std::size_t>(num_nodes), 0.0);
+  for (const auto& p : pads)
+    net.shunts[static_cast<std::size_t>(p.node)] += p.conductance;
+  return net;
+}
+
+std::vector<char> PowerGrid::port_mask() const {
+  std::vector<char> mask(static_cast<std::size_t>(num_nodes), 0);
+  for (const auto& p : pads) mask[static_cast<std::size_t>(p.node)] = 1;
+  for (const auto& l : loads) mask[static_cast<std::size_t>(l.node)] = 1;
+  return mask;
+}
+
+std::vector<index_t> PowerGrid::port_nodes() const {
+  const auto mask = port_mask();
+  std::vector<index_t> nodes;
+  for (index_t v = 0; v < num_nodes; ++v)
+    if (mask[static_cast<std::size_t>(v)]) nodes.push_back(v);
+  return nodes;
+}
+
+std::vector<real_t> PowerGrid::load_vector(real_t time) const {
+  std::vector<real_t> j(static_cast<std::size_t>(num_nodes), 0.0);
+  for (const auto& l : loads)
+    j[static_cast<std::size_t>(l.node)] += l.current_at(time);
+  return j;
+}
+
+std::vector<real_t> PowerGrid::capacitance_vector() const {
+  std::vector<real_t> c(static_cast<std::size_t>(num_nodes), 0.0);
+  for (const auto& cap : capacitors)
+    c[static_cast<std::size_t>(cap.node)] += cap.capacitance;
+  return c;
+}
+
+bool PowerGrid::validate() const {
+  auto in_range = [this](index_t v) { return v >= 0 && v < num_nodes; };
+  for (const auto& r : resistors)
+    if (!in_range(r.a) || !in_range(r.b) || r.a == r.b || !(r.resistance > 0.0))
+      return false;
+  for (const auto& c : capacitors)
+    if (!in_range(c.node) || c.capacitance < 0.0) return false;
+  for (const auto& l : loads)
+    if (!in_range(l.node)) return false;
+  for (const auto& p : pads)
+    if (!in_range(p.node) || !(p.conductance > 0.0)) return false;
+  return !pads.empty();
+}
+
+}  // namespace er

@@ -1,0 +1,70 @@
+// Power-grid circuit model (single net, voltage-drop formulation).
+//
+// A grid consists of resistive segments, node capacitances to ground,
+// current loads (DC + periodic pulse), and pads connecting nodes to the
+// supply through a small series conductance. Working in voltage *drops*
+// d = Vdd - v turns the pad attachments into ground shunts and yields the
+// SPD system (L + diag(g_pad)) d = I_load — exactly the SDD form the rest
+// of the library consumes.
+#pragma once
+
+#include <vector>
+
+#include "reduction/network.hpp"
+#include "util/types.hpp"
+
+namespace er {
+
+struct Resistor {
+  index_t a = 0;
+  index_t b = 0;
+  real_t resistance = 1.0;  // ohms, > 0
+};
+
+struct Capacitor {
+  index_t node = 0;
+  real_t capacitance = 0.0;  // farads, to ground
+};
+
+/// Current load: i(t) = dc + (pulse while fmod(t, period) < duty*period).
+struct CurrentLoad {
+  index_t node = 0;
+  real_t dc = 0.0;
+  real_t pulse = 0.0;
+  real_t period = 1e-9;
+  real_t duty = 0.5;
+
+  [[nodiscard]] real_t current_at(real_t time) const;
+};
+
+struct Pad {
+  index_t node = 0;
+  real_t conductance = 1e3;  // series conductance to the supply
+};
+
+struct PowerGrid {
+  index_t num_nodes = 0;
+  real_t vdd = 1.8;
+  std::vector<Resistor> resistors;
+  std::vector<Capacitor> capacitors;
+  std::vector<CurrentLoad> loads;
+  std::vector<Pad> pads;
+
+  /// Conductance network of the drop formulation: edges 1/R, pad shunts.
+  [[nodiscard]] ConductanceNetwork to_network() const;
+
+  /// Ports = pad nodes and load nodes (paper §II-A definition).
+  [[nodiscard]] std::vector<char> port_mask() const;
+  [[nodiscard]] std::vector<index_t> port_nodes() const;
+
+  /// Injection vector J(t) (current draw per node) at a given time.
+  [[nodiscard]] std::vector<real_t> load_vector(real_t time) const;
+
+  /// Dense per-node capacitance vector.
+  [[nodiscard]] std::vector<real_t> capacitance_vector() const;
+
+  /// Structural sanity (indices in range, positive R/C/G).
+  [[nodiscard]] bool validate() const;
+};
+
+}  // namespace er

@@ -1,0 +1,60 @@
+#include "reduction/network.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/laplacian.hpp"
+
+namespace er {
+
+CscMatrix ConductanceNetwork::system_matrix() const {
+  return laplacian_with_shunts(graph, shunts);
+}
+
+ConductanceNetwork network_from_matrix(const CscMatrix& a, real_t tol) {
+  if (a.rows() != a.cols())
+    throw std::invalid_argument("network_from_matrix: not square");
+  const index_t n = a.cols();
+  ConductanceNetwork net;
+  net.graph = Graph(n);
+  net.shunts.assign(static_cast<std::size_t>(n), 0.0);
+
+  const auto& cp = a.col_ptr();
+  const auto& ri = a.row_ind();
+  const auto& vv = a.values();
+
+  std::vector<real_t> offdiag_sum(static_cast<std::size_t>(n), 0.0);
+  const std::vector<real_t> diag = a.diagonal();
+  for (index_t c = 0; c < n; ++c) {
+    for (offset_t k = cp[static_cast<std::size_t>(c)];
+         k < cp[static_cast<std::size_t>(c) + 1]; ++k) {
+      const index_t r = ri[static_cast<std::size_t>(k)];
+      const real_t v = vv[static_cast<std::size_t>(k)];
+      if (r == c) continue;
+      // Keep each undirected edge once (upper triangle sweep).
+      if (r < c) {
+        const real_t w = -v;
+        const real_t scale = std::max(std::abs(diag[static_cast<std::size_t>(c)]),
+                                      real_t{1.0});
+        if (w > tol * scale) {
+          net.graph.add_edge(r, c, w);
+        }
+        // Positive off-diagonals (non-SDD residues) are not representable
+        // as conductances; they are ignored at the |.| <= tol scale and
+        // rejected above it.
+        if (v > tol * scale)
+          throw std::invalid_argument(
+              "network_from_matrix: positive off-diagonal entry");
+      }
+      offdiag_sum[static_cast<std::size_t>(r)] += std::max<real_t>(-v, 0.0);
+    }
+  }
+  for (index_t i = 0; i < n; ++i) {
+    const real_t s =
+        diag[static_cast<std::size_t>(i)] - offdiag_sum[static_cast<std::size_t>(i)];
+    net.shunts[static_cast<std::size_t>(i)] = std::max<real_t>(s, 0.0);
+  }
+  return net;
+}
+
+}  // namespace er

@@ -1,0 +1,31 @@
+// Conductance network: a weighted graph plus per-node shunt (ground)
+// conductances. This is the object the reduction pipeline transforms —
+// power grids, Schur complements and sparsified models are all instances.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sparse/csc.hpp"
+#include "util/types.hpp"
+
+namespace er {
+
+struct ConductanceNetwork {
+  Graph graph;
+  std::vector<real_t> shunts;  // per-node conductance to ground (>= 0)
+
+  [[nodiscard]] index_t num_nodes() const { return graph.num_nodes(); }
+
+  /// System matrix: Laplacian(graph) + diag(shunts). SPD iff every
+  /// connected component has at least one positive shunt.
+  [[nodiscard]] CscMatrix system_matrix() const;
+};
+
+/// Interpret a symmetric SDD matrix as a conductance network:
+/// edge (i, j) with weight -a_ij for every negative off-diagonal, and
+/// shunt_i = a_ii - sum_j |a_ij| (clamped at 0; tiny numerical residues
+/// below `tol` * diagonal are discarded).
+ConductanceNetwork network_from_matrix(const CscMatrix& a, real_t tol = 1e-12);
+
+}  // namespace er

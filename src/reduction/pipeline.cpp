@@ -1,0 +1,293 @@
+#include "reduction/pipeline.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "effres/approx_chol.hpp"
+#include "effres/exact.hpp"
+#include "effres/random_projection.hpp"
+#include "partition/partition.hpp"
+#include "reduction/port_merge.hpp"
+#include "reduction/schur.hpp"
+#include "reduction/sparsify.hpp"
+#include "util/timer.hpp"
+
+namespace er {
+
+const char* to_string(ErBackend b) {
+  switch (b) {
+    case ErBackend::kExact:
+      return "exact";
+    case ErBackend::kRandomProjection:
+      return "random-projection";
+    case ErBackend::kApproxChol:
+      return "approx-chol";
+  }
+  return "?";
+}
+
+namespace {
+
+std::unique_ptr<EffResEngine> make_engine(const Graph& g,
+                                          const ReductionOptions& opts) {
+  switch (opts.backend) {
+    case ErBackend::kExact:
+      return std::make_unique<ExactEffRes>(g);
+    case ErBackend::kRandomProjection: {
+      RandomProjectionOptions rp;
+      rp.auto_scale = opts.projection_scale;
+      rp.seed = opts.seed;
+      return std::make_unique<RandomProjectionEffRes>(g, rp);
+    }
+    case ErBackend::kApproxChol: {
+      ApproxCholOptions ac;
+      ac.droptol = opts.droptol;
+      ac.epsilon = opts.epsilon;
+      return std::make_unique<ApproxCholEffRes>(g, ac);
+    }
+  }
+  throw std::logic_error("make_engine: unknown backend");
+}
+
+}  // namespace
+
+BlockStructure build_block_structure(const ConductanceNetwork& input,
+                                     const std::vector<char>& is_port,
+                                     const ReductionOptions& opts) {
+  const index_t n = input.num_nodes();
+  index_t num_ports = 0;
+  for (char p : is_port)
+    if (p) ++num_ports;
+
+  BlockStructure st;
+  PartitionOptions popts;
+  popts.num_parts = opts.num_blocks > 0
+                        ? opts.num_blocks
+                        : std::max<index_t>(1, num_ports / 50);
+  popts.seed = opts.seed;
+  const PartitionResult part = partition_graph(input.graph, popts);
+  st.num_blocks = popts.num_parts;
+  st.block_of = part.part;
+
+  st.is_interface.assign(static_cast<std::size_t>(n), 0);
+  for (const auto& e : input.graph.edges()) {
+    if (st.block_of[static_cast<std::size_t>(e.u)] !=
+        st.block_of[static_cast<std::size_t>(e.v)]) {
+      st.is_interface[static_cast<std::size_t>(e.u)] = 1;
+      st.is_interface[static_cast<std::size_t>(e.v)] = 1;
+      st.cut_edges.push_back(e);
+    }
+  }
+
+  st.block_nodes.assign(static_cast<std::size_t>(st.num_blocks), {});
+  for (index_t v = 0; v < n; ++v)
+    st.block_nodes[static_cast<std::size_t>(
+                       st.block_of[static_cast<std::size_t>(v)])]
+        .push_back(v);
+  st.block_edges.assign(static_cast<std::size_t>(st.num_blocks), {});
+  for (const auto& e : input.graph.edges())
+    if (st.block_of[static_cast<std::size_t>(e.u)] ==
+        st.block_of[static_cast<std::size_t>(e.v)])
+      st.block_edges[static_cast<std::size_t>(
+                         st.block_of[static_cast<std::size_t>(e.u)])]
+          .push_back(e);
+  return st;
+}
+
+BlockReduced reduce_block(const ConductanceNetwork& input,
+                          const std::vector<char>& is_port,
+                          const BlockStructure& structure, index_t block,
+                          const ReductionOptions& opts) {
+  const index_t n = input.num_nodes();
+  const auto& nodes = structure.block_nodes[static_cast<std::size_t>(block)];
+  BlockReduced out;
+  if (nodes.empty()) return out;
+  const auto nb = static_cast<index_t>(nodes.size());
+
+  // Local ids within the block.
+  std::vector<index_t> local_of(static_cast<std::size_t>(n), -1);
+  for (index_t l = 0; l < nb; ++l)
+    local_of[static_cast<std::size_t>(nodes[static_cast<std::size_t>(l)])] = l;
+
+  // Local system matrix: internal edges + shunts.
+  TripletMatrix t(nb, nb);
+  for (const auto& e : structure.block_edges[static_cast<std::size_t>(block)])
+    t.stamp_conductance(local_of[static_cast<std::size_t>(e.u)],
+                        local_of[static_cast<std::size_t>(e.v)], e.weight);
+  for (index_t l = 0; l < nb; ++l) {
+    const real_t s =
+        input.shunts[static_cast<std::size_t>(nodes[static_cast<std::size_t>(l)])];
+    if (s != 0.0) t.add(l, l, s);
+  }
+  const CscMatrix a_b = CscMatrix::from_triplets(t);
+
+  // Keep ports and interfaces; eliminate non-port interiors.
+  std::vector<index_t> keep_local, elim_local;
+  for (index_t l = 0; l < nb; ++l) {
+    const index_t v = nodes[static_cast<std::size_t>(l)];
+    if (is_port[static_cast<std::size_t>(v)] ||
+        structure.is_interface[static_cast<std::size_t>(v)])
+      keep_local.push_back(l);
+    else
+      elim_local.push_back(l);
+  }
+  if (keep_local.empty()) return out;  // floating block: drop entirely
+
+  Timer phase;
+  const SchurResult schur = schur_complement(a_b, keep_local, elim_local);
+  out.schur_seconds = phase.seconds();
+
+  const ConductanceNetwork net_b = network_from_matrix(schur.matrix);
+  const auto ns = static_cast<index_t>(keep_local.size());
+  out.kept_orig.reserve(static_cast<std::size_t>(ns));
+  for (index_t s = 0; s < ns; ++s)
+    out.kept_orig.push_back(
+        nodes[static_cast<std::size_t>(keep_local[static_cast<std::size_t>(s)])]);
+
+  // Effective resistances of the reduced block's edges (step 3).
+  phase.reset();
+  std::vector<real_t> edge_er(net_b.graph.num_edges(), 0.0);
+  std::unique_ptr<EffResEngine> engine;
+  if (net_b.graph.num_edges() > 0) {
+    engine = make_engine(net_b.graph, opts);
+    for (std::size_t e = 0; e < net_b.graph.num_edges(); ++e) {
+      const Edge& ed = net_b.graph.edges()[e];
+      edge_er[e] = engine->resistance(ed.u, ed.v);
+    }
+  }
+  out.er_seconds = phase.seconds();
+
+  // Merge non-port nodes, then sparsify (step 4).
+  phase.reset();
+  std::vector<char> mergeable(static_cast<std::size_t>(ns), 0);
+  for (index_t s = 0; s < ns; ++s)
+    mergeable[static_cast<std::size_t>(s)] =
+        is_port[static_cast<std::size_t>(out.kept_orig[static_cast<std::size_t>(s)])]
+            ? 0
+            : 1;
+  MergeOptions mo;
+  mo.relative_threshold = opts.merge_threshold;
+  const MergeResult merge =
+      merge_by_effective_resistance(net_b.graph, edge_er, mergeable, mo);
+  out.merge_map = merge.node_map;
+  out.merged_count = merge.merged_count;
+
+  // Representative S-index per merged id for post-merge ER queries.
+  std::vector<index_t> rep_s(static_cast<std::size_t>(merge.merged_count), -1);
+  for (index_t s = 0; s < ns; ++s) {
+    const index_t mid = merge.node_map[static_cast<std::size_t>(s)];
+    if (rep_s[static_cast<std::size_t>(mid)] == -1)
+      rep_s[static_cast<std::size_t>(mid)] = s;
+  }
+  std::vector<real_t> merged_er(merge.merged.num_edges(), 0.0);
+  for (std::size_t e = 0; e < merge.merged.num_edges(); ++e) {
+    const Edge& ed = merge.merged.edges()[e];
+    merged_er[e] = engine
+                       ? engine->resistance(
+                             rep_s[static_cast<std::size_t>(ed.u)],
+                             rep_s[static_cast<std::size_t>(ed.v)])
+                       : 0.0;
+  }
+
+  SparsifyOptions so;
+  so.quality = opts.sparsify_quality;
+  so.seed = opts.seed + static_cast<std::uint64_t>(block) * 7919;
+  out.sparse_graph =
+      sparsify_by_effective_resistance(merge.merged, merged_er, so);
+  out.sparsify_seconds = phase.seconds();
+
+  // Shunts summed into merged representatives.
+  out.shunts.assign(static_cast<std::size_t>(merge.merged_count), 0.0);
+  for (index_t s = 0; s < ns; ++s)
+    out.shunts[static_cast<std::size_t>(
+        merge.node_map[static_cast<std::size_t>(s)])] +=
+        net_b.shunts[static_cast<std::size_t>(s)];
+  return out;
+}
+
+ReducedModel stitch_blocks(const ConductanceNetwork& input,
+                           const BlockStructure& structure,
+                           const std::vector<BlockReduced>& blocks) {
+  const index_t n = input.num_nodes();
+  ReducedModel out;
+  out.stats.original_nodes = n;
+  out.stats.original_edges = input.graph.num_edges();
+  out.stats.blocks = structure.num_blocks;
+  out.node_map.assign(static_cast<std::size_t>(n), -1);
+  out.block_of = structure.block_of;
+  out.block_kept.assign(static_cast<std::size_t>(structure.num_blocks), {});
+
+  std::vector<Edge> reduced_edges;
+  std::vector<real_t> reduced_shunts;
+  index_t next_global = 0;
+
+  for (index_t b = 0; b < structure.num_blocks; ++b) {
+    const BlockReduced& blk = blocks[static_cast<std::size_t>(b)];
+    if (blk.merged_count == 0) continue;
+    const index_t base = next_global;
+    next_global += blk.merged_count;
+    reduced_shunts.resize(static_cast<std::size_t>(next_global), 0.0);
+    out.representative.resize(static_cast<std::size_t>(next_global), -1);
+
+    for (std::size_t s = 0; s < blk.kept_orig.size(); ++s) {
+      const index_t v = blk.kept_orig[s];
+      const index_t gid = base + blk.merge_map[s];
+      out.node_map[static_cast<std::size_t>(v)] = gid;
+      if (out.representative[static_cast<std::size_t>(gid)] == -1)
+        out.representative[static_cast<std::size_t>(gid)] = v;
+    }
+    for (index_t m = 0; m < blk.merged_count; ++m) {
+      reduced_shunts[static_cast<std::size_t>(base + m)] =
+          blk.shunts[static_cast<std::size_t>(m)];
+      out.block_kept[static_cast<std::size_t>(b)].push_back(base + m);
+    }
+    for (const auto& e : blk.sparse_graph.edges())
+      reduced_edges.push_back({base + e.u, base + e.v, e.weight});
+
+    out.stats.schur_seconds += blk.schur_seconds;
+    out.stats.er_seconds += blk.er_seconds;
+    out.stats.sparsify_seconds += blk.sparsify_seconds;
+  }
+
+  for (const auto& e : structure.cut_edges) {
+    const index_t gu = out.node_map[static_cast<std::size_t>(e.u)];
+    const index_t gv = out.node_map[static_cast<std::size_t>(e.v)];
+    if (gu >= 0 && gv >= 0 && gu != gv)
+      reduced_edges.push_back({gu, gv, e.weight});
+  }
+
+  Graph rg(next_global);
+  rg.reserve_edges(reduced_edges.size());
+  for (const auto& e : reduced_edges) rg.add_edge(e.u, e.v, e.weight);
+  out.network.graph = rg.coalesce_parallel_edges();
+  out.network.shunts = std::move(reduced_shunts);
+  out.stats.reduced_nodes = next_global;
+  out.stats.reduced_edges = out.network.graph.num_edges();
+  return out;
+}
+
+ReducedModel reduce_network(const ConductanceNetwork& input,
+                            const std::vector<char>& is_port,
+                            const ReductionOptions& opts) {
+  const index_t n = input.num_nodes();
+  if (is_port.size() != static_cast<std::size_t>(n))
+    throw std::invalid_argument("reduce_network: is_port size mismatch");
+
+  Timer total_timer;
+  Timer phase;
+  const BlockStructure st = build_block_structure(input, is_port, opts);
+  const double partition_seconds = phase.seconds();
+
+  std::vector<BlockReduced> blocks;
+  blocks.reserve(static_cast<std::size_t>(st.num_blocks));
+  for (index_t b = 0; b < st.num_blocks; ++b)
+    blocks.push_back(reduce_block(input, is_port, st, b, opts));
+
+  ReducedModel out = stitch_blocks(input, st, blocks);
+  out.stats.partition_seconds = partition_seconds;
+  out.stats.total_seconds = total_timer.seconds();
+  return out;
+}
+
+}  // namespace er

@@ -1,0 +1,120 @@
+// Algorithm 1 — power grid reduction via effective-resistance-based graph
+// sparsification (the framework of [8], modified to preserve all ports):
+//
+//   1. partition the network into blocks,
+//   2. per block, eliminate non-port interior nodes (Schur complement),
+//   3. per block, compute effective resistances of the reduced edges
+//      (exact / random-projection / Alg. 3 — the paper's Table II axis),
+//   4. merge electrically-indistinguishable non-port nodes, then sparsify
+//      by effective-resistance sampling,
+//   5. stitch blocks and cut edges into the final reduced network.
+//
+// The per-block step is exposed separately (reduce_block / stitch_blocks)
+// so DC *incremental* analysis can re-reduce only modified blocks and reuse
+// the cached reductions of untouched ones (paper §IV-B lower table).
+#pragma once
+
+#include <vector>
+
+#include "reduction/network.hpp"
+#include "util/types.hpp"
+
+namespace er {
+
+/// Which engine computes effective resistances in step 3 (Table II columns).
+enum class ErBackend {
+  kExact,             // "w/ Acc. Eff. Res."
+  kRandomProjection,  // "w/ App. Eff. Res. ([1])"
+  kApproxChol,        // "w/ App. Eff. Res. (Alg. 3)" — the paper's method
+};
+
+const char* to_string(ErBackend b);
+
+struct ReductionOptions {
+  /// Number of partition blocks; 0 = auto (#ports / 50, the paper's rule).
+  index_t num_blocks = 0;
+  ErBackend backend = ErBackend::kApproxChol;
+  /// Alg. 3 parameters (backend == kApproxChol).
+  real_t droptol = 1e-3;
+  real_t epsilon = 1e-3;
+  /// Random-projection dimension scale (backend == kRandomProjection).
+  real_t projection_scale = 16.0;
+  /// Sampling quality for sparsification: q = quality * n log2 n per block.
+  real_t sparsify_quality = 4.0;
+  /// Node-merge threshold relative to mean edge ER (0 disables merging).
+  real_t merge_threshold = 0.0;
+  std::uint64_t seed = 42;
+};
+
+struct ReductionStats {
+  double partition_seconds = 0.0;
+  double schur_seconds = 0.0;
+  double er_seconds = 0.0;
+  double sparsify_seconds = 0.0;
+  double total_seconds = 0.0;
+  index_t blocks = 0;
+  index_t original_nodes = 0;
+  index_t reduced_nodes = 0;
+  std::size_t original_edges = 0;
+  std::size_t reduced_edges = 0;
+};
+
+/// Partition + node classification, computed once and reusable across
+/// incremental re-reductions.
+struct BlockStructure {
+  index_t num_blocks = 0;
+  std::vector<index_t> block_of;                 // node -> block
+  std::vector<char> is_interface;                // touches a cut edge
+  std::vector<std::vector<index_t>> block_nodes; // block -> member nodes
+  std::vector<std::vector<Edge>> block_edges;    // block-internal edges
+  std::vector<Edge> cut_edges;
+};
+
+/// One block after steps 2-4.
+struct BlockReduced {
+  std::vector<index_t> kept_orig;   // S index -> original node id
+  std::vector<index_t> merge_map;   // S index -> merged local id
+  index_t merged_count = 0;
+  Graph sparse_graph;               // on merged local ids
+  std::vector<real_t> shunts;       // per merged local id
+  double schur_seconds = 0.0;
+  double er_seconds = 0.0;
+  double sparsify_seconds = 0.0;
+};
+
+struct ReducedModel {
+  ConductanceNetwork network;
+  /// original node -> reduced node id, or -1 if eliminated.
+  std::vector<index_t> node_map;
+  /// reduced node id -> one original representative node.
+  std::vector<index_t> representative;
+  /// original node -> partition block (for cap redistribution etc.).
+  std::vector<index_t> block_of;
+  /// per block: reduced ids of its kept nodes.
+  std::vector<std::vector<index_t>> block_kept;
+  ReductionStats stats;
+};
+
+/// Step 1: partition the network and classify nodes/edges.
+BlockStructure build_block_structure(const ConductanceNetwork& input,
+                                     const std::vector<char>& is_port,
+                                     const ReductionOptions& opts);
+
+/// Steps 2-4 for one block.
+BlockReduced reduce_block(const ConductanceNetwork& input,
+                          const std::vector<char>& is_port,
+                          const BlockStructure& structure, index_t block,
+                          const ReductionOptions& opts);
+
+/// Step 5: combine per-block reductions and cut edges.
+ReducedModel stitch_blocks(const ConductanceNetwork& input,
+                           const BlockStructure& structure,
+                           const std::vector<BlockReduced>& blocks);
+
+/// Run the whole of Alg. 1. `is_port[v]` marks nodes that must survive
+/// reduction (voltage/current source attachments).
+ReducedModel reduce_network(const ConductanceNetwork& input,
+                            const std::vector<char>& is_port,
+                            const ReductionOptions& opts = {});
+
+}  // namespace er

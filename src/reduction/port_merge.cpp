@@ -1,0 +1,77 @@
+#include "reduction/port_merge.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace er {
+
+MergeResult merge_by_effective_resistance(const Graph& g,
+                                          const std::vector<real_t>& edge_er,
+                                          const std::vector<char>& mergeable,
+                                          const MergeOptions& opts) {
+  const index_t n = g.num_nodes();
+  if (edge_er.size() != g.num_edges() ||
+      mergeable.size() != static_cast<std::size_t>(n))
+    throw std::invalid_argument("merge_by_effective_resistance: size mismatch");
+
+  MergeResult out;
+  // Union-find; roots biased towards non-mergeable nodes so that ports
+  // always represent their merged group.
+  std::vector<index_t> parent(static_cast<std::size_t>(n));
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](index_t x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+
+  if (opts.relative_threshold > 0.0 && g.num_edges() > 0) {
+    real_t mean_er = 0.0;
+    for (real_t r : edge_er) mean_er += r;
+    mean_er /= static_cast<real_t>(edge_er.size());
+    const real_t cut = opts.relative_threshold * mean_er;
+
+    for (std::size_t e = 0; e < g.num_edges(); ++e) {
+      if (edge_er[e] >= cut) continue;
+      const Edge& ed = g.edges()[e];
+      index_t ru = find(ed.u);
+      index_t rv = find(ed.v);
+      if (ru == rv) continue;
+      const bool u_fixed = !mergeable[static_cast<std::size_t>(ru)];
+      const bool v_fixed = !mergeable[static_cast<std::size_t>(rv)];
+      if (u_fixed && v_fixed) continue;  // never merge two ports
+      // Absorb the mergeable root into the fixed one (or either if both
+      // mergeable).
+      if (u_fixed)
+        parent[static_cast<std::size_t>(rv)] = ru;
+      else
+        parent[static_cast<std::size_t>(ru)] = rv;
+    }
+  }
+
+  // Compact representative ids.
+  out.node_map.assign(static_cast<std::size_t>(n), -1);
+  index_t next_id = 0;
+  for (index_t v = 0; v < n; ++v) {
+    const index_t r = find(v);
+    if (out.node_map[static_cast<std::size_t>(r)] == -1)
+      out.node_map[static_cast<std::size_t>(r)] = next_id++;
+    out.node_map[static_cast<std::size_t>(v)] =
+        out.node_map[static_cast<std::size_t>(r)];
+  }
+  out.merged_count = next_id;
+
+  Graph merged(next_id);
+  for (const auto& e : g.edges()) {
+    const index_t mu = out.node_map[static_cast<std::size_t>(e.u)];
+    const index_t mv = out.node_map[static_cast<std::size_t>(e.v)];
+    if (mu != mv) merged.add_edge(mu, mv, e.weight);
+  }
+  out.merged = merged.coalesce_parallel_edges();
+  return out;
+}
+
+}  // namespace er

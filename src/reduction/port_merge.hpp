@@ -1,0 +1,35 @@
+// Effective-resistance-based node merging (Alg. 1 step 4, from [8]):
+// nodes joined by an edge whose effective resistance is far below the
+// typical edge resistance are electrically indistinguishable and are
+// collapsed into one node. Only nodes the caller marks as mergeable are
+// touched (our modified Alg. 1 preserves every port).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/types.hpp"
+
+namespace er {
+
+struct MergeOptions {
+  /// Merge edge (u,v) when R(u,v) < threshold * mean edge R. 0 disables.
+  real_t relative_threshold = 0.0;
+};
+
+struct MergeResult {
+  /// node -> representative node id in the *merged* graph (compact ids).
+  std::vector<index_t> node_map;
+  index_t merged_count = 0;  // nodes in the merged graph
+  Graph merged;              // merged graph (parallel edges coalesced)
+};
+
+/// Merge nodes of g by edge effective resistance. `mergeable[v]` guards
+/// which nodes may be absorbed (both endpoints must be mergeable, except
+/// that a mergeable node may merge *into* a non-mergeable one).
+MergeResult merge_by_effective_resistance(const Graph& g,
+                                          const std::vector<real_t>& edge_er,
+                                          const std::vector<char>& mergeable,
+                                          const MergeOptions& opts);
+
+}  // namespace er

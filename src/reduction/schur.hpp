@@ -1,0 +1,31 @@
+// Schur-complement elimination (Alg. 1 step 2): remove a set of nodes from
+// an SPD conductance system exactly, so that the response seen at the kept
+// nodes is unchanged:
+//
+//   S = A_KK - A_KE * A_EE^{-1} * A_EK .
+//
+// A_EE is factored with the complete sparse Cholesky; one triangular solve
+// per kept column that touches the eliminated set.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csc.hpp"
+#include "util/types.hpp"
+
+namespace er {
+
+struct SchurResult {
+  CscMatrix matrix;               // |keep| x |keep| Schur complement
+  std::vector<index_t> keep;      // new index -> old index
+};
+
+/// Eliminate `elim` from the SPD matrix a; `keep` and `elim` must partition
+/// [0, n). Entries with magnitude below `drop_tol` (relative to the column
+/// diagonal) are dropped from S to keep it sparse-representable.
+SchurResult schur_complement(const CscMatrix& a,
+                             const std::vector<index_t>& keep,
+                             const std::vector<index_t>& elim,
+                             real_t drop_tol = 1e-13);
+
+}  // namespace er

@@ -1,0 +1,123 @@
+#include "reduction/sparsify.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace er {
+
+namespace {
+
+/// Disjoint-set forest with path compression.
+class UnionFind {
+ public:
+  explicit UnionFind(index_t n) : parent_(static_cast<std::size_t>(n)) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  index_t find(index_t x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      parent_[static_cast<std::size_t>(x)] =
+          parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
+      x = parent_[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+  bool unite(index_t a, index_t b) {
+    const index_t ra = find(a), rb = find(b);
+    if (ra == rb) return false;
+    parent_[static_cast<std::size_t>(ra)] = rb;
+    return true;
+  }
+
+ private:
+  std::vector<index_t> parent_;
+};
+
+}  // namespace
+
+std::vector<index_t> max_spanning_forest(const Graph& g,
+                                         const std::vector<real_t>& score) {
+  if (score.size() != g.num_edges())
+    throw std::invalid_argument("max_spanning_forest: score size mismatch");
+  std::vector<index_t> order(g.num_edges());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](index_t a, index_t b) {
+    return score[static_cast<std::size_t>(a)] >
+           score[static_cast<std::size_t>(b)];
+  });
+  UnionFind uf(g.num_nodes());
+  std::vector<index_t> forest;
+  forest.reserve(static_cast<std::size_t>(g.num_nodes()));
+  for (index_t eid : order) {
+    const Edge& e = g.edges()[static_cast<std::size_t>(eid)];
+    if (uf.unite(e.u, e.v)) forest.push_back(eid);
+  }
+  return forest;
+}
+
+Graph sparsify_by_effective_resistance(const Graph& g,
+                                       const std::vector<real_t>& edge_er,
+                                       const SparsifyOptions& opts) {
+  if (edge_er.size() != g.num_edges())
+    throw std::invalid_argument("sparsify: edge_er size mismatch");
+  const index_t n = g.num_nodes();
+  const std::size_t m = g.num_edges();
+  if (m == 0) return Graph(n);
+
+  // Leverage scores w_e * R_e (clamped to [0, 1] against numeric noise).
+  std::vector<real_t> leverage(m);
+  for (std::size_t e = 0; e < m; ++e) {
+    const real_t le = g.edges()[e].weight *
+                      std::max<real_t>(edge_er[e], real_t{0.0});
+    leverage[e] = std::min<real_t>(le, real_t{1.0});
+  }
+
+  const auto q = static_cast<std::size_t>(std::ceil(
+      opts.quality * static_cast<double>(n) *
+      std::log2(static_cast<double>(std::max<index_t>(n, 2)))));
+
+  // If we'd sample as many entries as the graph has edges, sparsification
+  // cannot help; return a copy.
+  if (q >= m && !opts.keep_spanning_tree) return g;
+
+  std::vector<real_t> acc_weight(m, 0.0);
+
+  // Spanning forest kept verbatim.
+  std::vector<char> in_forest(m, 0);
+  if (opts.keep_spanning_tree) {
+    for (index_t eid : max_spanning_forest(g, leverage))
+      in_forest[static_cast<std::size_t>(eid)] = 1;
+  }
+
+  // Sampling distribution over non-forest edges.
+  std::vector<double> probs(m, 0.0);
+  double total = 0.0;
+  for (std::size_t e = 0; e < m; ++e) {
+    if (in_forest[e]) continue;
+    probs[e] = std::max<real_t>(leverage[e], real_t{1e-12});
+    total += probs[e];
+  }
+
+  if (total > 0.0) {
+    AliasSampler sampler(probs);
+    Rng rng(opts.seed);
+    const double qd = static_cast<double>(q);
+    for (std::size_t s = 0; s < q; ++s) {
+      const auto e = static_cast<std::size_t>(sampler.sample(rng));
+      const double pe = probs[e] / total;
+      acc_weight[e] += g.edges()[e].weight / (qd * pe);
+    }
+  }
+
+  Graph out(n);
+  for (std::size_t e = 0; e < m; ++e) {
+    const Edge& ed = g.edges()[e];
+    real_t w = acc_weight[e];
+    if (in_forest[e]) w += ed.weight;  // forest edges keep original weight
+    if (w > 0.0) out.add_edge(ed.u, ed.v, w);
+  }
+  return out.coalesce_parallel_edges();
+}
+
+}  // namespace er

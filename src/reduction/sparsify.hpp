@@ -1,0 +1,37 @@
+// Spectral sparsification by effective-resistance sampling
+// (Spielman–Srivastava [4], as used by the PG reduction framework [8]).
+//
+// Each edge e is sampled with probability proportional to w_e * R_e (its
+// leverage score); a sampled edge enters the sparsifier with weight
+// w_e / (q * p_e). A maximum-leverage spanning forest is always kept so the
+// sparsifier never disconnects the network (practical guard also used by
+// spectral-sparsification codes such as feGRASS [6]).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace er {
+
+struct SparsifyOptions {
+  /// Number of samples q = ceil(quality * n * log2(n)).
+  real_t quality = 1.0;
+  /// Always keep a spanning forest (recommended for PG reduction).
+  bool keep_spanning_tree = true;
+  std::uint64_t seed = 99;
+};
+
+/// Sparsify g given per-edge effective resistances (same order as
+/// g.edges()). Returns a graph on the same node set.
+Graph sparsify_by_effective_resistance(const Graph& g,
+                                       const std::vector<real_t>& edge_er,
+                                       const SparsifyOptions& opts = {});
+
+/// Maximum-weight spanning forest edge ids (by the given edge score).
+std::vector<index_t> max_spanning_forest(const Graph& g,
+                                         const std::vector<real_t>& score);
+
+}  // namespace er

@@ -1,0 +1,76 @@
+#include "solver/pcg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sparse/dense.hpp"
+
+namespace er {
+
+Preconditioner identity_preconditioner() {
+  return [](const std::vector<real_t>& r, std::vector<real_t>& z) { z = r; };
+}
+
+Preconditioner jacobi_preconditioner(const CscMatrix& a) {
+  std::vector<real_t> inv_diag = a.diagonal();
+  for (real_t& d : inv_diag) {
+    if (d <= 0.0)
+      throw std::invalid_argument("jacobi_preconditioner: non-positive diagonal");
+    d = 1.0 / d;
+  }
+  return [inv_diag = std::move(inv_diag)](const std::vector<real_t>& r,
+                                          std::vector<real_t>& z) {
+    z.resize(r.size());
+    for (std::size_t i = 0; i < r.size(); ++i) z[i] = inv_diag[i] * r[i];
+  };
+}
+
+Preconditioner ichol_preconditioner(const CholFactor& factor) {
+  return [&factor](const std::vector<real_t>& r, std::vector<real_t>& z) {
+    z = factor.solve(r);
+  };
+}
+
+PcgResult pcg_solve(const CscMatrix& a, const std::vector<real_t>& b,
+                    const Preconditioner& precond, const PcgOptions& opts) {
+  const auto n = static_cast<std::size_t>(a.rows());
+  if (b.size() != n) throw std::invalid_argument("pcg_solve: size mismatch");
+
+  PcgResult res;
+  res.x.assign(n, 0.0);
+
+  std::vector<real_t> r = b;  // r = b - A*0
+  const real_t bnorm = norm2(b);
+  if (bnorm == 0.0) {
+    res.converged = true;
+    return res;
+  }
+
+  std::vector<real_t> z(n), p(n), ap(n);
+  precond(r, z);
+  p = z;
+  real_t rz = dot(r, z);
+
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    a.multiply(p, ap);
+    const real_t pap = dot(p, ap);
+    if (pap <= 0.0) break;  // not SPD / numeric trouble
+    const real_t alpha = rz / pap;
+    axpy(alpha, p, res.x);
+    axpy(-alpha, ap, r);
+    res.iterations = it + 1;
+    res.relative_residual = norm2(r) / bnorm;
+    if (res.relative_residual <= opts.rel_tolerance) {
+      res.converged = true;
+      return res;
+    }
+    precond(r, z);
+    const real_t rz_new = dot(r, z);
+    const real_t beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  return res;
+}
+
+}  // namespace er

@@ -1,0 +1,47 @@
+// Preconditioned conjugate gradient for SPD systems.
+//
+// The random-projection baseline [1] resolves O(log n) Laplacian systems;
+// in the authors' setup this is the CMG solver, here it is PCG with an
+// incomplete-Cholesky preconditioner (see DESIGN.md §2 substitutions).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "chol/factor.hpp"
+#include "sparse/csc.hpp"
+#include "util/types.hpp"
+
+namespace er {
+
+struct PcgOptions {
+  real_t rel_tolerance = 1e-10;  // on ||r|| / ||b||
+  int max_iterations = 2000;
+};
+
+struct PcgResult {
+  std::vector<real_t> x;
+  int iterations = 0;
+  real_t relative_residual = 0.0;
+  bool converged = false;
+};
+
+/// Generic preconditioner application: z = M^{-1} r.
+using Preconditioner =
+    std::function<void(const std::vector<real_t>&, std::vector<real_t>&)>;
+
+/// Identity preconditioner (plain CG).
+Preconditioner identity_preconditioner();
+
+/// Jacobi (diagonal) preconditioner for A.
+Preconditioner jacobi_preconditioner(const CscMatrix& a);
+
+/// Incomplete-Cholesky preconditioner wrapping an existing factor
+/// (applies the factor's permutation internally).
+Preconditioner ichol_preconditioner(const CholFactor& factor);
+
+/// Solve A x = b with PCG.
+PcgResult pcg_solve(const CscMatrix& a, const std::vector<real_t>& b,
+                    const Preconditioner& precond, const PcgOptions& opts = {});
+
+}  // namespace er

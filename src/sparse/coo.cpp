@@ -1,0 +1,25 @@
+#include "sparse/coo.hpp"
+
+#include <stdexcept>
+
+namespace er {
+
+void TripletMatrix::add(index_t row, index_t col, real_t value) {
+  if (row < 0 || row >= rows_ || col < 0 || col >= cols_)
+    throw std::out_of_range("TripletMatrix::add: index out of range");
+  entries_.push_back({row, col, value});
+}
+
+void TripletMatrix::add_symmetric(index_t r, index_t c, real_t value) {
+  add(r, c, value);
+  if (r != c) add(c, r, value);
+}
+
+void TripletMatrix::stamp_conductance(index_t a, index_t b, real_t g) {
+  add(a, a, g);
+  add(b, b, g);
+  add(a, b, -g);
+  add(b, a, -g);
+}
+
+}  // namespace er

@@ -1,0 +1,50 @@
+// Triplet (COO) builder for sparse matrices.
+//
+// The usual assembly path is: stamp entries into a TripletMatrix (duplicates
+// allowed; they sum), then compress to CSC with CscMatrix::from_triplets.
+#pragma once
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace er {
+
+/// A single (row, col, value) entry.
+struct Triplet {
+  index_t row = 0;
+  index_t col = 0;
+  real_t value = 0.0;
+};
+
+/// Unordered triplet collection. Duplicate (row, col) entries are summed on
+/// compression, which makes finite-element/MNA-style stamping trivial.
+class TripletMatrix {
+ public:
+  TripletMatrix() = default;
+  TripletMatrix(index_t rows, index_t cols) : rows_(rows), cols_(cols) {}
+
+  void reserve(std::size_t nnz) { entries_.reserve(nnz); }
+
+  /// Add a single entry; (row, col) must lie inside the declared shape.
+  void add(index_t row, index_t col, real_t value);
+
+  /// Add value at (r, c) and (c, r). Convenience for symmetric stamping.
+  void add_symmetric(index_t r, index_t c, real_t value);
+
+  /// Stamp a 2x2 conductance block: +g on diagonals, -g off-diagonal.
+  /// This is the standard MNA stamp for a resistor/edge between a and b.
+  void stamp_conductance(index_t a, index_t b, real_t g);
+
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t nnz() const { return entries_.size(); }
+  [[nodiscard]] const std::vector<Triplet>& entries() const { return entries_; }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<Triplet> entries_;
+};
+
+}  // namespace er

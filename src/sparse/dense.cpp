@@ -1,0 +1,225 @@
+#include "sparse/dense.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace er {
+
+std::vector<real_t> DenseMatrix::multiply(const std::vector<real_t>& x) const {
+  if (x.size() != static_cast<std::size_t>(cols_))
+    throw std::invalid_argument("DenseMatrix::multiply: size mismatch");
+  std::vector<real_t> y(static_cast<std::size_t>(rows_), 0.0);
+  for (index_t c = 0; c < cols_; ++c) {
+    const real_t xc = x[static_cast<std::size_t>(c)];
+    if (xc == 0.0) continue;
+    for (index_t r = 0; r < rows_; ++r)
+      y[static_cast<std::size_t>(r)] += (*this)(r, c) * xc;
+  }
+  return y;
+}
+
+DenseMatrix DenseMatrix::multiply(const DenseMatrix& other) const {
+  if (cols_ != other.rows_)
+    throw std::invalid_argument("DenseMatrix::multiply: shape mismatch");
+  DenseMatrix out(rows_, other.cols_);
+  for (index_t j = 0; j < other.cols_; ++j)
+    for (index_t k = 0; k < cols_; ++k) {
+      const real_t b = other(k, j);
+      if (b == 0.0) continue;
+      for (index_t i = 0; i < rows_; ++i) out(i, j) += (*this)(i, k) * b;
+    }
+  return out;
+}
+
+DenseMatrix DenseMatrix::transpose() const {
+  DenseMatrix out(cols_, rows_);
+  for (index_t c = 0; c < cols_; ++c)
+    for (index_t r = 0; r < rows_; ++r) out(c, r) = (*this)(r, c);
+  return out;
+}
+
+bool DenseMatrix::cholesky_in_place() {
+  if (rows_ != cols_) return false;
+  const index_t n = rows_;
+  for (index_t j = 0; j < n; ++j) {
+    real_t d = (*this)(j, j);
+    for (index_t k = 0; k < j; ++k) d -= (*this)(j, k) * (*this)(j, k);
+    if (d <= 0.0) return false;
+    const real_t ljj = std::sqrt(d);
+    (*this)(j, j) = ljj;
+    for (index_t i = j + 1; i < n; ++i) {
+      real_t s = (*this)(i, j);
+      for (index_t k = 0; k < j; ++k) s -= (*this)(i, k) * (*this)(j, k);
+      (*this)(i, j) = s / ljj;
+    }
+    for (index_t i = 0; i < j; ++i) (*this)(i, j) = 0.0;  // zero upper
+  }
+  return true;
+}
+
+void DenseMatrix::cholesky_solve(std::vector<real_t>& b) const {
+  const index_t n = rows_;
+  if (b.size() != static_cast<std::size_t>(n))
+    throw std::invalid_argument("cholesky_solve: size mismatch");
+  // Forward solve L y = b.
+  for (index_t j = 0; j < n; ++j) {
+    b[static_cast<std::size_t>(j)] /= (*this)(j, j);
+    const real_t yj = b[static_cast<std::size_t>(j)];
+    for (index_t i = j + 1; i < n; ++i)
+      b[static_cast<std::size_t>(i)] -= (*this)(i, j) * yj;
+  }
+  // Backward solve L^T x = y.
+  for (index_t j = n; j-- > 0;) {
+    real_t s = b[static_cast<std::size_t>(j)];
+    for (index_t i = j + 1; i < n; ++i)
+      s -= (*this)(i, j) * b[static_cast<std::size_t>(i)];
+    b[static_cast<std::size_t>(j)] = s / (*this)(j, j);
+  }
+}
+
+DenseMatrix DenseMatrix::spd_inverse() const {
+  DenseMatrix f = *this;
+  if (!f.cholesky_in_place())
+    throw std::runtime_error("spd_inverse: matrix is not SPD");
+  DenseMatrix inv(rows_, rows_);
+  std::vector<real_t> e(static_cast<std::size_t>(rows_), 0.0);
+  for (index_t c = 0; c < rows_; ++c) {
+    std::fill(e.begin(), e.end(), 0.0);
+    e[static_cast<std::size_t>(c)] = 1.0;
+    f.cholesky_solve(e);
+    for (index_t r = 0; r < rows_; ++r) inv(r, c) = e[static_cast<std::size_t>(r)];
+  }
+  return inv;
+}
+
+bool DenseMatrix::solve_general(DenseMatrix a, std::vector<real_t>& b) {
+  const index_t n = a.rows();
+  if (a.cols() != n || b.size() != static_cast<std::size_t>(n)) return false;
+  std::vector<index_t> piv(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) piv[static_cast<std::size_t>(i)] = i;
+
+  for (index_t k = 0; k < n; ++k) {
+    // Partial pivot.
+    index_t p = k;
+    real_t best = std::abs(a(k, k));
+    for (index_t i = k + 1; i < n; ++i) {
+      const real_t v = std::abs(a(i, k));
+      if (v > best) {
+        best = v;
+        p = i;
+      }
+    }
+    if (best < 1e-300) return false;
+    if (p != k) {
+      for (index_t c = 0; c < n; ++c) std::swap(a(k, c), a(p, c));
+      std::swap(b[static_cast<std::size_t>(k)], b[static_cast<std::size_t>(p)]);
+    }
+    const real_t pivot = a(k, k);
+    for (index_t i = k + 1; i < n; ++i) {
+      const real_t f = a(i, k) / pivot;
+      if (f == 0.0) continue;
+      for (index_t c = k; c < n; ++c) a(i, c) -= f * a(k, c);
+      b[static_cast<std::size_t>(i)] -= f * b[static_cast<std::size_t>(k)];
+    }
+  }
+  for (index_t k = n; k-- > 0;) {
+    real_t s = b[static_cast<std::size_t>(k)];
+    for (index_t c = k + 1; c < n; ++c)
+      s -= a(k, c) * b[static_cast<std::size_t>(c)];
+    b[static_cast<std::size_t>(k)] = s / a(k, k);
+  }
+  return true;
+}
+
+DenseMatrix DenseMatrix::symmetric_pseudo_inverse(real_t tol) const {
+  if (rows_ != cols_)
+    throw std::invalid_argument("symmetric_pseudo_inverse: not square");
+  const index_t n = rows_;
+  // Cyclic Jacobi eigenvalue iteration: A = V diag(w) V^T.
+  DenseMatrix a = *this;
+  DenseMatrix v(n, n);
+  for (index_t i = 0; i < n; ++i) v(i, i) = 1.0;
+
+  const int max_sweeps = 100;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    real_t off = 0.0;
+    for (index_t p = 0; p < n; ++p)
+      for (index_t q = p + 1; q < n; ++q) off += a(p, q) * a(p, q);
+    if (off < 1e-24) break;
+    for (index_t p = 0; p < n; ++p) {
+      for (index_t q = p + 1; q < n; ++q) {
+        const real_t apq = a(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const real_t theta = (a(q, q) - a(p, p)) / (2.0 * apq);
+        const real_t t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const real_t c = 1.0 / std::sqrt(t * t + 1.0);
+        const real_t s = t * c;
+        for (index_t i = 0; i < n; ++i) {
+          const real_t aip = a(i, p), aiq = a(i, q);
+          a(i, p) = c * aip - s * aiq;
+          a(i, q) = s * aip + c * aiq;
+        }
+        for (index_t i = 0; i < n; ++i) {
+          const real_t api = a(p, i), aqi = a(q, i);
+          a(p, i) = c * api - s * aqi;
+          a(q, i) = s * api + c * aqi;
+        }
+        for (index_t i = 0; i < n; ++i) {
+          const real_t vip = v(i, p), viq = v(i, q);
+          v(i, p) = c * vip - s * viq;
+          v(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  // Scale for rank decisions relative to the largest eigenvalue.
+  real_t max_eig = 0.0;
+  for (index_t i = 0; i < n; ++i) max_eig = std::max(max_eig, std::abs(a(i, i)));
+  const real_t cut = tol * std::max(max_eig, real_t{1.0});
+
+  DenseMatrix pinv(n, n);
+  for (index_t k = 0; k < n; ++k) {
+    const real_t w = a(k, k);
+    if (std::abs(w) <= cut) continue;
+    const real_t wi = 1.0 / w;
+    for (index_t i = 0; i < n; ++i) {
+      const real_t vik = v(i, k) * wi;
+      if (vik == 0.0) continue;
+      for (index_t j = 0; j < n; ++j) pinv(i, j) += vik * v(j, k);
+    }
+  }
+  return pinv;
+}
+
+real_t dot(const std::vector<real_t>& a, const std::vector<real_t>& b) {
+  real_t acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+real_t norm2(const std::vector<real_t>& a) { return std::sqrt(dot(a, a)); }
+
+real_t norm1(const std::vector<real_t>& a) {
+  real_t acc = 0.0;
+  for (real_t v : a) acc += std::abs(v);
+  return acc;
+}
+
+real_t norm_inf(const std::vector<real_t>& a) {
+  real_t acc = 0.0;
+  for (real_t v : a) acc = std::max(acc, std::abs(v));
+  return acc;
+}
+
+void axpy(real_t alpha, const std::vector<real_t>& x, std::vector<real_t>& y) {
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(real_t alpha, std::vector<real_t>& x) {
+  for (real_t& v : x) v *= alpha;
+}
+
+}  // namespace er

@@ -1,0 +1,75 @@
+// Dense reference kernels.
+//
+// These are deliberately simple O(n^3)/O(n^2) routines used to cross-check
+// the sparse implementations in tests and to handle tiny dense blocks inside
+// the reduction pipeline. They are not performance-critical.
+#pragma once
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace er {
+
+/// Column-major dense matrix with minimal linear-algebra support.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(index_t rows, index_t cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), 0.0) {}
+  DenseMatrix(index_t rows, index_t cols, std::vector<real_t> colmajor)
+      : rows_(rows), cols_(cols), data_(std::move(colmajor)) {}
+
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+
+  real_t& operator()(index_t r, index_t c) {
+    return data_[static_cast<std::size_t>(c) * rows_ + r];
+  }
+  real_t operator()(index_t r, index_t c) const {
+    return data_[static_cast<std::size_t>(c) * rows_ + r];
+  }
+
+  [[nodiscard]] const std::vector<real_t>& data() const { return data_; }
+  std::vector<real_t>& data() { return data_; }
+
+  [[nodiscard]] std::vector<real_t> multiply(const std::vector<real_t>& x) const;
+  [[nodiscard]] DenseMatrix multiply(const DenseMatrix& other) const;
+  [[nodiscard]] DenseMatrix transpose() const;
+
+  /// In-place Cholesky A = L L^T; returns false if a pivot is <= 0.
+  /// On success the lower triangle holds L (upper is zeroed).
+  bool cholesky_in_place();
+
+  /// Solve L y = b then L^T x = y using the factor stored by
+  /// cholesky_in_place(). b is overwritten with the solution.
+  void cholesky_solve(std::vector<real_t>& b) const;
+
+  /// Dense symmetric inverse via Cholesky; throws if not SPD.
+  [[nodiscard]] DenseMatrix spd_inverse() const;
+
+  /// Gaussian elimination solve with partial pivoting (general square A).
+  /// Returns false if the matrix is numerically singular.
+  static bool solve_general(DenseMatrix a, std::vector<real_t>& b);
+
+  /// Moore-Penrose pseudo-inverse of a symmetric matrix via Jacobi
+  /// eigenvalue decomposition; eigenvalues below tol are treated as zero.
+  /// Used to test effective resistances against the textbook definition.
+  [[nodiscard]] DenseMatrix symmetric_pseudo_inverse(real_t tol = 1e-10) const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<real_t> data_;
+};
+
+/// Dense vector helpers shared by solvers and tests.
+real_t dot(const std::vector<real_t>& a, const std::vector<real_t>& b);
+real_t norm2(const std::vector<real_t>& a);
+real_t norm1(const std::vector<real_t>& a);
+real_t norm_inf(const std::vector<real_t>& a);
+void axpy(real_t alpha, const std::vector<real_t>& x, std::vector<real_t>& y);
+void scale(real_t alpha, std::vector<real_t>& x);
+
+}  // namespace er

@@ -1,0 +1,24 @@
+// Matrix Market (.mtx) reader/writer for sparse matrices.
+//
+// Supports the coordinate format with real values, "general" and
+// "symmetric" symmetry groups — enough to load the UF/SuiteSparse
+// collection matrices the paper's Table I draws from, when available.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csc.hpp"
+
+namespace er {
+
+/// Parse a Matrix Market stream. Symmetric files are expanded to full
+/// storage. Throws std::runtime_error on malformed input.
+CscMatrix read_matrix_market(std::istream& in);
+CscMatrix read_matrix_market_file(const std::string& path);
+
+/// Write in coordinate/real/general format (1-based indices, as per spec).
+void write_matrix_market(const CscMatrix& a, std::ostream& out);
+void write_matrix_market_file(const CscMatrix& a, const std::string& path);
+
+}  // namespace er

@@ -1,0 +1,109 @@
+#include "sparse/sparse_vector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace er {
+
+real_t SparseVector::norm1() const {
+  real_t acc = 0.0;
+  for (real_t v : val) acc += std::abs(v);
+  return acc;
+}
+
+real_t SparseVector::norm2_squared() const {
+  real_t acc = 0.0;
+  for (real_t v : val) acc += v * v;
+  return acc;
+}
+
+real_t SparseVector::at(index_t i) const {
+  const auto it = std::lower_bound(idx.begin(), idx.end(), i);
+  if (it == idx.end() || *it != i) return 0.0;
+  return val[static_cast<std::size_t>(it - idx.begin())];
+}
+
+std::vector<real_t> SparseVector::to_dense(index_t n) const {
+  std::vector<real_t> d(static_cast<std::size_t>(n), 0.0);
+  for (std::size_t k = 0; k < idx.size(); ++k)
+    d[static_cast<std::size_t>(idx[k])] = val[k];
+  return d;
+}
+
+real_t distance_squared(const SparseVector& a, const SparseVector& b) {
+  real_t acc = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < a.idx.size() && j < b.idx.size()) {
+    if (a.idx[i] < b.idx[j]) {
+      acc += a.val[i] * a.val[i];
+      ++i;
+    } else if (b.idx[j] < a.idx[i]) {
+      acc += b.val[j] * b.val[j];
+      ++j;
+    } else {
+      const real_t d = a.val[i] - b.val[j];
+      acc += d * d;
+      ++i;
+      ++j;
+    }
+  }
+  for (; i < a.idx.size(); ++i) acc += a.val[i] * a.val[i];
+  for (; j < b.idx.size(); ++j) acc += b.val[j] * b.val[j];
+  return acc;
+}
+
+real_t distance_1norm(const SparseVector& a, const SparseVector& b) {
+  real_t acc = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < a.idx.size() && j < b.idx.size()) {
+    if (a.idx[i] < b.idx[j]) {
+      acc += std::abs(a.val[i]);
+      ++i;
+    } else if (b.idx[j] < a.idx[i]) {
+      acc += std::abs(b.val[j]);
+      ++j;
+    } else {
+      acc += std::abs(a.val[i] - b.val[j]);
+      ++i;
+      ++j;
+    }
+  }
+  for (; i < a.idx.size(); ++i) acc += std::abs(a.val[i]);
+  for (; j < b.idx.size(); ++j) acc += std::abs(b.val[j]);
+  return acc;
+}
+
+SparseVector add_scaled(const SparseVector& a, real_t alpha,
+                        const SparseVector& b) {
+  SparseVector c;
+  c.idx.reserve(a.nnz() + b.nnz());
+  c.val.reserve(a.nnz() + b.nnz());
+  std::size_t i = 0, j = 0;
+  while (i < a.idx.size() && j < b.idx.size()) {
+    if (a.idx[i] < b.idx[j]) {
+      c.idx.push_back(a.idx[i]);
+      c.val.push_back(a.val[i]);
+      ++i;
+    } else if (b.idx[j] < a.idx[i]) {
+      c.idx.push_back(b.idx[j]);
+      c.val.push_back(alpha * b.val[j]);
+      ++j;
+    } else {
+      c.idx.push_back(a.idx[i]);
+      c.val.push_back(a.val[i] + alpha * b.val[j]);
+      ++i;
+      ++j;
+    }
+  }
+  for (; i < a.idx.size(); ++i) {
+    c.idx.push_back(a.idx[i]);
+    c.val.push_back(a.val[i]);
+  }
+  for (; j < b.idx.size(); ++j) {
+    c.idx.push_back(b.idx[j]);
+    c.val.push_back(alpha * b.val[j]);
+  }
+  return c;
+}
+
+}  // namespace er

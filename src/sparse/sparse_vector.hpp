@@ -1,0 +1,42 @@
+// Sorted sparse vector — the storage unit for columns of the approximate
+// inverse Z̃ and for all effective-resistance query arithmetic.
+#pragma once
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace er {
+
+/// Immutable-ish sparse vector with entries sorted by index.
+struct SparseVector {
+  std::vector<index_t> idx;   // strictly increasing
+  std::vector<real_t> val;    // parallel to idx
+
+  [[nodiscard]] std::size_t nnz() const { return idx.size(); }
+
+  /// Sum of |v| over entries.
+  [[nodiscard]] real_t norm1() const;
+
+  /// Euclidean norm squared.
+  [[nodiscard]] real_t norm2_squared() const;
+
+  /// O(log nnz) lookup, 0 when absent.
+  [[nodiscard]] real_t at(index_t i) const;
+
+  /// Scatter into a dense vector of the given length.
+  [[nodiscard]] std::vector<real_t> to_dense(index_t n) const;
+};
+
+/// ||a - b||_2^2 via a merge over the sorted index sets.
+/// This is the per-query kernel of Alg. 3: R(p,q) ≈ ||z̃_p - z̃_q||².
+real_t distance_squared(const SparseVector& a, const SparseVector& b);
+
+/// ||a - b||_1 via merge.
+real_t distance_1norm(const SparseVector& a, const SparseVector& b);
+
+/// c = a + alpha * b.
+SparseVector add_scaled(const SparseVector& a, real_t alpha,
+                        const SparseVector& b);
+
+}  // namespace er

@@ -1,0 +1,69 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace er {
+
+void AliasSampler::build(const std::vector<double>& weights) {
+  const std::size_t n = weights.size();
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  if (n == 0) return;
+
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("AliasSampler: negative weight");
+    total += w;
+  }
+  if (total <= 0.0)
+    throw std::invalid_argument("AliasSampler: all weights are zero");
+
+  // Scaled probabilities; classic two-worklist (small/large) construction.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) scaled[i] = weights[i] * n / total;
+
+  std::vector<index_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (scaled[i] < 1.0)
+      small.push_back(static_cast<index_t>(i));
+    else
+      large.push_back(static_cast<index_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const index_t s = small.back();
+    small.pop_back();
+    const index_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0)
+      small.push_back(l);
+    else
+      large.push_back(l);
+  }
+  // Remaining entries have probability 1 (up to roundoff).
+  for (index_t l : large) {
+    prob_[l] = 1.0;
+    alias_[l] = l;
+  }
+  for (index_t s : small) {
+    prob_[s] = 1.0;
+    alias_[s] = s;
+  }
+}
+
+index_t AliasSampler::sample(Rng& rng) const {
+  assert(!prob_.empty());
+  const auto i =
+      static_cast<index_t>(rng.uniform_index(static_cast<std::uint64_t>(prob_.size())));
+  return rng.uniform() < prob_[static_cast<std::size_t>(i)]
+             ? i
+             : alias_[static_cast<std::size_t>(i)];
+}
+
+}  // namespace er

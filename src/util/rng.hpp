@@ -1,0 +1,129 @@
+// Small deterministic PRNG utilities (SplitMix64 seeding + xoshiro256**).
+//
+// Benchmarks and tests must be reproducible across runs and platforms, so we
+// avoid std::mt19937's unspecified distribution implementations and provide
+// explicit uniform/normal/discrete sampling on top of a fixed-bit generator.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace er {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — fast, high-quality 64-bit generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x8a5cd789635d2dffULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) s = splitmix64(sm);
+    has_gauss_ = false;
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_index(std::uint64_t n) {
+    // Lemire's multiply-shift rejection method for unbiased bounded ints.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0ULL - n) % n;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  index_t uniform_int(index_t n) {
+    return static_cast<index_t>(uniform_index(static_cast<std::uint64_t>(n)));
+  }
+
+  /// Standard normal via Marsaglia polar method (cached pair).
+  double gaussian() {
+    if (has_gauss_) {
+      has_gauss_ = false;
+      return cached_gauss_;
+    }
+    double u, v, s;
+    do {
+      u = 2.0 * uniform() - 1.0;
+      v = 2.0 * uniform() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double f = std::sqrt(-2.0 * std::log(s) / s);
+    cached_gauss_ = v * f;
+    has_gauss_ = true;
+    return u * f;
+  }
+
+  /// Rademacher ±1 with equal probability.
+  double sign() { return (next_u64() & 1ULL) ? 1.0 : -1.0; }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  bool has_gauss_ = false;
+  double cached_gauss_ = 0.0;
+};
+
+/// Alias-method sampler for repeated draws from a fixed discrete
+/// distribution (used by effective-resistance edge sampling, RMAT, etc.).
+/// Construction is O(n); each draw is O(1).
+class AliasSampler {
+ public:
+  AliasSampler() = default;
+  explicit AliasSampler(const std::vector<double>& weights) { build(weights); }
+
+  void build(const std::vector<double>& weights);
+
+  /// Draw an index in [0, size()) with probability proportional to weight.
+  index_t sample(Rng& rng) const;
+
+  [[nodiscard]] std::size_t size() const { return prob_.size(); }
+  [[nodiscard]] bool empty() const { return prob_.empty(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<index_t> alias_;
+};
+
+}  // namespace er

@@ -1,0 +1,106 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <stdexcept>
+
+namespace er {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::print() const { print(std::cout); }
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      for (std::size_t pad = row[c].size(); pad < width[c] + 2; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+
+  print_row(header_);
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+  os.flush();
+}
+
+void TablePrinter::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("TablePrinter: cannot open " + path);
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ',';
+      out << row[c];
+    }
+    out << '\n';
+  };
+  write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+std::string TablePrinter::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::fmt_sci(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*E", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::fmt_int(long long v) { return std::to_string(v); }
+
+std::string TablePrinter::fmt_size(long long v) {
+  if (v == 0) return "0";
+  const double d = static_cast<double>(v);
+  const int ex = static_cast<int>(std::floor(std::log10(std::abs(d))));
+  const double mant = d / std::pow(10.0, ex);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1fE%d", mant, ex);
+  return buf;
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     std::initializer_list<std::string> cols)
+    : out_(path), cols_(cols.size()) {
+  if (!out_) return;
+  bool first = true;
+  for (const auto& c : cols) {
+    if (!first) out_ << ',';
+    out_ << c;
+    first = false;
+  }
+  out_ << '\n';
+}
+
+CsvWriter::~CsvWriter() = default;
+
+void CsvWriter::add_row(const std::vector<double>& values) {
+  if (!out_) return;
+  for (std::size_t c = 0; c < values.size(); ++c) {
+    if (c) out_ << ',';
+    out_ << values[c];
+  }
+  out_ << '\n';
+}
+
+}  // namespace er

@@ -1,0 +1,59 @@
+// Plain-text table and CSV writers for the benchmark harnesses.
+//
+// Each bench binary prints rows in the same layout as the paper's tables;
+// TablePrinter handles column alignment, CsvWriter mirrors rows to a file so
+// plots (e.g. Fig. 1 waveforms) can be regenerated.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace er {
+
+/// Collects string rows and prints an aligned fixed-width table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Render to stdout.
+  void print() const;
+
+  /// Render to an arbitrary stream.
+  void print(std::ostream& os) const;
+
+  /// Write rows (incl. header) as CSV.
+  void write_csv(const std::string& path) const;
+
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt_sci(double v, int precision = 1);
+  static std::string fmt_int(long long v);
+  /// Scientific-style "1.3E5" shorthand used in the paper's size columns.
+  static std::string fmt_size(long long v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Minimal CSV writer for waveform/series output.
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, std::initializer_list<std::string> cols);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void add_row(const std::vector<double>& values);
+  [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
+
+ private:
+  std::ofstream out_;
+  std::size_t cols_ = 0;
+};
+
+}  // namespace er

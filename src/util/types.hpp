@@ -1,0 +1,19 @@
+// Fundamental scalar and index types shared by every module.
+#pragma once
+
+#include <cstdint>
+
+namespace er {
+
+/// Row/column index type. 32-bit indices cover every laptop-scale instance
+/// this library targets while halving index-array memory traffic.
+using index_t = std::int32_t;
+
+/// Offset type for column/row pointer arrays; 64-bit so that nnz counts can
+/// exceed 2^31 without overflowing pointer arithmetic.
+using offset_t = std::int64_t;
+
+/// Floating-point scalar used throughout.
+using real_t = double;
+
+}  // namespace er

@@ -1,0 +1,282 @@
+// Tests for approxinv: depth (Eq. 11) vs brute force, Lemma 1
+// (nonnegativity of Z), exactness at epsilon=0, Theorem 1 error bound,
+// truncation semantics, log-n floor.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "approxinv/approx_inverse.hpp"
+#include "approxinv/depth.hpp"
+#include "chol/cholesky.hpp"
+#include "chol/ichol.hpp"
+#include "graph/generators.hpp"
+#include "graph/laplacian.hpp"
+#include "sparse/dense.hpp"
+
+namespace er {
+namespace {
+
+/// Brute-force depth per Eq. (11) computed from the factor's dense pattern.
+std::vector<index_t> depth_reference(const CholFactor& f) {
+  const index_t n = f.n;
+  const auto l = f.to_csc().to_dense();
+  std::vector<index_t> depth(static_cast<std::size_t>(n), -1);
+  // Recurrence evaluated by repeated passes (small n only).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (index_t p = n; p-- > 0;) {
+      index_t d = 0;
+      bool has_offdiag = false, ready = true;
+      for (index_t i = p + 1; i < n; ++i) {
+        if (l[static_cast<std::size_t>(p) * n + i] != 0.0) {
+          has_offdiag = true;
+          if (depth[static_cast<std::size_t>(i)] < 0) {
+            ready = false;
+            break;
+          }
+          d = std::max(d, static_cast<index_t>(
+                              depth[static_cast<std::size_t>(i)] + 1));
+        }
+      }
+      if (!ready) continue;
+      const index_t want = has_offdiag ? d : 0;
+      if (depth[static_cast<std::size_t>(p)] != want) {
+        depth[static_cast<std::size_t>(p)] = want;
+        changed = true;
+      }
+    }
+  }
+  return depth;
+}
+
+/// Dense inverse of the factor's L (reference Z).
+DenseMatrix inverse_of_factor(const CholFactor& f) {
+  const index_t n = f.n;
+  const auto l = f.to_csc().to_dense();
+  DenseMatrix inv(n, n);
+  // Forward solves against unit vectors.
+  for (index_t c = 0; c < n; ++c) {
+    std::vector<real_t> x(static_cast<std::size_t>(n), 0.0);
+    x[static_cast<std::size_t>(c)] = 1.0;
+    for (index_t j = 0; j < n; ++j) {
+      const real_t xj = x[static_cast<std::size_t>(j)] /
+                        l[static_cast<std::size_t>(j) * n + j];
+      x[static_cast<std::size_t>(j)] = xj;
+      if (xj == 0.0) continue;
+      for (index_t i = j + 1; i < n; ++i)
+        x[static_cast<std::size_t>(i)] -=
+            l[static_cast<std::size_t>(j) * n + i] * xj;
+    }
+    for (index_t r = 0; r < n; ++r) inv(r, c) = x[static_cast<std::size_t>(r)];
+  }
+  return inv;
+}
+
+TEST(Depth, MatchesBruteForceOnSmallGraphs) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const Graph g = erdos_renyi(30, 70, WeightKind::kUniform, seed);
+    const CscMatrix lg = grounded_laplacian(g);
+    const CholFactor f = cholesky(lg, Ordering::kMinDeg);
+    const auto fast = filled_graph_depths(f);
+    const auto ref = depth_reference(f);
+    for (index_t v = 0; v < f.n; ++v)
+      EXPECT_EQ(fast[static_cast<std::size_t>(v)],
+                ref[static_cast<std::size_t>(v)])
+          << "node " << v << " seed " << seed;
+  }
+}
+
+TEST(Depth, PathGraphNaturalOrderIsLinear) {
+  // Tridiagonal L: depth(p) = n-1-p.
+  const Graph g = grid_2d(8, 1);
+  const CscMatrix lg = grounded_laplacian(g);
+  const CholFactor f = cholesky(lg, identity_permutation(lg.cols()));
+  const auto d = filled_graph_depths(f);
+  for (index_t p = 0; p < 8; ++p)
+    EXPECT_EQ(d[static_cast<std::size_t>(p)], 7 - p);
+  EXPECT_EQ(max_filled_graph_depth(f), 7);
+}
+
+TEST(Depth, LastColumnIsZero) {
+  const Graph g = barabasi_albert(60, 2, WeightKind::kUniform, 5);
+  const CscMatrix lg = grounded_laplacian(g);
+  const CholFactor f = cholesky(lg, Ordering::kMinDeg);
+  const auto d = filled_graph_depths(f);
+  EXPECT_EQ(d.back(), 0);
+}
+
+TEST(ApproxInverse, ExactWhenEpsilonZero) {
+  const Graph g = erdos_renyi(40, 90, WeightKind::kUniform, 6);
+  const CscMatrix lg = grounded_laplacian(g);
+  const CholFactor f = cholesky(lg, Ordering::kMinDeg);
+  ApproxInverseOptions opts;
+  opts.epsilon = 0.0;
+  const ApproxInverse z = ApproxInverse::build(f, opts);
+  const DenseMatrix ref = inverse_of_factor(f);
+  for (index_t j = 0; j < f.n; ++j) {
+    const auto col = z.column(j).to_dense(f.n);
+    for (index_t i = 0; i < f.n; ++i)
+      EXPECT_NEAR(col[static_cast<std::size_t>(i)], ref(i, j), 1e-10);
+  }
+}
+
+TEST(ApproxInverse, Lemma1Nonnegativity) {
+  // Z = L^{-1} of a Laplacian factor is entrywise nonnegative; the
+  // approximate columns must stay nonnegative too.
+  for (std::uint64_t seed = 7; seed <= 9; ++seed) {
+    const Graph g = barabasi_albert(120, 3, WeightKind::kLogUniform, seed);
+    const CscMatrix lg = grounded_laplacian(g);
+    const CholFactor f = cholesky(lg, Ordering::kMinDeg);
+    ApproxInverseOptions opts;
+    opts.epsilon = 1e-2;
+    const ApproxInverse z = ApproxInverse::build(f, opts);
+    for (index_t j = 0; j < f.n; ++j)
+      for (real_t v : z.column_values(j)) EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(ApproxInverse, Theorem1ErrorBound) {
+  // ||z_p - z̃_p||_1 <= depth(p) * epsilon * ||z_p||_1.
+  const Graph g = grid_2d(7, 7, WeightKind::kUniform, 10);
+  const CscMatrix lg = grounded_laplacian(g);
+  const CholFactor f = cholesky(lg, Ordering::kMinDeg);
+  const auto depths = filled_graph_depths(f);
+  const DenseMatrix ref = inverse_of_factor(f);
+
+  for (real_t eps : {1e-1, 1e-2, 1e-3}) {
+    ApproxInverseOptions opts;
+    opts.epsilon = eps;
+    const ApproxInverse z = ApproxInverse::build(f, opts);
+    for (index_t p = 0; p < f.n; ++p) {
+      const auto col = z.column(p).to_dense(f.n);
+      real_t err1 = 0.0, norm1 = 0.0;
+      for (index_t i = 0; i < f.n; ++i) {
+        err1 += std::abs(col[static_cast<std::size_t>(i)] - ref(i, p));
+        norm1 += std::abs(ref(i, p));
+      }
+      const real_t bound =
+          static_cast<real_t>(depths[static_cast<std::size_t>(p)]) * eps * norm1;
+      EXPECT_LE(err1, bound + 1e-12)
+          << "p=" << p << " eps=" << eps
+          << " depth=" << depths[static_cast<std::size_t>(p)];
+    }
+  }
+}
+
+TEST(ApproxInverse, TruncationRespectsColumnBudget) {
+  // Directly check Eq. (10): ||z̃_j - z*_j||_1 <= eps * ||z*_j||_1, using
+  // the exact-inverse columns as reference for leaf-to-root consistency is
+  // complex; instead verify the weaker but direct property that each stored
+  // column's 1-norm differs from the eps=0 column by at most depth*eps.
+  const Graph g = watts_strogatz(64, 3, 0.15, WeightKind::kUniform, 11);
+  const CscMatrix lg = grounded_laplacian(g);
+  const CholFactor f = cholesky(lg, Ordering::kMinDeg);
+  ApproxInverseOptions exact_opts;
+  exact_opts.epsilon = 0.0;
+  const ApproxInverse z0 = ApproxInverse::build(f, exact_opts);
+  ApproxInverseOptions opts;
+  opts.epsilon = 5e-3;
+  const ApproxInverse z = ApproxInverse::build(f, opts);
+  const auto depths = filled_graph_depths(f);
+  for (index_t j = 0; j < f.n; ++j) {
+    const SparseVector a = z0.column(j);
+    const SparseVector b = z.column(j);
+    const real_t bound = static_cast<real_t>(depths[static_cast<std::size_t>(j)]) *
+                         opts.epsilon * a.norm1();
+    EXPECT_LE(distance_1norm(a, b), bound + 1e-12);
+  }
+}
+
+TEST(ApproxInverse, SmallColumnsNeverTruncated) {
+  // Columns with nnz <= log2(n) keep all entries regardless of epsilon
+  // (Alg. 2 line 3). The last column z_n = e_n / L_nn always qualifies.
+  const Graph g = grid_2d(10, 10, WeightKind::kUnit, 12);
+  const CscMatrix lg = grounded_laplacian(g);
+  const CholFactor f = cholesky(lg, Ordering::kMinDeg);
+  ApproxInverseOptions opts;
+  opts.epsilon = 0.9;  // absurdly aggressive truncation
+  const ApproxInverse z = ApproxInverse::build(f, opts);
+  const index_t last = f.n - 1;
+  ASSERT_EQ(z.column_rows(last).size(), 1u);
+  EXPECT_EQ(z.column_rows(last)[0], last);
+  EXPECT_NEAR(z.column_values(last)[0], 1.0 / f.diag(last), 1e-12);
+}
+
+TEST(ApproxInverse, SparsityGrowsAsEpsilonShrinks) {
+  const Graph g = grid_2d(16, 16, WeightKind::kUniform, 13);
+  const CscMatrix lg = grounded_laplacian(g);
+  const CholFactor f = cholesky(lg, Ordering::kMinDeg);
+  offset_t prev = 0;
+  for (real_t eps : {1e-1, 1e-2, 1e-3, 0.0}) {
+    ApproxInverseOptions opts;
+    opts.epsilon = eps;
+    const ApproxInverse z = ApproxInverse::build(f, opts);
+    EXPECT_GE(z.nnz(), prev);
+    prev = z.nnz();
+  }
+}
+
+TEST(ApproxInverse, WorksOnIncompleteFactor) {
+  // Alg. 3 pairs Alg. 2 with ICT; the recurrence and sign structure hold
+  // for the incomplete factor as well.
+  const Graph g = multilayer_mesh(10, 10, 2, WeightKind::kLogUniform, 14);
+  const CscMatrix lg = grounded_laplacian(g);
+  IcholOptions ic;
+  ic.droptol = 1e-3;
+  const CholFactor f = ichol(lg, Ordering::kMinDeg, ic);
+  ApproxInverseOptions opts;
+  opts.epsilon = 1e-3;
+  const ApproxInverse z = ApproxInverse::build(f, opts);
+  EXPECT_EQ(z.dimension(), f.n);
+  for (index_t j = 0; j < f.n; ++j) {
+    EXPECT_GE(z.column_rows(j).size(), 1u);
+    for (real_t v : z.column_values(j)) EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(ApproxInverse, ColumnDistanceMatchesSparseVectorDistance) {
+  const Graph g = grid_2d(9, 9, WeightKind::kUniform, 15);
+  const CscMatrix lg = grounded_laplacian(g);
+  const CholFactor f = cholesky(lg, Ordering::kMinDeg);
+  const ApproxInverse z = ApproxInverse::build(f);
+  for (index_t p = 0; p < 10; ++p) {
+    const index_t q = (p * 7 + 3) % f.n;
+    EXPECT_NEAR(z.column_distance_squared(p, q),
+                distance_squared(z.column(p), z.column(q)), 1e-12);
+  }
+}
+
+class EpsilonScaling : public ::testing::TestWithParam<real_t> {};
+
+TEST_P(EpsilonScaling, ColumnErrorsScaleRoughlyLinearly) {
+  // Eq. (26): relative errors scale ~linearly with epsilon.
+  const real_t eps = GetParam();
+  const Graph g = grid_2d(12, 12, WeightKind::kUniform, 16);
+  const CscMatrix lg = grounded_laplacian(g);
+  const CholFactor f = cholesky(lg, Ordering::kMinDeg);
+  const DenseMatrix ref = inverse_of_factor(f);
+  ApproxInverseOptions opts;
+  opts.epsilon = eps;
+  const ApproxInverse z = ApproxInverse::build(f, opts);
+  real_t worst_rel = 0.0;
+  for (index_t j = 0; j < f.n; ++j) {
+    const auto col = z.column(j).to_dense(f.n);
+    real_t err = 0.0, norm = 0.0;
+    for (index_t i = 0; i < f.n; ++i) {
+      err += std::abs(col[static_cast<std::size_t>(i)] - ref(i, j));
+      norm += std::abs(ref(i, j));
+    }
+    worst_rel = std::max(worst_rel, err / norm);
+  }
+  // Depth on this mesh ordering stays modest; rel error must be bounded by
+  // ~depth*eps and in particular shrink with eps.
+  const auto dpt = static_cast<real_t>(max_filled_graph_depth(f));
+  EXPECT_LE(worst_rel, dpt * eps + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, EpsilonScaling,
+                         ::testing::Values(1e-1, 1e-2, 1e-3, 1e-4));
+
+}  // namespace
+}  // namespace er

@@ -1,0 +1,234 @@
+// Tests for chol: complete factorization vs dense reference, solve accuracy,
+// incomplete Cholesky (droptol behaviour, M-matrix robustness, shift
+// fallback), triangular solves, factor invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chol/cholesky.hpp"
+#include "chol/ichol.hpp"
+#include "graph/generators.hpp"
+#include "graph/laplacian.hpp"
+#include "sparse/dense.hpp"
+#include "util/rng.hpp"
+
+namespace er {
+namespace {
+
+CscMatrix random_sdd(index_t n, std::size_t extra_edges, std::uint64_t seed) {
+  const Graph g = erdos_renyi(n, extra_edges, WeightKind::kUniform, seed);
+  return grounded_laplacian(g);
+}
+
+/// Max |P A P^T - L L^T| entry.
+real_t factor_residual(const CscMatrix& a, const CholFactor& f) {
+  const CscMatrix ap = a.permute_symmetric(f.perm);
+  const CscMatrix l = f.to_csc();
+  const auto ld = l.to_dense();
+  const index_t n = a.cols();
+  real_t worst = 0.0;
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j) {
+      real_t acc = 0.0;
+      for (index_t k = 0; k < n; ++k)
+        acc += ld[static_cast<std::size_t>(k) * n + i] *
+               ld[static_cast<std::size_t>(k) * n + j];
+      worst = std::max(worst, std::abs(acc - ap.at(i, j)));
+    }
+  return worst;
+}
+
+TEST(Cholesky, FactorsSmallSddMatrix) {
+  const CscMatrix a = random_sdd(25, 60, 1);
+  for (auto ord : {Ordering::kNatural, Ordering::kRcm, Ordering::kMinDeg}) {
+    const CholFactor f = cholesky(a, ord);
+    EXPECT_TRUE(f.check_invariants());
+    EXPECT_LT(factor_residual(a, f), 1e-10);
+  }
+}
+
+TEST(Cholesky, MatchesDenseFactorNaturalOrder) {
+  const CscMatrix a = random_sdd(15, 40, 2);
+  const CholFactor f = cholesky(a, identity_permutation(a.cols()));
+  DenseMatrix d(a.rows(), a.cols(), a.to_dense());
+  ASSERT_TRUE(d.cholesky_in_place());
+  const CscMatrix l = f.to_csc();
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = j; i < a.rows(); ++i)
+      EXPECT_NEAR(l.at(i, j), d(i, j), 1e-10);
+}
+
+TEST(Cholesky, SolveRecoversKnownSolution) {
+  const CscMatrix a = random_sdd(80, 220, 3);
+  Rng rng(4);
+  std::vector<real_t> x_true(static_cast<std::size_t>(a.cols()));
+  for (auto& v : x_true) v = rng.uniform(-2, 2);
+  const auto b = a.multiply(x_true);
+  const CholFactor f = cholesky(a, Ordering::kMinDeg);
+  const auto x = f.solve(b);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(x[i], x_true[i], 1e-8);
+}
+
+TEST(Cholesky, ThrowsOnIndefinite) {
+  TripletMatrix t(2, 2);
+  t.add(0, 0, 1.0);
+  t.add(1, 1, -1.0);
+  const CscMatrix a = CscMatrix::from_triplets(t);
+  EXPECT_THROW(cholesky(a, Ordering::kNatural), std::runtime_error);
+}
+
+TEST(Cholesky, ThrowsOnBadPermutation) {
+  const CscMatrix a = random_sdd(10, 20, 5);
+  std::vector<index_t> bad{0, 0, 1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_THROW(cholesky(a, bad), std::invalid_argument);
+}
+
+TEST(Cholesky, TriangularSolvesInvertEachOther) {
+  const CscMatrix a = random_sdd(50, 140, 6);
+  const CholFactor f = cholesky(a, Ordering::kMinDeg);
+  Rng rng(7);
+  std::vector<real_t> x(static_cast<std::size_t>(a.cols()));
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  // L (L^{-1} x) == x via forward solve then multiply by L.
+  std::vector<real_t> y = x;
+  f.forward_solve(y);
+  const CscMatrix l = f.to_csc();
+  const auto ly = l.multiply(y);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(ly[i], x[i], 1e-10);
+  // Same for backward with L^T.
+  std::vector<real_t> z = x;
+  f.backward_solve(z);
+  std::vector<real_t> ltz;
+  l.multiply_transpose(z, ltz);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(ltz[i], x[i], 1e-10);
+}
+
+TEST(Cholesky, LaplacianFactorSignStructure) {
+  // For SDD M-matrices the factor has positive diagonal and nonpositive
+  // off-diagonals ([19]; the property Lemma 1 builds on).
+  const Graph g = grid_2d(8, 8, WeightKind::kUniform, 8);
+  const CscMatrix lg = grounded_laplacian(g);
+  const CholFactor f = cholesky(lg, Ordering::kMinDeg);
+  for (index_t j = 0; j < f.n; ++j) {
+    const offset_t b = f.col_ptr[static_cast<std::size_t>(j)];
+    const offset_t e = f.col_ptr[static_cast<std::size_t>(j) + 1];
+    EXPECT_GT(f.values[static_cast<std::size_t>(b)], 0.0);
+    for (offset_t k = b + 1; k < e; ++k)
+      EXPECT_LE(f.values[static_cast<std::size_t>(k)], 1e-14);
+  }
+}
+
+TEST(Ichol, ZeroDroptolEqualsCompleteFactor) {
+  const CscMatrix a = random_sdd(40, 110, 9);
+  const auto perm = compute_ordering(a, Ordering::kMinDeg);
+  const CholFactor full = cholesky(a, perm);
+  IcholOptions opts;
+  opts.droptol = 0.0;
+  const CholFactor inc = ichol(a, perm, opts);
+  ASSERT_EQ(full.nnz(), inc.nnz());
+  const auto lf = full.to_csc().to_dense();
+  const auto li = inc.to_csc().to_dense();
+  for (std::size_t i = 0; i < lf.size(); ++i) EXPECT_NEAR(lf[i], li[i], 1e-10);
+}
+
+TEST(Ichol, DroppingReducesFill) {
+  const Graph g = grid_2d(20, 20, WeightKind::kUniform, 10);
+  const CscMatrix lg = grounded_laplacian(g);
+  const auto perm = compute_ordering(lg, Ordering::kMinDeg);
+  IcholOptions loose, tight;
+  loose.droptol = 1e-1;
+  tight.droptol = 0.0;
+  const CholFactor lf = ichol(lg, perm, loose);
+  const CholFactor tf = ichol(lg, perm, tight);
+  EXPECT_LT(lf.nnz(), tf.nnz());
+}
+
+TEST(Ichol, PreconditionerQualityImprovesWithSmallerDroptol) {
+  // Residual of M^{-1}A applied to a vector should shrink as droptol -> 0.
+  const CscMatrix a = random_sdd(100, 280, 11);
+  const auto perm = compute_ordering(a, Ordering::kMinDeg);
+  Rng rng(12);
+  std::vector<real_t> b(static_cast<std::size_t>(a.cols()));
+  for (auto& v : b) v = rng.uniform(-1, 1);
+
+  real_t prev_err = 1e30;
+  for (real_t droptol : {1e-1, 1e-2, 1e-4, 0.0}) {
+    IcholOptions opts;
+    opts.droptol = droptol;
+    const CholFactor f = ichol(a, perm, opts);
+    const auto x = f.solve(b);
+    const auto ax = a.multiply(x);
+    real_t err = 0.0;
+    for (std::size_t i = 0; i < b.size(); ++i) err += std::abs(ax[i] - b[i]);
+    EXPECT_LT(err, prev_err + 1e-12);
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 1e-8);  // droptol 0 is the complete factor -> exact
+}
+
+TEST(Ichol, MMatrixNeverNeedsShift) {
+  // SDD M-matrices (grounded Laplacians) factor without breakdown at any
+  // droptol; validate invariants across a droptol sweep.
+  const Graph g = barabasi_albert(150, 3, WeightKind::kUniform, 13);
+  const CscMatrix lg = grounded_laplacian(g);
+  const auto perm = compute_ordering(lg, Ordering::kMinDeg);
+  for (real_t droptol : {0.0, 1e-4, 1e-3, 1e-2, 1e-1}) {
+    IcholOptions opts;
+    opts.droptol = droptol;
+    const CholFactor f = ichol(lg, perm, opts);
+    EXPECT_TRUE(f.check_invariants());
+  }
+}
+
+TEST(Ichol, FactorSignStructureOnLaplacian) {
+  const Graph g = grid_2d(10, 10, WeightKind::kLogUniform, 14);
+  const CscMatrix lg = grounded_laplacian(g);
+  IcholOptions opts;
+  opts.droptol = 1e-3;
+  const CholFactor f = ichol(lg, Ordering::kMinDeg, opts);
+  for (index_t j = 0; j < f.n; ++j) {
+    const offset_t b = f.col_ptr[static_cast<std::size_t>(j)];
+    const offset_t e = f.col_ptr[static_cast<std::size_t>(j) + 1];
+    EXPECT_GT(f.values[static_cast<std::size_t>(b)], 0.0);
+    for (offset_t k = b + 1; k < e; ++k)
+      EXPECT_LE(f.values[static_cast<std::size_t>(k)], 1e-14);
+  }
+}
+
+TEST(Ichol, RejectsNegativeDroptol) {
+  const CscMatrix a = random_sdd(10, 20, 15);
+  IcholOptions opts;
+  opts.droptol = -1.0;
+  EXPECT_THROW(ichol(a, Ordering::kNatural, opts), std::invalid_argument);
+}
+
+class CholOrderingSweep : public ::testing::TestWithParam<Ordering> {};
+
+TEST_P(CholOrderingSweep, SolveAccuracyAcrossGraphFamilies) {
+  const Ordering ord = GetParam();
+  const std::vector<Graph> graphs = {
+      grid_2d(9, 7, WeightKind::kUniform, 21),
+      grid_3d(4, 4, 4, WeightKind::kUniform, 22),
+      barabasi_albert(90, 2, WeightKind::kUniform, 23),
+      watts_strogatz(80, 3, 0.2, WeightKind::kUniform, 24),
+  };
+  for (const auto& g : graphs) {
+    const CscMatrix lg = grounded_laplacian(g);
+    Rng rng(25);
+    std::vector<real_t> x_true(static_cast<std::size_t>(lg.cols()));
+    for (auto& v : x_true) v = rng.uniform(-1, 1);
+    const auto b = lg.multiply(x_true);
+    const CholFactor f = cholesky(lg, ord);
+    const auto x = f.solve(b);
+    for (std::size_t i = 0; i < x.size(); ++i)
+      EXPECT_NEAR(x[i], x_true[i], 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrderings, CholOrderingSweep,
+                         ::testing::Values(Ordering::kNatural, Ordering::kRcm,
+                                           Ordering::kMinDeg));
+
+}  // namespace
+}  // namespace er

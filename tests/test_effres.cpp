@@ -1,0 +1,286 @@
+// Tests for effres: closed-form effective resistances (path, cycle,
+// complete graph, series/parallel), agreement between engines, metric
+// axioms, Rayleigh monotonicity, error-measurement harness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "effres/approx_chol.hpp"
+#include "effres/engine.hpp"
+#include "effres/error_metrics.hpp"
+#include "effres/exact.hpp"
+#include "effres/random_projection.hpp"
+#include "graph/generators.hpp"
+#include "graph/laplacian.hpp"
+#include "sparse/dense.hpp"
+
+namespace er {
+namespace {
+
+/// Reference ER via the Laplacian pseudo-inverse (paper Eq. (3)).
+real_t pinv_resistance(const Graph& g, index_t p, index_t q) {
+  const CscMatrix l = laplacian(g);
+  DenseMatrix d(g.num_nodes(), g.num_nodes(), l.to_dense());
+  const DenseMatrix li = d.symmetric_pseudo_inverse();
+  return li(p, p) + li(q, q) - 2 * li(p, q);
+}
+
+TEST(ExactEffRes, PathGraphSumsResistances) {
+  // Path with conductances w: R(0, k) = sum 1/w_i.
+  Graph g(5);
+  const real_t w[4] = {1.0, 2.0, 4.0, 0.5};
+  real_t expect = 0.0;
+  for (index_t i = 0; i < 4; ++i) g.add_edge(i, i + 1, w[i]);
+  const ExactEffRes engine(g);
+  for (index_t k = 1; k < 5; ++k) {
+    expect += 1.0 / w[k - 1];
+    EXPECT_NEAR(engine.resistance(0, k), expect, 1e-12);
+  }
+}
+
+TEST(ExactEffRes, CompleteGraphUnitWeights) {
+  // K_n with unit weights: R(p,q) = 2/n for all pairs.
+  const index_t n = 7;
+  Graph g(n);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = i + 1; j < n; ++j) g.add_edge(i, j, 1.0);
+  const ExactEffRes engine(g);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = i + 1; j < n; ++j)
+      EXPECT_NEAR(engine.resistance(i, j), 2.0 / n, 1e-12);
+}
+
+TEST(ExactEffRes, CycleIsParallelPaths) {
+  // Cycle of n unit resistors: R across k hops = k(n-k)/n.
+  const index_t n = 9;
+  Graph g(n);
+  for (index_t i = 0; i < n; ++i) g.add_edge(i, (i + 1) % n, 1.0);
+  const ExactEffRes engine(g);
+  for (index_t k = 1; k < n; ++k)
+    EXPECT_NEAR(engine.resistance(0, k),
+                static_cast<real_t>(k) * (n - k) / n, 1e-12);
+}
+
+TEST(ExactEffRes, ParallelEdgesAddConductance) {
+  Graph g(2);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(0, 1, 3.0);
+  const ExactEffRes engine(g);
+  EXPECT_NEAR(engine.resistance(0, 1), 1.0 / 5.0, 1e-12);
+}
+
+TEST(ExactEffRes, MatchesPseudoInverseOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const Graph g = erdos_renyi(24, 60, WeightKind::kUniform, seed);
+    const ExactEffRes engine(g);
+    Rng rng(seed + 100);
+    for (int t = 0; t < 10; ++t) {
+      const index_t p = rng.uniform_int(24);
+      index_t q = rng.uniform_int(24);
+      if (p == q) q = (q + 1) % 24;
+      EXPECT_NEAR(engine.resistance(p, q), pinv_resistance(g, p, q), 1e-8);
+    }
+  }
+}
+
+TEST(ExactEffRes, SelfResistanceIsZeroAndSymmetric) {
+  const Graph g = grid_2d(6, 6, WeightKind::kUniform, 4);
+  const ExactEffRes engine(g);
+  EXPECT_EQ(engine.resistance(3, 3), 0.0);
+  for (int t = 0; t < 10; ++t)
+    EXPECT_NEAR(engine.resistance(2, 30), engine.resistance(30, 2), 1e-12);
+}
+
+TEST(ExactEffRes, GroundConductanceDoesNotMatter) {
+  // The §II-A grounding trick is exact for balanced injections: ER must be
+  // independent of the ground conductance. Verify via two engines built on
+  // differently-grounded Laplacians (via laplacian_with_shunts + cholesky).
+  const Graph g = watts_strogatz(40, 3, 0.2, WeightKind::kUniform, 5);
+  const ExactEffRes a(g);
+  // Compare against pseudo-inverse reference (independent of grounding).
+  EXPECT_NEAR(a.resistance(0, 17), pinv_resistance(g, 0, 17), 1e-8);
+  EXPECT_NEAR(a.resistance(5, 23), pinv_resistance(g, 5, 23), 1e-8);
+}
+
+TEST(ExactEffRes, TriangleInequality) {
+  // Effective resistance is a metric.
+  const Graph g = barabasi_albert(60, 2, WeightKind::kUniform, 6);
+  const ExactEffRes engine(g);
+  Rng rng(7);
+  for (int t = 0; t < 50; ++t) {
+    const index_t p = rng.uniform_int(60);
+    const index_t q = rng.uniform_int(60);
+    const index_t r = rng.uniform_int(60);
+    EXPECT_LE(engine.resistance(p, q),
+              engine.resistance(p, r) + engine.resistance(r, q) + 1e-10);
+  }
+}
+
+TEST(ExactEffRes, RayleighMonotonicity) {
+  // Adding an edge can only decrease effective resistances.
+  Graph g = grid_2d(5, 5, WeightKind::kUnit, 8);
+  const ExactEffRes before(g);
+  const real_t r_before = before.resistance(0, 24);
+  g.add_edge(0, 24, 0.5);
+  const ExactEffRes after(g);
+  const real_t r_after = after.resistance(0, 24);
+  EXPECT_LT(r_after, r_before);
+  // And with the shortcut in parallel: R_new <= 1/w_shortcut.
+  EXPECT_LE(r_after, 1.0 / 0.5 + 1e-12);
+}
+
+TEST(ExactEffRes, EdgeResistanceBelowWireResistance) {
+  // For any edge (u,v,w): R(u,v) <= 1/w (the rest of the graph in parallel).
+  const Graph g = random_geometric(120, 0.15, WeightKind::kUnit, 9);
+  const ExactEffRes engine(g);
+  for (std::size_t e = 0; e < std::min<std::size_t>(g.num_edges(), 100); ++e) {
+    const auto& ed = g.edges()[e];
+    EXPECT_LE(engine.resistance(ed.u, ed.v), 1.0 / ed.weight + 1e-10);
+  }
+}
+
+TEST(ApproxChol, AccurateOnCompleteFactorization) {
+  // With a complete factor and tiny epsilon, Alg. 3 is near-exact.
+  const Graph g = grid_2d(8, 8, WeightKind::kUniform, 10);
+  ApproxCholOptions opts;
+  opts.complete_factorization = true;
+  opts.epsilon = 1e-8;
+  const ApproxCholEffRes approx(g, opts);
+  const ExactEffRes exact(g);
+  for (const auto& e : g.edges())
+    EXPECT_NEAR(approx.resistance(e.u, e.v), exact.resistance(e.u, e.v),
+                1e-5);
+}
+
+TEST(ApproxChol, PaperSettingsGiveSmallErrors) {
+  // droptol = 1e-3, epsilon = 1e-3 (paper's Table I configuration).
+  const Graph g = grid_2d(20, 20, WeightKind::kUniform, 11);
+  const ApproxCholEffRes approx(g, {});
+  const ExactEffRes exact(g);
+  const ErrorReport rep = measure_edge_errors(g, approx, exact, 300);
+  EXPECT_LT(rep.average_relative, 0.02);
+  // Max error is dominated by a few ICT-dropped fill-ins at this small
+  // scale; the paper's Em at these settings is also an order above Ea.
+  EXPECT_LT(rep.max_relative, 0.30);
+}
+
+TEST(ApproxChol, StatsArePopulated) {
+  const Graph g = barabasi_albert(200, 3, WeightKind::kUniform, 12);
+  const ApproxCholEffRes approx(g, {});
+  const auto& s = approx.stats();
+  EXPECT_GT(s.factor_nnz, 0);
+  EXPECT_GT(s.inverse_nnz, 0);
+  EXPECT_GT(s.max_depth, 0);
+  EXPECT_GT(s.nnz_ratio(g.num_nodes()), 0.0);
+}
+
+TEST(ApproxChol, ErrorDecreasesWithEpsilon) {
+  const Graph g = grid_2d(15, 15, WeightKind::kUniform, 13);
+  const ExactEffRes exact(g);
+  double prev = 1e9;
+  for (real_t eps : {3e-2, 3e-3, 3e-4}) {
+    ApproxCholOptions opts;
+    opts.epsilon = eps;
+    opts.droptol = 0.0;  // isolate the epsilon effect
+    const ApproxCholEffRes approx(g, opts);
+    const ErrorReport rep = measure_edge_errors(g, approx, exact, 200);
+    EXPECT_LE(rep.average_relative, prev + 1e-9);
+    prev = rep.average_relative;
+  }
+  EXPECT_LT(prev, 1e-3);
+}
+
+TEST(RandomProjection, ConvergesToExactWithManyDimensions) {
+  const Graph g = grid_2d(10, 10, WeightKind::kUnit, 14);
+  const ExactEffRes exact(g);
+  RandomProjectionOptions opts;
+  opts.dimensions = 4000;  // large k -> small JL distortion
+  const RandomProjectionEffRes approx(g, opts);
+  const ErrorReport rep = measure_edge_errors(g, approx, exact, 100);
+  EXPECT_LT(rep.average_relative, 0.05);
+}
+
+TEST(RandomProjection, DefaultDimensionsScaleWithLogN) {
+  const Graph g = barabasi_albert(256, 2, WeightKind::kUnit, 15);
+  RandomProjectionOptions opts;
+  opts.auto_scale = 8.0;
+  const RandomProjectionEffRes approx(g, opts);
+  EXPECT_EQ(approx.stats().dimensions, 64);  // 8 * log2(256)
+  EXPECT_EQ(approx.stats().projection_nnz,
+            static_cast<offset_t>(64) * 256);
+}
+
+TEST(RandomProjection, LessAccurateThanApproxCholAtPaperSettings) {
+  // The paper's central accuracy claim (Table I): Alg. 3 errors are one to
+  // two orders below the random-projection baseline.
+  const Graph g = grid_2d(18, 18, WeightKind::kUniform, 16);
+  const ExactEffRes exact(g);
+  const ApproxCholEffRes alg3(g, {});
+  RandomProjectionOptions rp_opts;
+  rp_opts.auto_scale = 16.0;
+  const RandomProjectionEffRes rp(g, rp_opts);
+  const ErrorReport e3 = measure_edge_errors(g, alg3, exact, 200);
+  const ErrorReport erp = measure_edge_errors(g, rp, exact, 200);
+  EXPECT_LT(e3.average_relative, erp.average_relative);
+}
+
+TEST(Engine, BatchMatchesScalarQueries) {
+  const Graph g = grid_2d(7, 7, WeightKind::kUniform, 17);
+  const ExactEffRes engine(g);
+  const auto queries = all_edge_queries(g);
+  const auto batch = engine.resistances(queries);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i)
+    EXPECT_DOUBLE_EQ(batch[i],
+                     engine.resistance(queries[i].first, queries[i].second));
+}
+
+TEST(ErrorMetrics, ZeroForIdenticalEngines) {
+  const Graph g = grid_2d(6, 6, WeightKind::kUniform, 18);
+  const ExactEffRes engine(g);
+  const ErrorReport rep = measure_edge_errors(g, engine, engine, 50);
+  EXPECT_EQ(rep.average_relative, 0.0);
+  EXPECT_EQ(rep.max_relative, 0.0);
+  EXPECT_GT(rep.samples, 0u);
+}
+
+TEST(ErrorMetrics, DetectsKnownBias) {
+  // An engine reporting 2x the true value has exactly 100% relative error.
+  class Doubler final : public EffResEngine {
+   public:
+    explicit Doubler(const Graph& g) : inner_(g) {}
+    [[nodiscard]] real_t resistance(index_t p, index_t q) const override {
+      return 2.0 * inner_.resistance(p, q);
+    }
+    [[nodiscard]] std::string name() const override { return "doubler"; }
+
+   private:
+    ExactEffRes inner_;
+  };
+  const Graph g = grid_2d(5, 5, WeightKind::kUnit, 19);
+  const ExactEffRes exact(g);
+  const Doubler doubler(g);
+  const ErrorReport rep = measure_edge_errors(g, doubler, exact, 30);
+  EXPECT_NEAR(rep.average_relative, 1.0, 1e-12);
+  EXPECT_NEAR(rep.max_relative, 1.0, 1e-12);
+}
+
+class ApproxCholFamilies : public ::testing::TestWithParam<int> {};
+
+TEST_P(ApproxCholFamilies, SmallErrorAcrossGraphFamilies) {
+  const int which = GetParam();
+  Graph g = which == 0   ? grid_2d(14, 14, WeightKind::kUniform, 30)
+            : which == 1 ? grid_3d(6, 6, 5, WeightKind::kUniform, 31)
+            : which == 2 ? barabasi_albert(220, 3, WeightKind::kUniform, 32)
+            : which == 3 ? watts_strogatz(200, 3, 0.1, WeightKind::kUniform, 33)
+                         : multilayer_mesh(12, 12, 3, WeightKind::kLogUniform, 34);
+  const ApproxCholEffRes approx(g, {});
+  const ExactEffRes exact(g);
+  const ErrorReport rep = measure_edge_errors(g, approx, exact, 200);
+  EXPECT_LT(rep.average_relative, 0.05) << "family " << which;
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, ApproxCholFamilies, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace er

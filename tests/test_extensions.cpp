@@ -1,0 +1,150 @@
+// Tests for the extension modules: approximate-inverse preconditioning,
+// profile/statistics helpers, spanning-edge centrality utilities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "approxinv/preconditioner.hpp"
+#include "approxinv/stats.hpp"
+#include "chol/cholesky.hpp"
+#include "chol/ichol.hpp"
+#include "effres/centrality.hpp"
+#include "effres/exact.hpp"
+#include "effres/approx_chol.hpp"
+#include "graph/generators.hpp"
+#include "graph/laplacian.hpp"
+#include "solver/pcg.hpp"
+#include "util/rng.hpp"
+
+namespace er {
+namespace {
+
+TEST(ApproxInvPreconditioner, ExactInverseWhenNoTruncation) {
+  // With a complete factor and eps = 0, Z^T Z == A^{-1} exactly.
+  const Graph g = grid_2d(7, 7, WeightKind::kUniform, 3);
+  const CscMatrix a = grounded_laplacian(g);
+  const CholFactor f = cholesky(a, Ordering::kMinDeg);
+  ApproxInverseOptions zopts;
+  zopts.epsilon = 0.0;
+  const ApproxInverse z = ApproxInverse::build(f, zopts);
+  const ApproxInversePreconditioner m(z);
+
+  Rng rng(4);
+  std::vector<real_t> x_true(static_cast<std::size_t>(a.cols()));
+  for (auto& v : x_true) v = rng.uniform(-1, 1);
+  const auto b = a.multiply(x_true);
+  std::vector<real_t> x;
+  m.apply(b, x);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(ApproxInvPreconditioner, AcceleratesPcg) {
+  const Graph g = grid_2d(40, 40, WeightKind::kLogUniform, 5);
+  const CscMatrix a = grounded_laplacian(g);
+  IcholOptions ic;
+  const CholFactor f = ichol(a, Ordering::kMinDeg, ic);
+  const ApproxInverse z = ApproxInverse::build(f, {1e-3});
+  const ApproxInversePreconditioner m(z);
+
+  Rng rng(6);
+  std::vector<real_t> b(static_cast<std::size_t>(a.cols()));
+  for (auto& v : b) v = rng.uniform(-1, 1);
+
+  PcgOptions opts;
+  opts.max_iterations = 3000;
+  const PcgResult plain = pcg_solve(a, b, identity_preconditioner(), opts);
+  const PcgResult zprec = pcg_solve(
+      a, b,
+      [&m](const std::vector<real_t>& r, std::vector<real_t>& out) {
+        m.apply(r, out);
+      },
+      opts);
+  ASSERT_TRUE(plain.converged);
+  ASSERT_TRUE(zprec.converged);
+  EXPECT_LT(zprec.iterations, plain.iterations / 3);
+}
+
+TEST(ApproxInvPreconditioner, SizeMismatchThrows) {
+  const Graph g = grid_2d(4, 4, WeightKind::kUnit, 7);
+  const CholFactor f = cholesky(grounded_laplacian(g), Ordering::kMinDeg);
+  const ApproxInverse z = ApproxInverse::build(f);
+  const ApproxInversePreconditioner m(z);
+  std::vector<real_t> bad(3, 1.0), out;
+  EXPECT_THROW(m.apply(bad, out), std::invalid_argument);
+}
+
+TEST(Profiles, ApproxInverseProfileConsistent) {
+  const Graph g = barabasi_albert(500, 3, WeightKind::kUnit, 8);
+  const CholFactor f = ichol(grounded_laplacian(g), Ordering::kMinDeg, {});
+  const ApproxInverse z = ApproxInverse::build(f);
+  const ApproxInverseProfile p = profile_approx_inverse(z);
+  EXPECT_EQ(p.total_nnz, z.nnz());
+  EXPECT_GT(p.mean_column_nnz, 0.0);
+  EXPECT_GE(p.max_column_nnz, 1);
+  offset_t hist_total = 0;
+  for (offset_t c : p.column_size_histogram) hist_total += c;
+  EXPECT_EQ(hist_total, static_cast<offset_t>(g.num_nodes()));
+  EXPECT_NEAR(p.mean_column_nnz,
+              static_cast<double>(p.total_nnz) / g.num_nodes(), 1e-12);
+}
+
+TEST(Profiles, DepthProfileConsistent) {
+  const Graph g = grid_2d(15, 15, WeightKind::kUniform, 9);
+  const CholFactor f = cholesky(grounded_laplacian(g), Ordering::kMinDeg);
+  const DepthProfile p = profile_depths(f);
+  EXPECT_GT(p.max_depth, 0);
+  EXPECT_GT(p.mean_depth, 0.0);
+  EXPECT_LE(p.mean_depth, static_cast<double>(p.max_depth));
+  offset_t total = 0;
+  for (offset_t c : p.histogram) total += c;
+  EXPECT_EQ(total, static_cast<offset_t>(g.num_nodes()));
+}
+
+TEST(Centrality, BridgeHasFullCentrality) {
+  // Two triangles joined by a single bridge: the bridge is in every
+  // spanning tree => centrality exactly 1.
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  g.add_edge(5, 3);
+  g.add_edge(2, 3);  // bridge
+  const ExactEffRes engine(g);
+  const auto c = spanning_edge_centralities(g, engine);
+  EXPECT_NEAR(c[6], 1.0, 1e-10);
+  // Triangle edges each appear in 2 of 3 tree choices per triangle.
+  for (int e = 0; e < 6; ++e) EXPECT_NEAR(c[static_cast<std::size_t>(e)], 2.0 / 3.0, 1e-10);
+}
+
+TEST(Centrality, TopKOrdering) {
+  const std::vector<real_t> c{0.1, 0.9, 0.5, 0.7};
+  const auto top = top_k_central_edges(c, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 1);
+  EXPECT_EQ(top[1], 3);
+  EXPECT_EQ(top_k_central_edges(c, 10).size(), 4u);
+}
+
+TEST(Centrality, FosterSumMatchesTheory) {
+  const Graph g = watts_strogatz(120, 3, 0.2, WeightKind::kUniform, 10);
+  const ExactEffRes engine(g);
+  EXPECT_NEAR(foster_sum(g, engine), 119.0, 1e-7);
+}
+
+TEST(Centrality, Alg3ApproximatesExactCentralities) {
+  const Graph g = grid_2d(15, 15, WeightKind::kUniform, 11);
+  const ExactEffRes exact(g);
+  const ApproxCholEffRes approx(g, {});
+  const auto ce = spanning_edge_centralities(g, exact);
+  const auto ca = spanning_edge_centralities(g, approx);
+  double worst = 0.0;
+  for (std::size_t e = 0; e < ce.size(); ++e)
+    worst = std::max(worst, std::abs(ca[e] - ce[e]) / ce[e]);
+  EXPECT_LT(worst, 0.05);
+}
+
+}  // namespace
+}  // namespace er

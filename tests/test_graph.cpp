@@ -1,0 +1,238 @@
+// Tests for graph: graph type, Laplacian/incidence assembly, components,
+// generators (structure + connectivity + determinism).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/laplacian.hpp"
+#include "sparse/dense.hpp"
+
+namespace er {
+namespace {
+
+TEST(Graph, AddEdgeValidation) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(0, 0, 1.0), std::invalid_argument);  // self-loop
+  EXPECT_THROW(g.add_edge(0, 3, 1.0), std::out_of_range);
+  EXPECT_THROW(g.add_edge(0, 1, 0.0), std::invalid_argument);  // zero weight
+  EXPECT_THROW(g.add_edge(0, 1, -1.0), std::invalid_argument);
+  g.add_edge(0, 1, 2.0);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Graph, AdjacencyIsConsistent) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(2, 3, 3.0);
+  g.add_edge(0, 3, 4.0);
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(g.degree(1), 2);
+  const auto& ptr = g.adjacency_ptr();
+  const auto& nbr = g.neighbors();
+  // Every adjacency slot mirrors an edge endpoint.
+  std::size_t total = 0;
+  for (index_t u = 0; u < 4; ++u)
+    total += static_cast<std::size_t>(ptr[static_cast<std::size_t>(u) + 1] -
+                                      ptr[static_cast<std::size_t>(u)]);
+  EXPECT_EQ(total, 2 * g.num_edges());
+  // Node 0 neighbours are {1, 3}.
+  std::set<index_t> n0(nbr.begin() + ptr[0], nbr.begin() + ptr[1]);
+  EXPECT_EQ(n0, (std::set<index_t>{1, 3}));
+}
+
+TEST(Graph, WeightedDegrees) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.5);
+  g.add_edge(1, 2, 2.5);
+  const auto deg = g.weighted_degrees();
+  EXPECT_DOUBLE_EQ(deg[0], 1.5);
+  EXPECT_DOUBLE_EQ(deg[1], 4.0);
+  EXPECT_DOUBLE_EQ(deg[2], 2.5);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 4.0);
+}
+
+TEST(Graph, CoalesceParallelEdges) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 0, 2.0);  // parallel, reversed orientation
+  g.add_edge(1, 2, 3.0);
+  const Graph c = g.coalesce_parallel_edges();
+  EXPECT_EQ(c.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(c.total_weight(), 6.0);
+}
+
+TEST(Laplacian, RowSumsAreZero) {
+  const Graph g = grid_2d(5, 4, WeightKind::kUniform, 3);
+  const CscMatrix l = laplacian(g);
+  const std::vector<real_t> ones(static_cast<std::size_t>(g.num_nodes()), 1.0);
+  const auto y = l.multiply(ones);
+  for (real_t v : y) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(Laplacian, MatchesIncidenceForm) {
+  // L == B^T W B (paper Eq. (2)).
+  const Graph g = grid_2d(4, 3, WeightKind::kUniform, 5);
+  const CscMatrix l = laplacian(g);
+  const CscMatrix b = incidence(g);
+  const CscMatrix w = edge_weight_matrix(g);
+  // Compute B^T W B row by row through dense vectors (small graph).
+  const index_t n = g.num_nodes();
+  for (index_t j = 0; j < n; ++j) {
+    std::vector<real_t> ej(static_cast<std::size_t>(n), 0.0);
+    ej[static_cast<std::size_t>(j)] = 1.0;
+    const auto be = b.multiply(ej);
+    const auto wbe = w.multiply(be);
+    std::vector<real_t> col;
+    b.multiply_transpose(wbe, col);
+    for (index_t i = 0; i < n; ++i)
+      EXPECT_NEAR(col[static_cast<std::size_t>(i)], l.at(i, j), 1e-12);
+  }
+}
+
+TEST(Laplacian, IsSymmetricPositiveSemidefinite) {
+  const Graph g = barabasi_albert(40, 3, WeightKind::kUniform, 7);
+  const CscMatrix l = laplacian(g);
+  EXPECT_TRUE(l.is_symmetric(1e-14));
+  // x^T L x >= 0 for random x.
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<real_t> x(static_cast<std::size_t>(g.num_nodes()));
+    for (auto& v : x) v = rng.uniform(-1, 1);
+    const auto lx = l.multiply(x);
+    EXPECT_GE(dot(x, lx), -1e-10);
+  }
+}
+
+TEST(GroundedLaplacian, IsPositiveDefinite) {
+  const Graph g = grid_2d(4, 4, WeightKind::kUnit, 1);
+  const CscMatrix lg = grounded_laplacian(g);
+  DenseMatrix d(g.num_nodes(), g.num_nodes(), lg.to_dense());
+  EXPECT_TRUE(d.cholesky_in_place());
+}
+
+TEST(GroundedLaplacian, OneGroundPerComponent) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);  // two components
+  std::vector<index_t> grounds;
+  const CscMatrix lg = grounded_laplacian(g, 1.0, &grounds);
+  EXPECT_EQ(grounds.size(), 2u);
+  const CscMatrix l = laplacian(g);
+  // Difference is exactly the two diagonal bumps.
+  const CscMatrix diff = lg.add(l, -1.0);
+  EXPECT_EQ(diff.drop_small(1e-15, false).nnz(), 2);
+}
+
+TEST(Components, LabelsPartitionTheGraph) {
+  Graph g(7);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  // 5, 6 isolated
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 4);
+  EXPECT_EQ(c.label[0], c.label[2]);
+  EXPECT_EQ(c.label[3], c.label[4]);
+  EXPECT_NE(c.label[0], c.label[3]);
+  EXPECT_NE(c.label[5], c.label[6]);
+}
+
+TEST(Components, BfsLevelsAreShortestHops) {
+  const Graph g = grid_2d(5, 1, WeightKind::kUnit, 1);  // path of 5 nodes
+  const BfsTree t = bfs(g, 0);
+  for (index_t v = 0; v < 5; ++v)
+    EXPECT_EQ(t.level[static_cast<std::size_t>(v)], v);
+  EXPECT_EQ(t.parent[0], -1);
+  EXPECT_EQ(t.parent[3], 2);
+}
+
+TEST(Generators, Grid2dStructure) {
+  const Graph g = grid_2d(7, 5);
+  EXPECT_EQ(g.num_nodes(), 35);
+  EXPECT_EQ(g.num_edges(), static_cast<std::size_t>(6 * 5 + 7 * 4));
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, Grid3dStructure) {
+  const Graph g = grid_3d(3, 4, 5);
+  EXPECT_EQ(g.num_nodes(), 60);
+  EXPECT_EQ(g.num_edges(),
+            static_cast<std::size_t>(2 * 4 * 5 + 3 * 3 * 5 + 3 * 4 * 4));
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, BarabasiAlbertDegreesAndConnectivity) {
+  const Graph g = barabasi_albert(500, 3, WeightKind::kUnit, 9);
+  EXPECT_EQ(g.num_nodes(), 500);
+  EXPECT_TRUE(is_connected(g));
+  // Heavy tail: max degree far above the attachment parameter.
+  index_t dmax = 0;
+  for (index_t v = 0; v < 500; ++v) dmax = std::max(dmax, g.degree(v));
+  EXPECT_GT(dmax, 20);
+}
+
+TEST(Generators, RmatIsConnectedAndSized) {
+  const Graph g = rmat(10, 4000, 0.57, 0.19, 0.19, WeightKind::kUnit, 13);
+  EXPECT_EQ(g.num_nodes(), 1024);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_GE(g.num_edges(), 3500u);
+}
+
+TEST(Generators, WattsStrogatzBasics) {
+  const Graph g = watts_strogatz(300, 4, 0.1, WeightKind::kUnit, 15);
+  EXPECT_EQ(g.num_nodes(), 300);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, RandomGeometricConnected) {
+  const Graph g = random_geometric(400, 0.08, WeightKind::kUnit, 17);
+  EXPECT_EQ(g.num_nodes(), 400);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, MultilayerMeshConnected) {
+  const Graph g = multilayer_mesh(16, 16, 3, WeightKind::kLogUniform, 19);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_GT(g.num_nodes(), 16 * 16);  // extra layers add nodes
+}
+
+TEST(Generators, ErdosRenyiConnectedAfterPatching) {
+  const Graph g = erdos_renyi(200, 300, WeightKind::kUnit, 21);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, DeterministicForSameSeed) {
+  const Graph a = barabasi_albert(100, 2, WeightKind::kUniform, 33);
+  const Graph b = barabasi_albert(100, 2, WeightKind::kUniform, 33);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (std::size_t e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edges()[e].u, b.edges()[e].u);
+    EXPECT_EQ(a.edges()[e].v, b.edges()[e].v);
+    EXPECT_DOUBLE_EQ(a.edges()[e].weight, b.edges()[e].weight);
+  }
+}
+
+TEST(Generators, PositiveWeightsAlways) {
+  for (auto kind :
+       {WeightKind::kUnit, WeightKind::kUniform, WeightKind::kLogUniform}) {
+    const Graph g = grid_2d(6, 6, kind, 23);
+    for (const auto& e : g.edges()) EXPECT_GT(e.weight, 0.0);
+  }
+}
+
+TEST(Generators, EnsureConnectedIdempotentOnConnected) {
+  Graph g = grid_2d(3, 3);
+  const std::size_t m = g.num_edges();
+  ensure_connected(g);
+  EXPECT_EQ(g.num_edges(), m);
+}
+
+}  // namespace
+}  // namespace er

@@ -1,0 +1,213 @@
+// Tests for order: elimination tree on known matrices, postorder validity,
+// permutation utilities, RCM and minimum-degree quality/sanity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/generators.hpp"
+#include "graph/laplacian.hpp"
+#include "order/etree.hpp"
+#include "order/mindeg.hpp"
+#include "order/rcm.hpp"
+
+namespace er {
+namespace {
+
+/// Dense symbolic Cholesky fill count (reference for ordering quality).
+offset_t fill_count(const CscMatrix& a, const std::vector<index_t>& perm) {
+  const CscMatrix ap = a.permute_symmetric(perm);
+  const index_t n = ap.cols();
+  std::vector<std::vector<char>> dense(
+      static_cast<std::size_t>(n), std::vector<char>(static_cast<std::size_t>(n), 0));
+  for (index_t c = 0; c < n; ++c)
+    for (offset_t k = ap.col_ptr()[static_cast<std::size_t>(c)];
+         k < ap.col_ptr()[static_cast<std::size_t>(c) + 1]; ++k)
+      dense[static_cast<std::size_t>(ap.row_ind()[static_cast<std::size_t>(k)])]
+           [static_cast<std::size_t>(c)] = 1;
+  offset_t nnz = 0;
+  for (index_t k = 0; k < n; ++k) {
+    for (index_t i = k; i < n; ++i) {
+      if (!dense[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)]) continue;
+      if (i > k) {
+        for (index_t j = i; j < n; ++j)
+          if (dense[static_cast<std::size_t>(j)][static_cast<std::size_t>(k)]) {
+            dense[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] = 1;
+            dense[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = 1;
+          }
+      }
+      ++nnz;
+    }
+  }
+  return nnz;
+}
+
+CscMatrix arrow_matrix(index_t n) {
+  // Arrowhead: dense first row/column + diagonal. Natural order fills
+  // completely; eliminating the hub last gives no fill.
+  TripletMatrix t(n, n);
+  for (index_t i = 0; i < n; ++i) t.add(i, i, static_cast<real_t>(n + 1));
+  for (index_t i = 1; i < n; ++i) t.add_symmetric(0, i, -1.0);
+  return CscMatrix::from_triplets(t);
+}
+
+TEST(Etree, PathGraphIsAChain) {
+  // Tridiagonal matrix: etree is the path 0 -> 1 -> ... -> n-1.
+  const Graph g = grid_2d(6, 1);
+  const CscMatrix l = grounded_laplacian(g);
+  const auto parent = etree(l);
+  for (index_t i = 0; i + 1 < 6; ++i) EXPECT_EQ(parent[static_cast<std::size_t>(i)], i + 1);
+  EXPECT_EQ(parent[5], -1);
+}
+
+TEST(Etree, ArrowheadNaturalOrder) {
+  // With the hub first, every node's parent chain runs through the next
+  // node: column 0 connects to all, creating a chain.
+  const CscMatrix a = arrow_matrix(5);
+  const auto parent = etree(a);
+  EXPECT_EQ(parent[0], 1);
+  EXPECT_EQ(parent[1], 2);
+  EXPECT_EQ(parent[4], -1);
+}
+
+TEST(Etree, ParentAlwaysLarger) {
+  const Graph g = erdos_renyi(60, 150, WeightKind::kUnit, 3);
+  const CscMatrix l = grounded_laplacian(g);
+  const auto parent = etree(l);
+  for (index_t v = 0; v < 60; ++v) {
+    if (parent[static_cast<std::size_t>(v)] != -1) {
+      EXPECT_GT(parent[static_cast<std::size_t>(v)], v);
+    }
+  }
+}
+
+TEST(Postorder, IsAPermutationAndChildrenFirst) {
+  const Graph g = erdos_renyi(40, 90, WeightKind::kUnit, 5);
+  const CscMatrix l = grounded_laplacian(g);
+  const auto parent = etree(l);
+  const auto post = postorder(parent);
+  EXPECT_TRUE(is_permutation(post));
+  // position[] of each node in the postorder.
+  std::vector<index_t> pos(post.size());
+  for (std::size_t i = 0; i < post.size(); ++i)
+    pos[static_cast<std::size_t>(post[i])] = static_cast<index_t>(i);
+  for (index_t v = 0; v < 40; ++v) {
+    const index_t p = parent[static_cast<std::size_t>(v)];
+    if (p >= 0) {
+      EXPECT_LT(pos[static_cast<std::size_t>(v)], pos[static_cast<std::size_t>(p)]);
+    }
+  }
+}
+
+TEST(TreeHeights, PathAndStar) {
+  // Path etree: heights 0..n-1.
+  std::vector<index_t> chain{1, 2, 3, -1};
+  const auto h1 = tree_heights(chain);
+  EXPECT_EQ(h1[3], 3);
+  EXPECT_EQ(h1[0], 0);
+  // Star rooted at 3.
+  std::vector<index_t> star{3, 3, 3, -1};
+  const auto h2 = tree_heights(star);
+  EXPECT_EQ(h2[3], 1);
+}
+
+TEST(Permutations, InvertRoundTrip) {
+  const std::vector<index_t> perm{2, 0, 3, 1};
+  EXPECT_TRUE(is_permutation(perm));
+  const auto inv = invert_permutation(perm);
+  for (index_t i = 0; i < 4; ++i)
+    EXPECT_EQ(inv[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])], i);
+}
+
+TEST(Permutations, DetectsInvalid) {
+  EXPECT_FALSE(is_permutation({0, 0, 1}));
+  EXPECT_FALSE(is_permutation({0, 3, 1}));
+  EXPECT_TRUE(is_permutation({}));
+}
+
+TEST(Rcm, ProducesValidPermutation) {
+  const Graph g = random_geometric(300, 0.1, WeightKind::kUnit, 7);
+  const CscMatrix l = grounded_laplacian(g);
+  const auto perm = rcm_order(l);
+  EXPECT_TRUE(is_permutation(perm));
+}
+
+TEST(Rcm, ReducesBandwidthOnShuffledGrid) {
+  // Take a 2D grid, shuffle it, and check RCM restores a small bandwidth.
+  const Graph g = grid_2d(12, 12);
+  CscMatrix l = grounded_laplacian(g);
+  Rng rng(9);
+  std::vector<index_t> shuffle = identity_permutation(l.cols());
+  for (index_t i = l.cols(); i-- > 1;)
+    std::swap(shuffle[static_cast<std::size_t>(i)],
+              shuffle[static_cast<std::size_t>(rng.uniform_int(i + 1))]);
+  l = l.permute_symmetric(shuffle);
+
+  auto bandwidth = [](const CscMatrix& m) {
+    index_t b = 0;
+    for (index_t c = 0; c < m.cols(); ++c)
+      for (offset_t k = m.col_ptr()[static_cast<std::size_t>(c)];
+           k < m.col_ptr()[static_cast<std::size_t>(c) + 1]; ++k)
+        b = std::max(b, static_cast<index_t>(std::abs(
+                            m.row_ind()[static_cast<std::size_t>(k)] - c)));
+    return b;
+  };
+
+  const auto perm = rcm_order(l);
+  const CscMatrix lp = l.permute_symmetric(perm);
+  EXPECT_LT(bandwidth(lp), bandwidth(l) / 2);
+  EXPECT_LE(bandwidth(lp), 30);  // grid bandwidth should be ~nx
+}
+
+TEST(MinDeg, ProducesValidPermutation) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const Graph g = erdos_renyi(120, 400, WeightKind::kUnit, seed);
+    const CscMatrix l = grounded_laplacian(g);
+    const auto perm = mindeg_order(l);
+    EXPECT_TRUE(is_permutation(perm));
+  }
+}
+
+TEST(MinDeg, SolvesArrowheadOptimally) {
+  // Minimum degree must eliminate the hub last -> zero fill.
+  const index_t n = 20;
+  const CscMatrix a = arrow_matrix(n);
+  const auto perm = mindeg_order(a);
+  EXPECT_TRUE(is_permutation(perm));
+  // Hub (old index 0) must be among the last two (once one leaf remains,
+  // hub and leaf are degree-tied and either elimination is fill-free).
+  EXPECT_TRUE(perm[static_cast<std::size_t>(n) - 1] == 0 ||
+              perm[static_cast<std::size_t>(n) - 2] == 0);
+  EXPECT_EQ(fill_count(a, perm), static_cast<offset_t>(2 * n - 1));
+}
+
+TEST(MinDeg, BeatsNaturalOrderOnGrid) {
+  const Graph g = grid_2d(10, 10);
+  const CscMatrix l = grounded_laplacian(g);
+  const auto natural = identity_permutation(l.cols());
+  const auto md = mindeg_order(l);
+  EXPECT_LE(fill_count(l, md), fill_count(l, natural));
+}
+
+TEST(MinDeg, HandlesDiagonalMatrix) {
+  TripletMatrix t(5, 5);
+  for (index_t i = 0; i < 5; ++i) t.add(i, i, 1.0);
+  const CscMatrix a = CscMatrix::from_triplets(t);
+  const auto perm = mindeg_order(a);
+  EXPECT_TRUE(is_permutation(perm));
+}
+
+TEST(ComputeOrdering, DispatchesAllKinds) {
+  const Graph g = grid_2d(5, 5);
+  const CscMatrix l = grounded_laplacian(g);
+  for (auto kind : {Ordering::kNatural, Ordering::kRcm, Ordering::kMinDeg}) {
+    const auto perm = compute_ordering(l, kind);
+    EXPECT_TRUE(is_permutation(perm));
+  }
+  const auto nat = compute_ordering(l, Ordering::kNatural);
+  for (index_t i = 0; i < l.cols(); ++i)
+    EXPECT_EQ(nat[static_cast<std::size_t>(i)], i);
+}
+
+}  // namespace
+}  // namespace er

@@ -1,0 +1,117 @@
+// Tests for partition: validity, balance, cut quality on structured graphs,
+// determinism, degenerate cases.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "partition/partition.hpp"
+
+namespace er {
+namespace {
+
+PartitionOptions make_opts(index_t k, std::uint64_t seed = 1) {
+  PartitionOptions o;
+  o.num_parts = k;
+  o.seed = seed;
+  return o;
+}
+
+TEST(Partition, AssignsEveryNodeAValidPart) {
+  const Graph g = grid_2d(20, 20);
+  const PartitionResult r = partition_graph(g, make_opts(8));
+  ASSERT_EQ(r.part.size(), static_cast<std::size_t>(g.num_nodes()));
+  for (index_t p : r.part) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 8);
+  }
+}
+
+TEST(Partition, UsesAllParts) {
+  const Graph g = grid_2d(24, 24);
+  const PartitionResult r = partition_graph(g, make_opts(6));
+  std::set<index_t> used(r.part.begin(), r.part.end());
+  EXPECT_EQ(used.size(), 6u);
+}
+
+TEST(Partition, BalanceWithinTolerance) {
+  const Graph g = grid_2d(32, 32);
+  const PartitionResult r = partition_graph(g, make_opts(8));
+  // Allow some slack beyond the optimizer's cap for the round-trip through
+  // coarsening granularity.
+  EXPECT_LT(r.balance(g), 1.5);
+}
+
+TEST(Partition, CutFarBelowTotalOnMesh) {
+  // A k-way partition of a mesh should cut a small fraction of the edges
+  // (a random assignment cuts ~(1 - 1/k) of them).
+  const Graph g = grid_2d(30, 30);
+  const PartitionResult r = partition_graph(g, make_opts(4));
+  EXPECT_LT(r.cut_edges(g), g.num_edges() / 4);
+}
+
+TEST(Partition, SinglePartIsTrivial) {
+  const Graph g = grid_2d(10, 10);
+  const PartitionResult r = partition_graph(g, make_opts(1));
+  for (index_t p : r.part) EXPECT_EQ(p, 0);
+  EXPECT_EQ(r.cut_edges(g), 0u);
+}
+
+TEST(Partition, MorePartsThanNodes) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const PartitionResult r = partition_graph(g, make_opts(5));
+  for (index_t p : r.part) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 5);
+  }
+}
+
+TEST(Partition, RejectsZeroParts) {
+  const Graph g = grid_2d(4, 4);
+  EXPECT_THROW(partition_graph(g, make_opts(0)), std::invalid_argument);
+}
+
+TEST(Partition, DeterministicForSameSeed) {
+  const Graph g = barabasi_albert(400, 3, WeightKind::kUniform, 3);
+  const PartitionResult a = partition_graph(g, make_opts(4, 7));
+  const PartitionResult b = partition_graph(g, make_opts(4, 7));
+  EXPECT_EQ(a.part, b.part);
+}
+
+TEST(Partition, WorksOnHeavyTailedGraphs) {
+  const Graph g = barabasi_albert(600, 4, WeightKind::kUniform, 5);
+  const PartitionResult r = partition_graph(g, make_opts(6));
+  std::set<index_t> used(r.part.begin(), r.part.end());
+  EXPECT_GE(used.size(), 4u);  // hubs make perfect balance hard; most parts used
+  EXPECT_LT(r.balance(g), 2.0);
+}
+
+TEST(Partition, WorksOnDisconnectedGraphs) {
+  Graph g(40);
+  for (index_t i = 0; i < 19; ++i) g.add_edge(i, i + 1);
+  for (index_t i = 20; i < 39; ++i) g.add_edge(i, i + 1);
+  const PartitionResult r = partition_graph(g, make_opts(2));
+  for (index_t p : r.part) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 2);
+  }
+}
+
+class PartitionSweep : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(PartitionSweep, MeshCutScalesWithK) {
+  const index_t k = GetParam();
+  const Graph g = grid_2d(24, 24);
+  const PartitionResult r = partition_graph(g, make_opts(k));
+  std::set<index_t> used(r.part.begin(), r.part.end());
+  EXPECT_GE(used.size(), static_cast<std::size_t>(k) - 1);
+  EXPECT_LT(r.cut_edges(g), g.num_edges() / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, PartitionSweep, ::testing::Values(2, 3, 4, 8, 16));
+
+}  // namespace
+}  // namespace er

@@ -1,0 +1,121 @@
+// Tests for Wilson's uniform spanning tree sampler and the matrix-tree
+// counter, including the Monte-Carlo cross-validation of effective
+// resistances: Pr[e in UST] = w_e * R(e).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "effres/exact.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning_tree.hpp"
+
+namespace er {
+namespace {
+
+/// Verify a set of edge ids forms a spanning tree of g.
+bool is_spanning_tree(const Graph& g, const std::vector<index_t>& edges) {
+  if (edges.size() != static_cast<std::size_t>(g.num_nodes()) - 1) return false;
+  Graph t(g.num_nodes());
+  std::set<index_t> seen;
+  for (index_t e : edges) {
+    if (!seen.insert(e).second) return false;  // duplicate edge
+    const Edge& ed = g.edges()[static_cast<std::size_t>(e)];
+    t.add_edge(ed.u, ed.v, 1.0);
+  }
+  return is_connected(t);
+}
+
+TEST(Wilson, ProducesSpanningTrees) {
+  const Graph g = erdos_renyi(40, 100, WeightKind::kUniform, 1);
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial)
+    EXPECT_TRUE(is_spanning_tree(g, sample_uniform_spanning_tree(g, rng)));
+}
+
+TEST(Wilson, TreeOfTreeIsItself) {
+  // On a tree, the only spanning tree is the graph itself.
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(1, 3);
+  g.add_edge(3, 4);
+  g.add_edge(3, 5);
+  Rng rng(3);
+  const auto t = sample_uniform_spanning_tree(g, rng);
+  std::set<index_t> ids(t.begin(), t.end());
+  EXPECT_EQ(ids.size(), 5u);
+}
+
+TEST(Wilson, ThrowsOnDisconnected) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  Rng rng(4);
+  EXPECT_THROW(sample_uniform_spanning_tree(g, rng), std::invalid_argument);
+}
+
+TEST(MatrixTree, CountsKnownGraphs) {
+  // Cycle C_n has n spanning trees; K_4 has 16 (Cayley: n^{n-2}).
+  Graph c5(5);
+  for (index_t i = 0; i < 5; ++i) c5.add_edge(i, (i + 1) % 5);
+  EXPECT_NEAR(count_spanning_trees(c5), 5.0, 1e-9);
+
+  Graph k4(4);
+  for (index_t i = 0; i < 4; ++i)
+    for (index_t j = i + 1; j < 4; ++j) k4.add_edge(i, j);
+  EXPECT_NEAR(count_spanning_trees(k4), 16.0, 1e-8);
+}
+
+TEST(MatrixTree, WeightedVersion) {
+  // Two parallel paths 0-1 with weights a and b: trees = {a}, {b};
+  // weighted count = a + b.
+  Graph g(2);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(0, 1, 3.0);
+  EXPECT_NEAR(count_spanning_trees(g), 5.0, 1e-10);
+}
+
+TEST(Wilson, FrequenciesMatchEffectiveResistances) {
+  // The core cross-validation: UST edge frequencies converge to
+  // w_e * R(e). This checks ER values through a completely independent
+  // stochastic process (no shared linear algebra).
+  const Graph g = erdos_renyi(25, 60, WeightKind::kUniform, 5);
+  const ExactEffRes engine(g);
+  const std::size_t samples = 20000;
+  const auto freq = estimate_spanning_edge_probabilities(g, samples, 6);
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    const Edge& ed = g.edges()[e];
+    const real_t expect = ed.weight * engine.resistance(ed.u, ed.v);
+    // Monte-Carlo tolerance ~ 4 standard errors.
+    const real_t sigma = std::sqrt(
+        std::max<real_t>(expect * (1 - expect), real_t{0}) /
+        static_cast<real_t>(samples));
+    EXPECT_NEAR(freq[e], expect, 4 * sigma + 5e-3) << "edge " << e;
+  }
+}
+
+TEST(Wilson, FrequenciesSumToNMinusOne) {
+  const Graph g = watts_strogatz(50, 3, 0.2, WeightKind::kUnit, 7);
+  const auto freq = estimate_spanning_edge_probabilities(g, 500, 8);
+  const real_t total = std::accumulate(freq.begin(), freq.end(), real_t{0});
+  EXPECT_NEAR(total, 49.0, 1e-9);  // every tree has exactly n-1 edges
+}
+
+TEST(Wilson, WeightBiasVisible) {
+  // Triangle with one heavy edge: the heavy edge appears in more trees.
+  Graph g(3);
+  g.add_edge(0, 1, 10.0);  // heavy
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 0, 1.0);
+  const auto freq = estimate_spanning_edge_probabilities(g, 30000, 9);
+  // Trees: {01,12}, {01,20}, {12,20} with weights 10, 10, 1 -> total 21.
+  EXPECT_NEAR(freq[0], 20.0 / 21.0, 0.02);
+  EXPECT_NEAR(freq[1], 11.0 / 21.0, 0.02);
+  EXPECT_NEAR(freq[2], 11.0 / 21.0, 0.02);
+}
+
+}  // namespace
+}  // namespace er

@@ -1,0 +1,310 @@
+// Tests for sparse: COO assembly, CSC kernels vs dense references,
+// permutation/extraction, dense Cholesky/pseudo-inverse, sparse vectors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sparse/coo.hpp"
+#include "sparse/csc.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/sparse_vector.hpp"
+#include "util/rng.hpp"
+
+namespace er {
+namespace {
+
+CscMatrix random_sparse(index_t rows, index_t cols, std::size_t nnz,
+                        std::uint64_t seed) {
+  Rng rng(seed);
+  TripletMatrix t(rows, cols);
+  for (std::size_t k = 0; k < nnz; ++k)
+    t.add(rng.uniform_int(rows), rng.uniform_int(cols), rng.uniform(-1, 1));
+  return CscMatrix::from_triplets(t);
+}
+
+/// Random SPD matrix: A = G G^T + n*I with dense G.
+DenseMatrix random_spd(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  DenseMatrix g(n, n);
+  for (index_t c = 0; c < n; ++c)
+    for (index_t r = 0; r < n; ++r) g(r, c) = rng.uniform(-1, 1);
+  DenseMatrix a = g.multiply(g.transpose());
+  for (index_t i = 0; i < n; ++i) a(i, i) += n;
+  return a;
+}
+
+TEST(Triplets, DuplicatesAreSummed) {
+  TripletMatrix t(3, 3);
+  t.add(0, 0, 1.0);
+  t.add(0, 0, 2.0);
+  t.add(2, 1, 5.0);
+  const CscMatrix a = CscMatrix::from_triplets(t);
+  EXPECT_EQ(a.nnz(), 2);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 1), 5.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 0.0);
+}
+
+TEST(Triplets, OutOfRangeThrows) {
+  TripletMatrix t(2, 2);
+  EXPECT_THROW(t.add(2, 0, 1.0), std::out_of_range);
+  EXPECT_THROW(t.add(0, -1, 1.0), std::out_of_range);
+}
+
+TEST(Triplets, ConductanceStamp) {
+  TripletMatrix t(3, 3);
+  t.stamp_conductance(0, 2, 4.0);
+  const CscMatrix a = CscMatrix::from_triplets(t);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 2), 4.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 2), -4.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 0), -4.0);
+  // Conductance stamps keep the matrix singular-Laplacian-like: row sums 0.
+  const auto ones = std::vector<real_t>(3, 1.0);
+  const auto y = a.multiply(ones);
+  for (real_t v : y) EXPECT_NEAR(v, 0.0, 1e-15);
+}
+
+TEST(Csc, InvariantsHoldOnRandomMatrices) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const CscMatrix a = random_sparse(20, 15, 100, seed);
+    EXPECT_TRUE(a.check_invariants());
+  }
+}
+
+TEST(Csc, MultiplyMatchesDense) {
+  const CscMatrix a = random_sparse(13, 9, 50, 3);
+  const auto d = a.to_dense();
+  Rng rng(4);
+  std::vector<real_t> x(9);
+  for (auto& v : x) v = rng.uniform(-2, 2);
+  const auto y = a.multiply(x);
+  for (index_t r = 0; r < 13; ++r) {
+    real_t want = 0.0;
+    for (index_t c = 0; c < 9; ++c)
+      want += d[static_cast<std::size_t>(c) * 13 + r] * x[static_cast<std::size_t>(c)];
+    EXPECT_NEAR(y[static_cast<std::size_t>(r)], want, 1e-12);
+  }
+}
+
+TEST(Csc, MultiplyTransposeMatchesTransposedMultiply) {
+  const CscMatrix a = random_sparse(11, 7, 40, 5);
+  const CscMatrix at = a.transpose();
+  Rng rng(6);
+  std::vector<real_t> x(11);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  std::vector<real_t> y1, y2;
+  a.multiply_transpose(x, y1);
+  at.multiply(x, y2);
+  for (std::size_t i = 0; i < y1.size(); ++i) EXPECT_NEAR(y1[i], y2[i], 1e-12);
+}
+
+TEST(Csc, TransposeTwiceIsIdentity) {
+  const CscMatrix a = random_sparse(8, 12, 35, 7);
+  const CscMatrix att = a.transpose().transpose();
+  EXPECT_EQ(att.rows(), a.rows());
+  EXPECT_EQ(att.cols(), a.cols());
+  const auto d1 = a.to_dense(), d2 = att.to_dense();
+  for (std::size_t i = 0; i < d1.size(); ++i) EXPECT_DOUBLE_EQ(d1[i], d2[i]);
+}
+
+TEST(Csc, IdentityActsAsIdentity) {
+  const CscMatrix eye = CscMatrix::identity(6);
+  std::vector<real_t> x{1, 2, 3, 4, 5, 6};
+  const auto y = eye.multiply(x);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_DOUBLE_EQ(y[i], x[i]);
+}
+
+TEST(Csc, PermuteSymmetricPreservesValuesUnderMapping) {
+  // Symmetric random matrix.
+  TripletMatrix t(5, 5);
+  Rng rng(8);
+  for (int k = 0; k < 10; ++k) {
+    const index_t i = rng.uniform_int(5), j = rng.uniform_int(5);
+    const real_t v = rng.uniform(-1, 1);
+    t.add_symmetric(i, j, v);
+  }
+  const CscMatrix a = CscMatrix::from_triplets(t);
+  const std::vector<index_t> perm{3, 1, 4, 0, 2};  // new -> old
+  const CscMatrix b = a.permute_symmetric(perm);
+  for (index_t i = 0; i < 5; ++i)
+    for (index_t j = 0; j < 5; ++j)
+      EXPECT_NEAR(b.at(i, j),
+                  a.at(perm[static_cast<std::size_t>(i)],
+                       perm[static_cast<std::size_t>(j)]),
+                  1e-14);
+}
+
+TEST(Csc, ExtractSubmatrix) {
+  const CscMatrix a = random_sparse(6, 6, 25, 9);
+  const std::vector<index_t> rows{1, 3, 5};
+  const std::vector<index_t> cols{0, 2};
+  const CscMatrix s = a.extract(rows, cols);
+  EXPECT_EQ(s.rows(), 3);
+  EXPECT_EQ(s.cols(), 2);
+  for (index_t i = 0; i < 3; ++i)
+    for (index_t j = 0; j < 2; ++j)
+      EXPECT_DOUBLE_EQ(s.at(i, j), a.at(rows[static_cast<std::size_t>(i)],
+                                        cols[static_cast<std::size_t>(j)]));
+}
+
+TEST(Csc, LowerTriangle) {
+  const CscMatrix a = random_sparse(7, 7, 30, 10);
+  const CscMatrix l = a.lower_triangle(true);
+  const CscMatrix ls = a.lower_triangle(false);
+  for (index_t c = 0; c < 7; ++c)
+    for (index_t r = 0; r < 7; ++r) {
+      if (r >= c)
+        EXPECT_DOUBLE_EQ(l.at(r, c), a.at(r, c));
+      else
+        EXPECT_DOUBLE_EQ(l.at(r, c), 0.0);
+      if (r > c)
+        EXPECT_DOUBLE_EQ(ls.at(r, c), a.at(r, c));
+      else
+        EXPECT_DOUBLE_EQ(ls.at(r, c), 0.0);
+    }
+}
+
+TEST(Csc, AddAndSubtract) {
+  const CscMatrix a = random_sparse(5, 5, 15, 11);
+  const CscMatrix b = random_sparse(5, 5, 15, 12);
+  const CscMatrix c = a.add(b, -2.0);
+  for (index_t i = 0; i < 5; ++i)
+    for (index_t j = 0; j < 5; ++j)
+      EXPECT_NEAR(c.at(i, j), a.at(i, j) - 2.0 * b.at(i, j), 1e-14);
+}
+
+TEST(Csc, IsSymmetricDetects) {
+  TripletMatrix t(4, 4);
+  t.add_symmetric(0, 1, 2.0);
+  t.add_symmetric(2, 3, -1.0);
+  t.add(1, 1, 5.0);
+  const CscMatrix sym = CscMatrix::from_triplets(t);
+  EXPECT_TRUE(sym.is_symmetric(1e-15));
+
+  TripletMatrix t2(4, 4);
+  t2.add(0, 1, 2.0);
+  const CscMatrix asym = CscMatrix::from_triplets(t2);
+  EXPECT_FALSE(asym.is_symmetric(1e-15));
+}
+
+TEST(Csc, DropSmallKeepsDiagonal) {
+  TripletMatrix t(3, 3);
+  t.add(0, 0, 1e-8);
+  t.add(1, 0, 0.5);
+  t.add(2, 0, 1e-9);
+  const CscMatrix a = CscMatrix::from_triplets(t);
+  const CscMatrix d = a.drop_small(1e-6, true);
+  EXPECT_DOUBLE_EQ(d.at(0, 0), 1e-8);   // diagonal kept
+  EXPECT_DOUBLE_EQ(d.at(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(d.at(2, 0), 0.0);    // dropped
+}
+
+TEST(Csc, FromDenseRoundTrip) {
+  const CscMatrix a = random_sparse(9, 4, 20, 13);
+  const CscMatrix b = CscMatrix::from_dense(9, 4, a.to_dense());
+  const auto d1 = a.to_dense(), d2 = b.to_dense();
+  for (std::size_t i = 0; i < d1.size(); ++i) EXPECT_DOUBLE_EQ(d1[i], d2[i]);
+}
+
+TEST(Dense, CholeskySolveMatchesGeneralSolve) {
+  const index_t n = 12;
+  const DenseMatrix a = random_spd(n, 14);
+  Rng rng(15);
+  std::vector<real_t> b(static_cast<std::size_t>(n));
+  for (auto& v : b) v = rng.uniform(-1, 1);
+
+  DenseMatrix f = a;
+  ASSERT_TRUE(f.cholesky_in_place());
+  std::vector<real_t> x1 = b;
+  f.cholesky_solve(x1);
+
+  std::vector<real_t> x2 = b;
+  ASSERT_TRUE(DenseMatrix::solve_general(a, x2));
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_NEAR(x1[static_cast<std::size_t>(i)], x2[static_cast<std::size_t>(i)],
+                1e-9);
+}
+
+TEST(Dense, CholeskyFailsOnIndefinite) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 1) = -1.0;
+  EXPECT_FALSE(a.cholesky_in_place());
+}
+
+TEST(Dense, SpdInverseTimesMatrixIsIdentity) {
+  const index_t n = 8;
+  const DenseMatrix a = random_spd(n, 16);
+  const DenseMatrix inv = a.spd_inverse();
+  const DenseMatrix prod = a.multiply(inv);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j)
+      EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-8);
+}
+
+TEST(Dense, PseudoInverseOfSingularLaplacian) {
+  // Laplacian of a triangle graph with unit weights.
+  DenseMatrix l(3, 3);
+  for (index_t i = 0; i < 3; ++i) l(i, i) = 2.0;
+  for (index_t i = 0; i < 3; ++i)
+    for (index_t j = 0; j < 3; ++j)
+      if (i != j) l(i, j) = -1.0;
+  const DenseMatrix p = l.symmetric_pseudo_inverse();
+  // L * L+ * L == L (Moore-Penrose property 1).
+  const DenseMatrix llpl = l.multiply(p).multiply(l);
+  for (index_t i = 0; i < 3; ++i)
+    for (index_t j = 0; j < 3; ++j) EXPECT_NEAR(llpl(i, j), l(i, j), 1e-8);
+  // Effective resistance across any edge of a unit triangle is 2/3.
+  const real_t r01 = p(0, 0) + p(1, 1) - 2 * p(0, 1);
+  EXPECT_NEAR(r01, 2.0 / 3.0, 1e-9);
+}
+
+TEST(SparseVector, NormsAndLookup) {
+  SparseVector v;
+  v.idx = {1, 4, 7};
+  v.val = {1.0, -2.0, 3.0};
+  EXPECT_DOUBLE_EQ(v.norm1(), 6.0);
+  EXPECT_DOUBLE_EQ(v.norm2_squared(), 14.0);
+  EXPECT_DOUBLE_EQ(v.at(4), -2.0);
+  EXPECT_DOUBLE_EQ(v.at(5), 0.0);
+}
+
+TEST(SparseVector, DistanceSquaredMatchesDense) {
+  SparseVector a, b;
+  a.idx = {0, 2, 5};
+  a.val = {1.0, 2.0, 3.0};
+  b.idx = {2, 3, 5};
+  b.val = {1.0, -1.0, 3.0};
+  // dense: a = [1,0,2,0,0,3], b = [0,0,1,-1,0,3]
+  // diff = [1,0,1,1,0,0] -> 3
+  EXPECT_DOUBLE_EQ(distance_squared(a, b), 3.0);
+  EXPECT_DOUBLE_EQ(distance_1norm(a, b), 3.0);
+}
+
+TEST(SparseVector, AddScaled) {
+  SparseVector a, b;
+  a.idx = {0, 3};
+  a.val = {1.0, 2.0};
+  b.idx = {1, 3};
+  b.val = {4.0, -1.0};
+  const SparseVector c = add_scaled(a, 2.0, b);
+  EXPECT_DOUBLE_EQ(c.at(0), 1.0);
+  EXPECT_DOUBLE_EQ(c.at(1), 8.0);
+  EXPECT_DOUBLE_EQ(c.at(3), 0.0);
+}
+
+TEST(VectorOps, DotNormAxpy) {
+  std::vector<real_t> a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(norm1(a), 6.0);
+  EXPECT_DOUBLE_EQ(norm2(a), std::sqrt(14.0));
+  EXPECT_DOUBLE_EQ(norm_inf(b), 6.0);
+  axpy(2.0, a, b);
+  EXPECT_DOUBLE_EQ(b[0], 6.0);
+  EXPECT_DOUBLE_EQ(b[2], 12.0);
+}
+
+}  // namespace
+}  // namespace er

@@ -1,0 +1,174 @@
+// Tests for util: RNG determinism/distributions, alias sampler, stats,
+// table formatting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace er {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_index(17);
+    EXPECT_LT(v, 17u);
+  }
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+  Rng rng(5);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 10000; ++i) ++counts[rng.uniform_index(8)];
+  EXPECT_EQ(counts.size(), 8u);
+  for (const auto& [v, c] : counts) EXPECT_GT(c, 1000);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(Rng, SignIsBalanced) {
+  Rng rng(17);
+  int pos = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (rng.sign() > 0) ++pos;
+  EXPECT_NEAR(static_cast<double>(pos) / n, 0.5, 0.02);
+}
+
+TEST(AliasSampler, MatchesWeights) {
+  AliasSampler s({1.0, 2.0, 3.0, 4.0});
+  Rng rng(23);
+  std::vector<int> counts(4, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[static_cast<std::size_t>(s.sample(rng))];
+  for (int k = 0; k < 4; ++k)
+    EXPECT_NEAR(static_cast<double>(counts[static_cast<std::size_t>(k)]) / n,
+                (k + 1) / 10.0, 0.01);
+}
+
+TEST(AliasSampler, SingleOutcome) {
+  AliasSampler s({5.0});
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(s.sample(rng), 0);
+}
+
+TEST(AliasSampler, ZeroWeightNeverSampled) {
+  AliasSampler s({0.0, 1.0, 0.0, 1.0});
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const index_t v = s.sample(rng);
+    EXPECT_TRUE(v == 1 || v == 3);
+  }
+}
+
+TEST(AliasSampler, RejectsNegativeAndAllZero) {
+  EXPECT_THROW(AliasSampler({-1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(AliasSampler({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Quantile, MedianAndExtremes) {
+  std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+}
+
+TEST(RelativeError, Basics) {
+  EXPECT_NEAR(relative_error(1.1, 1.0), 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(relative_error(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(relative_error(1.0, 0.0), 1.0);
+}
+
+TEST(TablePrinter, AlignsAndPrints) {
+  TablePrinter t({"a", "bb"});
+  t.add_row({"1", "22"});
+  t.add_row({"333", "4"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("a"), std::string::npos);
+  EXPECT_NE(out.find("333"), std::string::npos);
+}
+
+TEST(TablePrinter, Formatters) {
+  EXPECT_EQ(TablePrinter::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::fmt_int(42), "42");
+  EXPECT_EQ(TablePrinter::fmt_size(130000), "1.3E5");
+  EXPECT_EQ(TablePrinter::fmt_sci(0.00123, 1), "1.2E-03");
+}
+
+TEST(Timer, MeasuresNonNegativeTime) {
+  Timer t;
+  volatile double x = 0;
+  for (int i = 0; i < 1000; ++i) x = x + i;
+  EXPECT_GE(t.seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace er
