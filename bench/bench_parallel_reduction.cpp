@@ -1,0 +1,97 @@
+// Parallel-reduction bench: reduce_network on generated grids at 1..T
+// threads. Reports wall time, speedup over the 1-thread run, and verifies
+// the determinism guarantee — the reduced model must be bit-identical at
+// every thread count. Emits BENCH_parallel.json for trend tracking.
+//
+//   bench_parallel_reduction [--threads N] [--json PATH]
+//
+// N is the *maximum* thread count swept (default: hardware concurrency).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "pg/incremental.hpp"
+#include "reduction/pipeline.hpp"
+#include "suite.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace er;
+
+int main(int argc, char** argv) {
+  // Default --threads 0: sweep up to the hardware concurrency.
+  const bench::BenchOptions bopts = bench::parse_bench_args(
+      argc, argv, "BENCH_parallel.json", /*default_threads=*/0);
+  const int max_threads = bopts.threads;
+
+  std::vector<int> thread_counts{1};
+  for (int t = 2; t <= max_threads; t *= 2) thread_counts.push_back(t);
+  if (thread_counts.back() != max_threads && max_threads > 1)
+    thread_counts.push_back(max_threads);
+
+  const auto grids = er::bench::table2_suite();
+  TablePrinter table({"Case", "|V|(|E|)", "Blocks", "Threads", "T_red(s)",
+                      "Speedup", "Identical"});
+  bench::BenchJson json;
+  bool all_identical = true;
+
+  for (const auto& [name, pg] : grids) {
+    const ConductanceNetwork net = pg.to_network();
+    std::fprintf(stderr, "[parallel] %s: n=%d resistors=%zu\n", name.c_str(),
+                 pg.num_nodes, pg.resistors.size());
+
+    ReductionOptions opts;
+    // At least 32 blocks so the block-parallel dispatch has real width.
+    opts.num_blocks = 32;
+    opts.sparsify_quality = 1.0;
+
+    double t1 = 0.0;
+    ReducedModel reference;
+    for (int threads : thread_counts) {
+      opts.parallel.num_threads = threads;
+      Timer t;
+      ReducedModel m = reduce_network(net, pg.port_mask(), opts);
+      const double seconds = t.seconds();
+      if (threads == 1) {
+        t1 = seconds;
+        reference = std::move(m);
+      }
+      const bool identical =
+          threads == 1 || models_identical(reference, m);
+      all_identical = all_identical && identical;
+      const double speedup = seconds > 0.0 ? t1 / seconds : 0.0;
+
+      table.add_row({name,
+                     TablePrinter::fmt_size(pg.num_nodes) + "(" +
+                         TablePrinter::fmt_size(static_cast<long long>(
+                             pg.resistors.size())) +
+                         ")",
+                     TablePrinter::fmt_int(opts.num_blocks),
+                     TablePrinter::fmt_int(threads),
+                     TablePrinter::fmt(seconds, 3),
+                     TablePrinter::fmt(speedup, 2) + "x",
+                     identical ? "yes" : "NO"});
+      json.add_row()
+          .set("bench", "parallel_reduction")
+          .set("case", name)
+          .set("nodes", static_cast<long long>(pg.num_nodes))
+          .set("edges", pg.resistors.size())
+          .set("blocks", static_cast<int>(opts.num_blocks))
+          .set("threads", threads)
+          .set("wall_seconds", seconds)
+          .set("speedup", speedup)
+          .set("identical", identical);
+    }
+  }
+
+  std::printf("\nParallel block reduction — wall time vs. thread count\n"
+              "(speedup relative to 1 thread; models must be identical)\n\n");
+  table.print();
+  const int json_status = bench::write_json_or_report(json, bopts);
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "ERROR: parallel reduction diverged from the serial model\n");
+    return 1;
+  }
+  return json_status;
+}

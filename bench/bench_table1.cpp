@@ -6,6 +6,9 @@
 // baseline T/Ea/Em/nnz(Q)/(n log n), Alg. 3 T/Ea/Em/nnz(Z)/(n log n).
 // Ea/Em are measured on 1000 random edges against exact values (direct
 // solves), exactly as in the paper.
+//
+// Batch queries are chunked across --threads worker threads (default 1);
+// results are identical at any thread count.
 #include <cstdio>
 #include <memory>
 
@@ -13,6 +16,7 @@
 #include "effres/error_metrics.hpp"
 #include "effres/exact.hpp"
 #include "effres/random_projection.hpp"
+#include "parallel/thread_pool.hpp"
 #include "suite.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -32,11 +36,17 @@ struct MethodRow {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const er::bench::BenchOptions bopts =
+      er::bench::parse_bench_args(argc, argv, "BENCH_table1.json");
+  std::unique_ptr<ThreadPool> pool;
+  if (bopts.threads > 1) pool = std::make_unique<ThreadPool>(bopts.threads);
+
   const auto suite = er::bench::table1_suite();
   TablePrinter table({"Case", "|V|(|E|)", "dpt", "RP T(s)", "RP Ea", "RP Em",
                       "RP nnz/nlogn", "Alg3 T(s)", "Alg3 Ea", "Alg3 Em",
                       "Alg3 nnz/nlogn", "Speedup"});
+  er::bench::BenchJson json;
 
   double speedup_sum = 0.0;
   int speedup_count = 0;
@@ -51,7 +61,7 @@ int main() {
     Timer t;
     ApproxCholOptions ac;  // defaults are the paper's settings
     const ApproxCholEffRes alg3(c.graph, ac);
-    for (const auto& [p, q] : queries) (void)alg3.resistance(p, q);
+    (void)alg3.resistances(queries, pool.get());
     MethodRow alg3_row;
     alg3_row.seconds = t.seconds();
     alg3_row.nnz_ratio = alg3.stats().nnz_ratio(c.graph.num_nodes());
@@ -76,7 +86,7 @@ int main() {
       // runtime on one core; see EXPERIMENTS.md).
       rp_opts.auto_scale = 48.0;
       const RandomProjectionEffRes rp(c.graph, rp_opts);
-      for (const auto& [p, q] : queries) (void)rp.resistance(p, q);
+      (void)rp.resistances(queries, pool.get());
       rp_row.seconds = t.seconds();
       rp_row.nnz_ratio = rp.stats().nnz_ratio(c.graph.num_nodes());
       rp_row.ran = true;
@@ -106,6 +116,23 @@ int main() {
          rp_row.ran ? TablePrinter::fmt(rp_row.seconds / alg3_row.seconds, 1) +
                           "x"
                     : "-"});
+    json.add_row()
+        .set("bench", "table1")
+        .set("case", c.name)
+        .set("family", c.family)
+        .set("nodes", static_cast<long long>(c.graph.num_nodes()))
+        .set("edges", c.graph.num_edges())
+        .set("threads", bopts.threads)
+        .set("alg3_wall_seconds", alg3_row.seconds)
+        .set("alg3_ea", alg3_row.ea)
+        .set("alg3_em", alg3_row.em)
+        .set("alg3_nnz_ratio", alg3_row.nnz_ratio)
+        .set("rp_ran", rp_row.ran)
+        .set("rp_wall_seconds", rp_row.seconds)
+        .set("rp_ea", rp_row.ea)
+        .set("rp_em", rp_row.em)
+        .set("speedup_alg3_over_rp",
+             rp_row.ran ? rp_row.seconds / alg3_row.seconds : 0.0);
   }
 
   std::printf("\nTable I — computing effective resistances on large graphs\n");
@@ -120,5 +147,5 @@ int main() {
   }
   table.write_csv("bench_table1.csv");
   std::printf("\nCSV written to bench_table1.csv\n");
-  return 0;
+  return er::bench::write_json_or_report(json, bopts);
 }

@@ -26,13 +26,14 @@ struct RunResult {
 };
 
 RunResult run_incremental(const PowerGrid& pg, const ConductanceNetwork& net,
-                          ErBackend backend,
+                          ErBackend backend, int threads,
                           const std::vector<real_t>& reference_drops,
                           double max_drop) {
   ReductionOptions ropts;
   ropts.backend = backend;
   ropts.sparsify_quality = 1.0;
   ropts.merge_threshold = 0.02;
+  ropts.parallel.num_threads = threads;
 
   IncrementalReducer reducer(net, pg.port_mask(), ropts);
   const GridModification mod = random_modification(
@@ -62,10 +63,13 @@ RunResult run_incremental(const PowerGrid& pg, const ConductanceNetwork& net,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const er::bench::BenchOptions bopts = er::bench::parse_bench_args(
+      argc, argv, "BENCH_table2_incremental.json");
   const auto grids = er::bench::table2_suite();
   TablePrinter table({"Case", "Orig |V|(|E|)", "Orig Tinc", "Method",
                       "|V|(|E|)", "Tred", "Tinc", "Err(mV)", "Rel(%)"});
+  er::bench::BenchJson json;
 
   double sum_speedup_total = 0.0;
   int count = 0;
@@ -109,8 +113,23 @@ int main() {
 
     double t_exact_total = 0.0;
     for (const Config& cfg : configs) {
-      const RunResult r =
-          run_incremental(pg, net, cfg.backend, full.drops, max_drop);
+      const RunResult r = run_incremental(pg, net, cfg.backend, bopts.threads,
+                                          full.drops, max_drop);
+      json.add_row()
+          .set("bench", "table2_incremental")
+          .set("case", name)
+          .set("method", cfg.label)
+          .set("threads", bopts.threads)
+          .set("orig_nodes", static_cast<long long>(pg.num_nodes))
+          .set("orig_solve_seconds", t_full)
+          .set("reduced_nodes", static_cast<long long>(r.nodes))
+          .set("reduced_edges", r.edges)
+          .set("wall_seconds_reduce", r.t_red)
+          .set("wall_seconds_solve", r.t_inc)
+          .set("speedup_vs_full_solve",
+               t_full / std::max(r.t_red + r.t_inc, 1e-9))
+          .set("err_mv", r.err_mv)
+          .set("rel_pct", r.rel_pct);
       table.add_row(
           {name, osize, TablePrinter::fmt(t_full, 3), cfg.label,
            TablePrinter::fmt_size(r.nodes) + "(" +
@@ -134,5 +153,5 @@ int main() {
                 sum_speedup_total / count);
   table.write_csv("bench_table2_incremental.csv");
   std::printf("\nCSV written to bench_table2_incremental.csv\n");
-  return 0;
+  return er::bench::write_json_or_report(json, bopts);
 }

@@ -7,15 +7,166 @@
 // numbers in EXPERIMENTS.md use medium.
 #pragma once
 
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <deque>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
+#include "parallel/thread_pool.hpp"
 #include "pg/generator.hpp"
 
 namespace er::bench {
+
+// ---------------------------------------------------------------------------
+// Command-line plumbing shared by the bench mains.
+// ---------------------------------------------------------------------------
+
+struct BenchOptions {
+  /// Worker threads for parallel reduction / batched ER queries.
+  /// 0 = auto (hardware concurrency); set via --threads N.
+  int threads = 1;
+  /// Machine-readable results file (BENCH_*.json); set via --json PATH,
+  /// empty disables JSON output.
+  std::string json_path;
+};
+
+/// Strict non-negative integer parse; exits with usage on garbage so a
+/// typo'd --threads can't silently mean "0 = all hardware cores".
+inline int parse_thread_count(const char* prog, const std::string& text) {
+  char* end = nullptr;
+  const long v = std::strtol(text.c_str(), &end, 10);
+  if (text.empty() || end != text.c_str() + text.size() || v < 0 ||
+      v > 4096) {
+    std::fprintf(stderr, "%s: --threads expects an integer in [0, 4096], got '%s'\n",
+                 prog, text.c_str());
+    std::exit(2);
+  }
+  return static_cast<int>(v);
+}
+
+inline BenchOptions parse_bench_args(int argc, char** argv,
+                                     std::string default_json,
+                                     int default_threads = 1) {
+  BenchOptions o;
+  o.threads = default_threads;
+  o.json_path = std::move(default_json);
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--threads" && i + 1 < argc) {
+      o.threads = parse_thread_count(argv[0], argv[++i]);
+    } else if (a.rfind("--threads=", 0) == 0) {
+      o.threads = parse_thread_count(argv[0], a.substr(10));
+    } else if (a == "--json" && i + 1 < argc) {
+      o.json_path = argv[++i];
+    } else if (a.rfind("--json=", 0) == 0) {
+      o.json_path = a.substr(7);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--threads N] [--json PATH]\n"
+                   "  --threads N   worker threads (0 = hardware)\n"
+                   "  --json PATH   machine-readable output ('' disables)\n",
+                   argv[0]);
+      std::exit(a == "--help" ? 0 : 2);
+    }
+  }
+  o.threads = resolve_num_threads(o.threads);
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON emitter for BENCH_*.json result files: an array of flat
+// objects, one per measured configuration.
+// ---------------------------------------------------------------------------
+
+class BenchJson {
+ public:
+  class Row {
+   public:
+    Row& set(const std::string& key, double v) {
+      // Bare nan/inf tokens are invalid JSON; emit null so a degenerate
+      // metric can't make the whole file unparseable.
+      if (!std::isfinite(v)) return raw(key, "null");
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.9g", v);
+      return raw(key, buf);
+    }
+    Row& set(const std::string& key, long long v) {
+      return raw(key, std::to_string(v));
+    }
+    Row& set(const std::string& key, int v) {
+      return raw(key, std::to_string(v));
+    }
+    Row& set(const std::string& key, std::size_t v) {
+      return raw(key, std::to_string(v));
+    }
+    Row& set(const std::string& key, bool v) {
+      return raw(key, v ? "true" : "false");
+    }
+    Row& set(const std::string& key, const std::string& v) {
+      return raw(key, "\"" + escaped(v) + "\"");
+    }
+    Row& set(const std::string& key, const char* v) {
+      return set(key, std::string(v));
+    }
+
+   private:
+    friend class BenchJson;
+    static std::string escaped(const std::string& s) {
+      std::string out;
+      out.reserve(s.size());
+      for (char c : s) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        out.push_back(c);
+      }
+      return out;
+    }
+    Row& raw(const std::string& key, const std::string& value) {
+      if (!body_.empty()) body_ += ", ";
+      body_ += "\"" + escaped(key) + "\": " + value;
+      return *this;
+    }
+    std::string body_;
+  };
+
+  /// Append a row; the reference stays valid until write().
+  Row& add_row() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  /// Write the accumulated rows as a JSON array. No-op on empty path.
+  bool write(const std::string& path) const {
+    if (path.empty()) return true;
+    std::ofstream out(path);
+    if (!out) return false;
+    out << "[\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i)
+      out << "  {" << rows_[i].body_ << "}" << (i + 1 < rows_.size() ? ",\n" : "\n");
+    out << "]\n";
+    return static_cast<bool>(out);
+  }
+
+ private:
+  std::deque<Row> rows_;
+};
+
+/// Shared bench epilogue: write BENCH_*.json (if enabled), report the
+/// outcome, and return the process exit code contribution (0 ok, 1 fail).
+inline int write_json_or_report(const BenchJson& json,
+                                const BenchOptions& opts) {
+  if (opts.json_path.empty()) return 0;
+  if (json.write(opts.json_path)) {
+    std::printf("JSON written to %s\n", opts.json_path.c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "failed to write %s\n", opts.json_path.c_str());
+  return 1;
+}
 
 inline double scale_factor() {
   const char* env = std::getenv("ER_BENCH_SCALE");

@@ -13,7 +13,6 @@
 #pragma once
 
 #include <iosfwd>
-#include <span>
 #include <string>
 #include <vector>
 
@@ -40,11 +39,11 @@ class ApproxInverse {
   [[nodiscard]] index_t dimension() const { return n_; }
   [[nodiscard]] offset_t nnz() const { return static_cast<offset_t>(pool_rows_.size()); }
 
-  [[nodiscard]] std::span<const index_t> column_rows(index_t j) const {
+  [[nodiscard]] Span<index_t> column_rows(index_t j) const {
     return {pool_rows_.data() + col_offset_[static_cast<std::size_t>(j)],
             static_cast<std::size_t>(col_len_[static_cast<std::size_t>(j)])};
   }
-  [[nodiscard]] std::span<const real_t> column_values(index_t j) const {
+  [[nodiscard]] Span<real_t> column_values(index_t j) const {
     return {pool_vals_.data() + col_offset_[static_cast<std::size_t>(j)],
             static_cast<std::size_t>(col_len_[static_cast<std::size_t>(j)])};
   }

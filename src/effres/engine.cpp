@@ -1,12 +1,19 @@
 #include "effres/engine.hpp"
 
+#include "parallel/thread_pool.hpp"
+
 namespace er {
 
 std::vector<real_t> EffResEngine::resistances(
-    const std::vector<ResistanceQuery>& queries) const {
-  std::vector<real_t> out;
-  out.reserve(queries.size());
-  for (const auto& [p, q] : queries) out.push_back(resistance(p, q));
+    const std::vector<ResistanceQuery>& queries, ThreadPool* pool) const {
+  std::vector<real_t> out(queries.size(), 0.0);
+  parallel_for(pool, 0, static_cast<index_t>(queries.size()), kBatchQueryGrain,
+               [&](index_t lo, index_t hi) {
+                 for (index_t i = lo; i < hi; ++i) {
+                   const auto& [p, q] = queries[static_cast<std::size_t>(i)];
+                   out[static_cast<std::size_t>(i)] = resistance(p, q);
+                 }
+               });
   return out;
 }
 

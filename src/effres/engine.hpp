@@ -15,19 +15,33 @@
 
 namespace er {
 
+class ThreadPool;
+
 /// A (p, q) node pair whose effective resistance is requested.
 using ResistanceQuery = std::pair<index_t, index_t>;
+
+/// Chunk size for batched queries: large enough to amortize dispatch,
+/// small enough to load-balance uneven query costs. Shared by every
+/// engine's batch path so the grain is tuned in one place.
+inline constexpr index_t kBatchQueryGrain = 64;
 
 class EffResEngine {
  public:
   virtual ~EffResEngine() = default;
 
   /// Effective resistance between nodes p and q (original node ids).
+  /// Thread safety is engine-specific (ExactEffRes keeps a serial-only
+  /// workspace); concurrent callers must go through the batch interface.
   [[nodiscard]] virtual real_t resistance(index_t p, index_t q) const = 0;
 
-  /// Batch interface; default loops over resistance().
+  /// Batch interface. Queries are chunked across `pool` (null = serial);
+  /// results are written into per-query slots, so the output is identical
+  /// at any thread count. The default chunks over resistance(), which is
+  /// safe for engines whose resistance() is stateless; engines with query
+  /// workspaces override this with a per-chunk workspace.
   [[nodiscard]] virtual std::vector<real_t> resistances(
-      const std::vector<ResistanceQuery>& queries) const;
+      const std::vector<ResistanceQuery>& queries,
+      ThreadPool* pool = nullptr) const;
 
   /// Engine name for reports.
   [[nodiscard]] virtual std::string name() const = 0;

@@ -4,6 +4,7 @@
 
 #include "chol/cholesky.hpp"
 #include "graph/laplacian.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace er {
 
@@ -14,19 +15,38 @@ ExactEffRes::ExactEffRes(const Graph& g, Ordering ordering)
   work_.assign(static_cast<std::size_t>(n_), 0.0);
 }
 
-real_t ExactEffRes::resistance(index_t p, index_t q) const {
+real_t ExactEffRes::resistance_with(std::vector<real_t>& work, index_t p,
+                                    index_t q) const {
   if (p < 0 || p >= n_ || q < 0 || q >= n_)
     throw std::out_of_range("ExactEffRes::resistance: node out of range");
   if (p == q) return 0.0;
   // Solve (in permuted space) L L^T x = e_p - e_q, then R = x_p - x_q.
-  std::fill(work_.begin(), work_.end(), 0.0);
+  std::fill(work.begin(), work.end(), 0.0);
   const index_t pp = factor_.inv_perm[static_cast<std::size_t>(p)];
   const index_t qq = factor_.inv_perm[static_cast<std::size_t>(q)];
-  work_[static_cast<std::size_t>(pp)] = 1.0;
-  work_[static_cast<std::size_t>(qq)] = -1.0;
-  factor_.solve_permuted(work_);
-  return work_[static_cast<std::size_t>(pp)] -
-         work_[static_cast<std::size_t>(qq)];
+  work[static_cast<std::size_t>(pp)] = 1.0;
+  work[static_cast<std::size_t>(qq)] = -1.0;
+  factor_.solve_permuted(work);
+  return work[static_cast<std::size_t>(pp)] -
+         work[static_cast<std::size_t>(qq)];
+}
+
+real_t ExactEffRes::resistance(index_t p, index_t q) const {
+  return resistance_with(work_, p, q);
+}
+
+std::vector<real_t> ExactEffRes::resistances(
+    const std::vector<ResistanceQuery>& queries, ThreadPool* pool) const {
+  std::vector<real_t> out(queries.size(), 0.0);
+  parallel_for(pool, 0, static_cast<index_t>(queries.size()), kBatchQueryGrain,
+               [&](index_t lo, index_t hi) {
+                 std::vector<real_t> work(static_cast<std::size_t>(n_), 0.0);
+                 for (index_t i = lo; i < hi; ++i) {
+                   const auto& [p, q] = queries[static_cast<std::size_t>(i)];
+                   out[static_cast<std::size_t>(i)] = resistance_with(work, p, q);
+                 }
+               });
+  return out;
 }
 
 }  // namespace er

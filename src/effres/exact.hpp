@@ -17,12 +17,22 @@ class ExactEffRes final : public EffResEngine {
   explicit ExactEffRes(const Graph& g, Ordering ordering = Ordering::kMinDeg);
 
   [[nodiscard]] real_t resistance(index_t p, index_t q) const override;
+
+  /// Thread-safe batch override: each chunk solves with its own workspace,
+  /// so queries can be chunked across a pool despite the serial work_.
+  [[nodiscard]] std::vector<real_t> resistances(
+      const std::vector<ResistanceQuery>& queries,
+      ThreadPool* pool = nullptr) const override;
+
   [[nodiscard]] std::string name() const override { return "exact"; }
 
   /// The underlying factor (e.g. for reuse as a solver).
   [[nodiscard]] const CholFactor& factor() const { return factor_; }
 
  private:
+  real_t resistance_with(std::vector<real_t>& work, index_t p,
+                         index_t q) const;
+
   index_t n_ = 0;
   CholFactor factor_;
   // Workspace reused across queries (single-threaded usage assumed).

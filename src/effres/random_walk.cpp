@@ -61,4 +61,14 @@ real_t RandomWalkEffRes::resistance(index_t p, index_t q) const {
   return commute / (2.0 * total_weight_);
 }
 
+std::vector<real_t> RandomWalkEffRes::resistances(
+    const std::vector<ResistanceQuery>& queries, ThreadPool* pool) const {
+  // Deliberately serial: each query advances the shared rng_ stream.
+  (void)pool;
+  std::vector<real_t> out;
+  out.reserve(queries.size());
+  for (const auto& [p, q] : queries) out.push_back(resistance(p, q));
+  return out;
+}
+
 }  // namespace er

@@ -28,6 +28,13 @@ class RandomWalkEffRes final : public EffResEngine {
   explicit RandomWalkEffRes(const Graph& g, const RandomWalkOptions& opts = {});
 
   [[nodiscard]] real_t resistance(index_t p, index_t q) const override;
+
+  /// Serial override: queries advance the shared RNG stream, so chunking
+  /// them across a pool would race (and change results with thread count).
+  [[nodiscard]] std::vector<real_t> resistances(
+      const std::vector<ResistanceQuery>& queries,
+      ThreadPool* pool = nullptr) const override;
+
   [[nodiscard]] std::string name() const override { return "random-walk"; }
 
  private:

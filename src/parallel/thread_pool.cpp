@@ -1,0 +1,105 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace er {
+
+namespace {
+thread_local bool t_on_worker = false;
+}  // namespace
+
+int resolve_num_threads(int requested) {
+  if (requested < 0)
+    throw std::invalid_argument("resolve_num_threads: negative thread count");
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = resolve_num_threads(num_threads);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> wrapped(std::move(task));
+  std::future<void> fut = wrapped.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_)
+      throw std::runtime_error("ThreadPool::submit: pool is shutting down");
+    queue_.push(std::move(wrapped));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+bool ThreadPool::on_worker_thread() { return t_on_worker; }
+
+void ThreadPool::worker_loop() {
+  t_on_worker = true;
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();  // exceptions land in the task's future
+  }
+}
+
+void parallel_for(ThreadPool* pool, index_t begin, index_t end, index_t grain,
+                  const std::function<void(index_t, index_t)>& body) {
+  if (end <= begin) return;
+  if (grain < 1) grain = 1;
+  const index_t n = end - begin;
+  if (pool == nullptr || pool->num_threads() <= 1 || n <= grain ||
+      ThreadPool::on_worker_thread()) {
+    body(begin, end);
+    return;
+  }
+
+  // Cap chunk count at a small multiple of the worker count: enough slack
+  // for load balancing without swamping the queue.
+  const index_t by_grain = (n + grain - 1) / grain;
+  const index_t max_chunks =
+      static_cast<index_t>(pool->num_threads()) * 4;
+  const index_t chunks = std::min(by_grain, std::max<index_t>(1, max_chunks));
+  const index_t step = (n + chunks - 1) / chunks;
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(static_cast<std::size_t>(chunks));
+  for (index_t lo = begin; lo < end; lo += step) {
+    const index_t hi = std::min<index_t>(lo + step, end);
+    futures.push_back(pool->submit([&body, lo, hi] { body(lo, hi); }));
+  }
+
+  // Wait for every chunk before rethrowing, so no task can outlive the
+  // caller's stack frame.
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+}  // namespace er

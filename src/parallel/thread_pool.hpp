@@ -1,0 +1,79 @@
+// Fixed-size thread pool and a blocking parallel_for, the concurrency
+// substrate for block-parallel reduction (Alg. 1 steps 2-4 are independent
+// per block) and chunked effective-resistance batch queries.
+//
+// Design rules (see DESIGN.md §3 "Concurrency model"):
+//   * Determinism is owned by the callers: every parallel site derives its
+//     RNG stream as mix_seed(seed, stream_id), so results are bit-identical
+//     at any thread count, including 1.
+//   * parallel_for called from inside a pool worker runs the body inline
+//     (serially). This makes nested parallelism — reduce_block on a worker
+//     issuing a batched ER query — deadlock-free by construction.
+//   * Tasks may throw; the first exception is rethrown on the calling
+//     thread after all chunks finish.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace er {
+
+/// Threading knob carried by ReductionOptions (and bench flags).
+struct ParallelOptions {
+  /// 0 = auto (hardware concurrency), 1 = serial, n = exactly n threads.
+  int num_threads = 1;
+};
+
+/// Map the ParallelOptions convention onto an actual thread count (>= 1).
+int resolve_num_threads(int requested);
+
+/// Fixed-size pool of worker threads draining a FIFO task queue.
+/// submit() is thread-safe, including from inside a worker task.
+class ThreadPool {
+ public:
+  /// Spawns resolve_num_threads(num_threads) workers immediately.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int num_threads() const {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Enqueue a task; the future resolves when it finishes and rethrows any
+  /// exception the task raised. Never blocks (safe to call from a worker).
+  std::future<void> submit(std::function<void()> task);
+
+  /// True when the calling thread is a worker of *any* ThreadPool. Used by
+  /// parallel_for to fall back to inline execution for nested parallelism.
+  static bool on_worker_thread();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Split [begin, end) into chunks of at least `grain` iterations and run
+/// `body(chunk_begin, chunk_end)` across the pool, blocking until all chunks
+/// complete. Runs inline (one chunk, calling thread) when `pool` is null,
+/// has one thread, the range is within one grain, or the caller already is
+/// a pool worker. The first exception thrown by any chunk is rethrown here
+/// after all chunks have finished.
+void parallel_for(ThreadPool* pool, index_t begin, index_t end, index_t grain,
+                  const std::function<void(index_t, index_t)>& body);
+
+}  // namespace er

@@ -14,16 +14,21 @@ GridModification random_modification(index_t num_blocks, real_t fraction,
     throw std::invalid_argument("random_modification: no blocks");
   GridModification mod;
   mod.resistance_scale = resistance_scale;
-  Rng rng(seed);
-  const auto want = std::max<index_t>(
-      1, static_cast<index_t>(fraction * static_cast<real_t>(num_blocks)));
-  std::vector<char> used(static_cast<std::size_t>(num_blocks), 0);
-  while (static_cast<index_t>(mod.dirty_blocks.size()) < want) {
-    const index_t b = rng.uniform_int(num_blocks);
-    if (used[static_cast<std::size_t>(b)]) continue;
-    used[static_cast<std::size_t>(b)] = 1;
-    mod.dirty_blocks.push_back(b);
-  }
+  const auto want = std::min<index_t>(
+      num_blocks,
+      std::max<index_t>(
+          1, static_cast<index_t>(fraction * static_cast<real_t>(num_blocks))));
+  // Give every block an independent hashed priority and take the `want`
+  // smallest: a uniform without-replacement draw whose outcome per block
+  // depends only on (seed, block), never on enumeration order.
+  std::vector<std::pair<std::uint64_t, index_t>> keyed;
+  keyed.reserve(static_cast<std::size_t>(num_blocks));
+  for (index_t b = 0; b < num_blocks; ++b)
+    keyed.emplace_back(mix_seed(seed, static_cast<std::uint64_t>(b)), b);
+  std::nth_element(keyed.begin(), keyed.begin() + (want - 1), keyed.end());
+  mod.dirty_blocks.reserve(static_cast<std::size_t>(want));
+  for (index_t i = 0; i < want; ++i)
+    mod.dirty_blocks.push_back(keyed[static_cast<std::size_t>(i)].second);
   std::sort(mod.dirty_blocks.begin(), mod.dirty_blocks.end());
   return mod;
 }
@@ -55,10 +60,16 @@ IncrementalReducer::IncrementalReducer(const ConductanceNetwork& net,
                                        const ReductionOptions& opts)
     : is_port_(is_port), opts_(opts) {
   Timer t;
+  if (resolve_num_threads(opts_.parallel.num_threads) > 1)
+    pool_ = std::make_unique<ThreadPool>(opts_.parallel.num_threads);
   structure_ = build_block_structure(net, is_port_, opts_);
-  blocks_.reserve(static_cast<std::size_t>(structure_.num_blocks));
-  for (index_t b = 0; b < structure_.num_blocks; ++b)
-    blocks_.push_back(reduce_block(net, is_port_, structure_, b, opts_));
+  blocks_.assign(static_cast<std::size_t>(structure_.num_blocks), {});
+  parallel_for(pool_.get(), 0, structure_.num_blocks, 1,
+               [&](index_t lo, index_t hi) {
+                 for (index_t b = lo; b < hi; ++b)
+                   blocks_[static_cast<std::size_t>(b)] = reduce_block(
+                       net, is_port_, structure_, b, opts_, pool_.get());
+               });
   model_ = stitch_blocks(net, structure_, blocks_);
   initial_seconds_ = t.seconds();
   model_.stats.total_seconds = initial_seconds_;
@@ -82,12 +93,23 @@ const ReducedModel& IncrementalReducer::update(
   }
   structure_ = std::move(st);
 
-  for (index_t b : dirty_blocks) {
+  for (index_t b : dirty_blocks)
     if (b < 0 || b >= structure_.num_blocks)
       throw std::out_of_range("IncrementalReducer::update: bad block id");
-    blocks_[static_cast<std::size_t>(b)] =
-        reduce_block(modified, is_port_, structure_, b, opts_);
-  }
+  // Deduplicate so two tasks can never write the same blocks_ slot.
+  std::vector<index_t> dirty = dirty_blocks;
+  std::sort(dirty.begin(), dirty.end());
+  dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+  // Only the dirty blocks are re-reduced; their slots are disjoint, so the
+  // update parallelizes exactly like the initial reduction.
+  parallel_for(pool_.get(), 0, static_cast<index_t>(dirty.size()), 1,
+               [&](index_t lo, index_t hi) {
+                 for (index_t i = lo; i < hi; ++i) {
+                   const index_t b = dirty[static_cast<std::size_t>(i)];
+                   blocks_[static_cast<std::size_t>(b)] = reduce_block(
+                       modified, is_port_, structure_, b, opts_, pool_.get());
+                 }
+               });
   model_ = stitch_blocks(modified, structure_, blocks_);
   update_seconds_ = t.seconds();
   model_.stats.total_seconds = update_seconds_;

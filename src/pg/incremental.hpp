@@ -7,8 +7,10 @@
 // reduction cost ~10% of a full reduction.
 #pragma once
 
+#include <memory>
 #include <vector>
 
+#include "parallel/thread_pool.hpp"
 #include "pg/power_grid.hpp"
 #include "reduction/pipeline.hpp"
 #include "util/rng.hpp"
@@ -24,6 +26,8 @@ struct GridModification {
 };
 
 /// Pick `fraction` of the blocks uniformly at random (at least one).
+/// Selection is per-block (each block's priority is hash(seed, block)), so
+/// the chosen set is reproducible independent of block enumeration order.
 GridModification random_modification(index_t num_blocks, real_t fraction,
                                      real_t resistance_scale,
                                      std::uint64_t seed);
@@ -57,6 +61,9 @@ class IncrementalReducer {
  private:
   std::vector<char> is_port_;
   ReductionOptions opts_;
+  /// Kept across updates so repeated incremental re-reductions reuse the
+  /// same workers (created only when opts.parallel asks for > 1 thread).
+  std::unique_ptr<ThreadPool> pool_;
   BlockStructure structure_;
   std::vector<BlockReduced> blocks_;
   ReducedModel model_;

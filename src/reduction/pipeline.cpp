@@ -7,10 +7,12 @@
 #include "effres/approx_chol.hpp"
 #include "effres/exact.hpp"
 #include "effres/random_projection.hpp"
+#include "parallel/thread_pool.hpp"
 #include "partition/partition.hpp"
 #include "reduction/port_merge.hpp"
 #include "reduction/schur.hpp"
 #include "reduction/sparsify.hpp"
+#include "util/rng.hpp"
 #include "util/timer.hpp"
 
 namespace er {
@@ -29,15 +31,28 @@ const char* to_string(ErBackend b) {
 
 namespace {
 
+// Per-block RNG streams: each block-indexed random site hashes (seed, block)
+// into an independent stream so reduction results do not depend on the order
+// (or thread) in which blocks are processed. Distinct tags keep the engine
+// and sparsifier streams decorrelated within a block.
+constexpr std::uint64_t kEngineStreamTag = 0x65722d656e67ULL;   // "er-eng"
+constexpr std::uint64_t kSparsifyStreamTag = 0x65722d7370ULL;   // "er-sp"
+
+std::uint64_t block_stream_seed(std::uint64_t seed, std::uint64_t tag,
+                                index_t block) {
+  return mix_seed(seed ^ tag, static_cast<std::uint64_t>(block));
+}
+
 std::unique_ptr<EffResEngine> make_engine(const Graph& g,
-                                          const ReductionOptions& opts) {
+                                          const ReductionOptions& opts,
+                                          index_t block) {
   switch (opts.backend) {
     case ErBackend::kExact:
       return std::make_unique<ExactEffRes>(g);
     case ErBackend::kRandomProjection: {
       RandomProjectionOptions rp;
       rp.auto_scale = opts.projection_scale;
-      rp.seed = opts.seed;
+      rp.seed = block_stream_seed(opts.seed, kEngineStreamTag, block);
       return std::make_unique<RandomProjectionEffRes>(g, rp);
     }
     case ErBackend::kApproxChol: {
@@ -98,7 +113,7 @@ BlockStructure build_block_structure(const ConductanceNetwork& input,
 BlockReduced reduce_block(const ConductanceNetwork& input,
                           const std::vector<char>& is_port,
                           const BlockStructure& structure, index_t block,
-                          const ReductionOptions& opts) {
+                          const ReductionOptions& opts, ThreadPool* pool) {
   const index_t n = input.num_nodes();
   const auto& nodes = structure.block_nodes[static_cast<std::size_t>(block)];
   BlockReduced out;
@@ -145,16 +160,14 @@ BlockReduced reduce_block(const ConductanceNetwork& input,
     out.kept_orig.push_back(
         nodes[static_cast<std::size_t>(keep_local[static_cast<std::size_t>(s)])]);
 
-  // Effective resistances of the reduced block's edges (step 3).
+  // Effective resistances of the reduced block's edges (step 3), as one
+  // batched query so the engine can chunk it across the pool.
   phase.reset();
   std::vector<real_t> edge_er(net_b.graph.num_edges(), 0.0);
   std::unique_ptr<EffResEngine> engine;
   if (net_b.graph.num_edges() > 0) {
-    engine = make_engine(net_b.graph, opts);
-    for (std::size_t e = 0; e < net_b.graph.num_edges(); ++e) {
-      const Edge& ed = net_b.graph.edges()[e];
-      edge_er[e] = engine->resistance(ed.u, ed.v);
-    }
+    engine = make_engine(net_b.graph, opts, block);
+    edge_er = engine->resistances(all_edge_queries(net_b.graph), pool);
   }
   out.er_seconds = phase.seconds();
 
@@ -181,18 +194,18 @@ BlockReduced reduce_block(const ConductanceNetwork& input,
       rep_s[static_cast<std::size_t>(mid)] = s;
   }
   std::vector<real_t> merged_er(merge.merged.num_edges(), 0.0);
-  for (std::size_t e = 0; e < merge.merged.num_edges(); ++e) {
-    const Edge& ed = merge.merged.edges()[e];
-    merged_er[e] = engine
-                       ? engine->resistance(
-                             rep_s[static_cast<std::size_t>(ed.u)],
-                             rep_s[static_cast<std::size_t>(ed.v)])
-                       : 0.0;
+  if (engine && merge.merged.num_edges() > 0) {
+    std::vector<ResistanceQuery> merged_queries;
+    merged_queries.reserve(merge.merged.num_edges());
+    for (const Edge& ed : merge.merged.edges())
+      merged_queries.emplace_back(rep_s[static_cast<std::size_t>(ed.u)],
+                                  rep_s[static_cast<std::size_t>(ed.v)]);
+    merged_er = engine->resistances(merged_queries, pool);
   }
 
   SparsifyOptions so;
   so.quality = opts.sparsify_quality;
-  so.seed = opts.seed + static_cast<std::uint64_t>(block) * 7919;
+  so.seed = block_stream_seed(opts.seed, kSparsifyStreamTag, block);
   out.sparse_graph =
       sparsify_by_effective_resistance(merge.merged, merged_er, so);
   out.sparsify_seconds = phase.seconds();
@@ -279,15 +292,40 @@ ReducedModel reduce_network(const ConductanceNetwork& input,
   const BlockStructure st = build_block_structure(input, is_port, opts);
   const double partition_seconds = phase.seconds();
 
-  std::vector<BlockReduced> blocks;
-  blocks.reserve(static_cast<std::size_t>(st.num_blocks));
-  for (index_t b = 0; b < st.num_blocks; ++b)
-    blocks.push_back(reduce_block(input, is_port, st, b, opts));
+  // Steps 2-4 are independent per block; dispatch them across the pool.
+  // Each task writes only its own slot, and every random stream is derived
+  // from (seed, block), so the result is identical at any thread count.
+  std::unique_ptr<ThreadPool> pool;
+  if (resolve_num_threads(opts.parallel.num_threads) > 1)
+    pool = std::make_unique<ThreadPool>(opts.parallel.num_threads);
+
+  std::vector<BlockReduced> blocks(static_cast<std::size_t>(st.num_blocks));
+  parallel_for(pool.get(), 0, st.num_blocks, 1,
+               [&](index_t lo, index_t hi) {
+                 for (index_t b = lo; b < hi; ++b)
+                   blocks[static_cast<std::size_t>(b)] =
+                       reduce_block(input, is_port, st, b, opts, pool.get());
+               });
 
   ReducedModel out = stitch_blocks(input, st, blocks);
   out.stats.partition_seconds = partition_seconds;
   out.stats.total_seconds = total_timer.seconds();
   return out;
+}
+
+bool models_identical(const ReducedModel& a, const ReducedModel& b) {
+  if (a.node_map != b.node_map || a.representative != b.representative ||
+      a.block_of != b.block_of || a.block_kept != b.block_kept)
+    return false;
+  if (a.network.num_nodes() != b.network.num_nodes() ||
+      a.network.graph.num_edges() != b.network.graph.num_edges())
+    return false;
+  for (std::size_t e = 0; e < a.network.graph.num_edges(); ++e) {
+    const Edge& ea = a.network.graph.edges()[e];
+    const Edge& eb = b.network.graph.edges()[e];
+    if (ea.u != eb.u || ea.v != eb.v || ea.weight != eb.weight) return false;
+  }
+  return a.network.shunts == b.network.shunts;
 }
 
 }  // namespace er

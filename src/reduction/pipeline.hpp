@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "parallel/thread_pool.hpp"
 #include "reduction/network.hpp"
 #include "util/types.hpp"
 
@@ -44,6 +45,10 @@ struct ReductionOptions {
   /// Node-merge threshold relative to mean edge ER (0 disables merging).
   real_t merge_threshold = 0.0;
   std::uint64_t seed = 42;
+  /// Threading for block reduction and batched ER queries. The reduced
+  /// model is bit-identical at any thread count (per-block RNG streams are
+  /// derived as mix_seed(seed, block); see DESIGN.md §3).
+  ParallelOptions parallel;
 };
 
 struct ReductionStats {
@@ -100,11 +105,15 @@ BlockStructure build_block_structure(const ConductanceNetwork& input,
                                      const std::vector<char>& is_port,
                                      const ReductionOptions& opts);
 
-/// Steps 2-4 for one block.
+/// Steps 2-4 for one block. `pool` (optional) parallelizes the block's
+/// batched ER queries; when reduce_block itself runs on a pool worker the
+/// queries fall back to inline execution, so passing the same pool the
+/// block dispatch uses is always safe.
 BlockReduced reduce_block(const ConductanceNetwork& input,
                           const std::vector<char>& is_port,
                           const BlockStructure& structure, index_t block,
-                          const ReductionOptions& opts);
+                          const ReductionOptions& opts,
+                          ThreadPool* pool = nullptr);
 
 /// Step 5: combine per-block reductions and cut edges.
 ReducedModel stitch_blocks(const ConductanceNetwork& input,
@@ -116,5 +125,11 @@ ReducedModel stitch_blocks(const ConductanceNetwork& input,
 ReducedModel reduce_network(const ConductanceNetwork& input,
                             const std::vector<char>& is_port,
                             const ReductionOptions& opts = {});
+
+/// Bit-exact equality of everything but timing stats: node maps,
+/// representatives, block bookkeeping, edges, weights, and shunts. This is
+/// the determinism oracle used to assert that serial and parallel runs
+/// agree (DESIGN.md §3).
+bool models_identical(const ReducedModel& a, const ReducedModel& b);
 
 }  // namespace er

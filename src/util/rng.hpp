@@ -22,6 +22,17 @@ inline std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+/// Deterministic per-stream seed derivation: hash(seed, stream). Every
+/// block-indexed RNG site (per-block sparsification, per-block projection
+/// engines, block sampling) seeds as mix_seed(seed, stream_id) so results
+/// are independent of execution order and thread count.
+inline std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream) {
+  std::uint64_t s = seed ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
+  std::uint64_t h = splitmix64(s);
+  h ^= splitmix64(s);
+  return h;
+}
+
 /// xoshiro256** — fast, high-quality 64-bit generator.
 class Rng {
  public:

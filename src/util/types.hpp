@@ -1,6 +1,7 @@
 // Fundamental scalar and index types shared by every module.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace er {
@@ -15,5 +16,25 @@ using offset_t = std::int64_t;
 
 /// Floating-point scalar used throughout.
 using real_t = double;
+
+/// Minimal non-owning contiguous view (the project targets C++17, which has
+/// no std::span). Only the operations the codebase needs.
+template <typename T>
+class Span {
+ public:
+  constexpr Span() = default;
+  constexpr Span(const T* data, std::size_t size) : data_(data), size_(size) {}
+
+  [[nodiscard]] constexpr const T* data() const { return data_; }
+  [[nodiscard]] constexpr std::size_t size() const { return size_; }
+  [[nodiscard]] constexpr bool empty() const { return size_ == 0; }
+  constexpr const T& operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] constexpr const T* begin() const { return data_; }
+  [[nodiscard]] constexpr const T* end() const { return data_ + size_; }
+
+ private:
+  const T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
 
 }  // namespace er

@@ -1,0 +1,270 @@
+// Tests for the parallel subsystem: thread-pool task completion, exception
+// propagation, nested (reentrant) parallel_for, batched ER queries across a
+// pool, and the determinism guarantee — reduce_network must produce a
+// bit-identical ReducedModel at any thread count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "effres/approx_chol.hpp"
+#include "effres/exact.hpp"
+#include "effres/random_projection.hpp"
+#include "graph/generators.hpp"
+#include "parallel/thread_pool.hpp"
+#include "pg/incremental.hpp"
+#include "reduction/pipeline.hpp"
+#include "util/rng.hpp"
+
+namespace er {
+namespace {
+
+// ---------------- ThreadPool ----------------
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i)
+    futures.push_back(pool.submit([&count] { ++count; }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ResolveNumThreads) {
+  EXPECT_EQ(resolve_num_threads(1), 1);
+  EXPECT_EQ(resolve_num_threads(7), 7);
+  EXPECT_GE(resolve_num_threads(0), 1);  // auto
+  EXPECT_THROW(resolve_num_threads(-1), std::invalid_argument);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitFromWorkerDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> inner{0};
+  std::future<void> inner_fut;
+  pool.submit([&] { inner_fut = pool.submit([&inner] { ++inner; }); }).get();
+  inner_fut.get();
+  EXPECT_EQ(inner.load(), 1);
+}
+
+// ---------------- parallel_for ----------------
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<int> hits(1000, 0);
+  parallel_for(&pool, 0, 1000, 16, [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i)
+      ++hits[static_cast<std::size_t>(i)];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelFor, SerialFallbacks) {
+  // Null pool, empty range, and single-grain ranges all run inline.
+  int calls = 0;
+  parallel_for(nullptr, 0, 10, 1, [&](index_t lo, index_t hi) {
+    ++calls;
+    EXPECT_EQ(lo, 0);
+    EXPECT_EQ(hi, 10);
+  });
+  EXPECT_EQ(calls, 1);
+  parallel_for(nullptr, 5, 5, 1,
+               [&](index_t, index_t) { FAIL() << "empty range ran"; });
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_for(&pool, 0, 100, 1,
+                   [](index_t lo, index_t) {
+                     if (lo >= 50) throw std::runtime_error("chunk failed");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, ReentrantFromWorkerRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  parallel_for(&pool, 0, 8, 1, [&](index_t lo, index_t hi) {
+    // Nested call from a worker thread: must complete without deadlock.
+    parallel_for(&pool, 0, (hi - lo) * 10, 1, [&](index_t a, index_t b) {
+      total += b - a;
+    });
+  });
+  EXPECT_EQ(total.load(), 80);
+}
+
+// ---------------- Batched ER queries ----------------
+
+TEST(BatchedQueries, AllEnginesMatchSerialExactly) {
+  const Graph g = grid_2d(12, 12, WeightKind::kUniform, 21);
+  const auto queries = all_edge_queries(g);
+  ThreadPool pool(4);
+
+  const ExactEffRes exact(g);
+  RandomProjectionOptions rp_opts;
+  rp_opts.seed = 7;
+  const RandomProjectionEffRes rp(g, rp_opts);
+  const ApproxCholEffRes alg3(g);
+  const std::vector<const EffResEngine*> engines{&exact, &rp, &alg3};
+
+  for (const EffResEngine* engine : engines) {
+    const auto serial = engine->resistances(queries);
+    const auto parallel = engine->resistances(queries, &pool);
+    ASSERT_EQ(serial.size(), parallel.size()) << engine->name();
+    for (std::size_t i = 0; i < serial.size(); ++i)
+      EXPECT_EQ(serial[i], parallel[i]) << engine->name() << " query " << i;
+  }
+}
+
+// ---------------- Determinism of the parallel pipeline ----------------
+
+struct PipelineCase {
+  ConductanceNetwork net;
+  std::vector<char> ports;
+};
+
+PipelineCase make_case(index_t nx, index_t ny, index_t nports,
+                       std::uint64_t seed) {
+  PipelineCase c;
+  c.net.graph = grid_2d(nx, ny, WeightKind::kUniform, seed);
+  const index_t n = nx * ny;
+  c.net.shunts.assign(static_cast<std::size_t>(n), 0.0);
+  c.ports.assign(static_cast<std::size_t>(n), 0);
+  Rng rng(seed + 1);
+  index_t placed = 0;
+  while (placed < nports) {
+    const index_t v = rng.uniform_int(n);
+    if (c.ports[static_cast<std::size_t>(v)]) continue;
+    c.ports[static_cast<std::size_t>(v)] = 1;
+    if (placed < 2) c.net.shunts[static_cast<std::size_t>(v)] = 50.0;
+    ++placed;
+  }
+  return c;
+}
+
+void expect_identical_models(const ReducedModel& a, const ReducedModel& b) {
+  // The library's determinism oracle must agree with the field-by-field
+  // comparison below (which exists for its per-field gtest diagnostics).
+  EXPECT_TRUE(models_identical(a, b));
+  ASSERT_EQ(a.node_map, b.node_map);
+  ASSERT_EQ(a.representative, b.representative);
+  ASSERT_EQ(a.block_of, b.block_of);
+  ASSERT_EQ(a.block_kept, b.block_kept);
+  ASSERT_EQ(a.network.num_nodes(), b.network.num_nodes());
+  ASSERT_EQ(a.network.graph.num_edges(), b.network.graph.num_edges());
+  for (std::size_t e = 0; e < a.network.graph.num_edges(); ++e) {
+    const Edge& ea = a.network.graph.edges()[e];
+    const Edge& eb = b.network.graph.edges()[e];
+    ASSERT_EQ(ea.u, eb.u) << "edge " << e;
+    ASSERT_EQ(ea.v, eb.v) << "edge " << e;
+    ASSERT_EQ(ea.weight, eb.weight) << "edge " << e;  // bit-identical
+  }
+  ASSERT_EQ(a.network.shunts.size(), b.network.shunts.size());
+  for (std::size_t v = 0; v < a.network.shunts.size(); ++v)
+    ASSERT_EQ(a.network.shunts[v], b.network.shunts[v]) << "shunt " << v;
+}
+
+TEST(ParallelReduction, BitIdenticalAcrossThreadCounts) {
+  const PipelineCase c = make_case(40, 40, 96, 31);
+  for (ErBackend backend : {ErBackend::kApproxChol, ErBackend::kExact,
+                            ErBackend::kRandomProjection}) {
+    ReductionOptions opts;
+    opts.num_blocks = 32;
+    opts.backend = backend;
+    opts.parallel.num_threads = 1;
+    const ReducedModel serial = reduce_network(c.net, c.ports, opts);
+    for (int threads : {2, 4, 8}) {
+      opts.parallel.num_threads = threads;
+      const ReducedModel par = reduce_network(c.net, c.ports, opts);
+      SCOPED_TRACE(std::string(to_string(backend)) + " threads=" +
+                   std::to_string(threads));
+      expect_identical_models(serial, par);
+    }
+  }
+}
+
+TEST(ParallelReduction, IncrementalUpdateBitIdentical) {
+  const PipelineCase c = make_case(32, 32, 64, 33);
+  ReductionOptions serial_opts, par_opts;
+  serial_opts.num_blocks = par_opts.num_blocks = 16;
+  serial_opts.parallel.num_threads = 1;
+  par_opts.parallel.num_threads = 4;
+
+  IncrementalReducer serial(c.net, c.ports, serial_opts);
+  IncrementalReducer parallel(c.net, c.ports, par_opts);
+  expect_identical_models(serial.model(), parallel.model());
+
+  const GridModification mod =
+      random_modification(serial.structure().num_blocks, 0.2, 1.5, 5);
+  const ConductanceNetwork modified =
+      apply_modification(c.net, serial.structure(), mod);
+  const ReducedModel& ms = serial.update(modified, mod.dirty_blocks);
+  const ReducedModel& mp = parallel.update(modified, mod.dirty_blocks);
+  expect_identical_models(ms, mp);
+}
+
+TEST(ParallelReduction, IncrementalUpdateToleratesDuplicateDirtyBlocks) {
+  // Duplicate ids must not race (two tasks writing one slot) nor change
+  // the result.
+  const PipelineCase c = make_case(24, 24, 48, 37);
+  ReductionOptions opts;
+  opts.num_blocks = 8;
+  opts.parallel.num_threads = 4;
+  IncrementalReducer unique_ids(c.net, c.ports, opts);
+  IncrementalReducer dup_ids(c.net, c.ports, opts);
+  const GridModification mod =
+      random_modification(unique_ids.structure().num_blocks, 0.5, 1.5, 11);
+  const ConductanceNetwork modified =
+      apply_modification(c.net, unique_ids.structure(), mod);
+  std::vector<index_t> duplicated;
+  for (index_t b : mod.dirty_blocks) {
+    duplicated.push_back(b);
+    duplicated.push_back(b);
+  }
+  const ReducedModel& a = unique_ids.update(modified, mod.dirty_blocks);
+  const ReducedModel& b = dup_ids.update(modified, duplicated);
+  expect_identical_models(a, b);
+}
+
+TEST(ParallelReduction, IncrementalUpdateOrderIndependent) {
+  // Every per-block RNG stream is hash(seed, block), so re-reducing the
+  // dirty blocks in any order — or any thread interleaving — yields the
+  // same model.
+  const PipelineCase c = make_case(32, 32, 64, 35);
+  ReductionOptions opts;
+  opts.num_blocks = 16;
+  IncrementalReducer fwd(c.net, c.ports, opts);
+  IncrementalReducer rev(c.net, c.ports, opts);
+  const GridModification mod =
+      random_modification(fwd.structure().num_blocks, 0.25, 2.0, 9);
+  const ConductanceNetwork modified =
+      apply_modification(c.net, fwd.structure(), mod);
+  std::vector<index_t> reversed(mod.dirty_blocks.rbegin(),
+                                mod.dirty_blocks.rend());
+  const ReducedModel& a = fwd.update(modified, mod.dirty_blocks);
+  const ReducedModel& b = rev.update(modified, reversed);
+  expect_identical_models(a, b);
+}
+
+TEST(RandomModification, PerBlockSelectionIsStable) {
+  const GridModification a = random_modification(64, 0.25, 1.2, 17);
+  const GridModification b = random_modification(64, 0.25, 1.2, 17);
+  EXPECT_EQ(a.dirty_blocks, b.dirty_blocks);
+  EXPECT_EQ(a.dirty_blocks.size(), 16u);
+  // Growing the universe keeps each block's priority: the selection for a
+  // prefix universe is consistent with per-block hashing.
+  const GridModification c = random_modification(64, 1.0, 1.2, 17);
+  EXPECT_EQ(c.dirty_blocks.size(), 64u);
+}
+
+}  // namespace
+}  // namespace er

@@ -65,7 +65,7 @@ TEST(RandomWalk, ValidatesInput) {
   zero.walks = 0;
   EXPECT_THROW(RandomWalkEffRes(c, zero), std::invalid_argument);
   const RandomWalkEffRes ok(c, {});
-  EXPECT_THROW(ok.resistance(0, 5), std::out_of_range);
+  EXPECT_THROW((void)ok.resistance(0, 5), std::out_of_range);
 }
 
 TEST(CommuteTime, MatchesDefinitionOnPath) {
