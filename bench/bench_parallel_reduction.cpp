@@ -1,7 +1,9 @@
 // Parallel-reduction bench: reduce_network on generated grids at 1..T
-// threads. Reports wall time, speedup over the 1-thread run, and verifies
-// the determinism guarantee — the reduced model must be bit-identical at
-// every thread count. Emits BENCH_parallel.json for trend tracking.
+// threads. Reports wall time (total plus the partition/stitch stage spans),
+// the aggregate per-block CPU-seconds, speedup over the 1-thread run, and
+// verifies the determinism guarantee — the reduced model must be
+// bit-identical at every thread count. Emits BENCH_parallel.json for trend
+// tracking.
 //
 //   bench_parallel_reduction [--threads N] [--json PATH]
 //
@@ -30,8 +32,12 @@ int main(int argc, char** argv) {
     thread_counts.push_back(max_threads);
 
   const auto grids = er::bench::table2_suite();
+  // Wall columns are disjoint stage spans; "CPU Σ(s)" sums the per-block
+  // schur/er/sparsify timings across concurrently-running blocks, so it can
+  // exceed T_red(s) in multi-thread runs (work, not elapsed time).
   TablePrinter table({"Case", "|V|(|E|)", "Blocks", "Threads", "T_red(s)",
-                      "Speedup", "Identical"});
+                      "Part(s)", "Stitch(s)", "CPU Σ(s)", "Speedup",
+                      "Identical"});
   bench::BenchJson json;
   bool all_identical = true;
 
@@ -60,6 +66,10 @@ int main(int argc, char** argv) {
           threads == 1 || models_identical(reference, m);
       all_identical = all_identical && identical;
       const double speedup = seconds > 0.0 ? t1 / seconds : 0.0;
+      const ReductionStats& st =
+          threads == 1 ? reference.stats : m.stats;
+      const double cpu_sum = st.schur_cpu_seconds + st.er_cpu_seconds +
+                             st.sparsify_cpu_seconds;
 
       table.add_row({name,
                      TablePrinter::fmt_size(pg.num_nodes) + "(" +
@@ -69,10 +79,13 @@ int main(int argc, char** argv) {
                      TablePrinter::fmt_int(opts.num_blocks),
                      TablePrinter::fmt_int(threads),
                      TablePrinter::fmt(seconds, 3),
+                     TablePrinter::fmt(st.partition_seconds, 3),
+                     TablePrinter::fmt(st.stitch_seconds, 3),
+                     TablePrinter::fmt(cpu_sum, 3),
                      TablePrinter::fmt(speedup, 2) + "x",
                      identical ? "yes" : "NO"});
-      json.add_row()
-          .set("bench", "parallel_reduction")
+      auto& row = json.add_row();
+      row.set("bench", "parallel_reduction")
           .set("case", name)
           .set("nodes", static_cast<long long>(pg.num_nodes))
           .set("edges", pg.resistors.size())
@@ -81,6 +94,7 @@ int main(int argc, char** argv) {
           .set("wall_seconds", seconds)
           .set("speedup", speedup)
           .set("identical", identical);
+      bench::set_reduction_stats(row, st);
     }
   }
 

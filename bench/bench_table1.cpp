@@ -32,6 +32,7 @@ struct MethodRow {
   double em = 0.0;
   double nnz_ratio = 0.0;
   bool ran = false;
+  index_t nonconverged_rows = 0;
 };
 
 }  // namespace
@@ -51,6 +52,7 @@ int main(int argc, char** argv) {
   double speedup_sum = 0.0;
   int speedup_count = 0;
   double ea_ratio_sum = 0.0;
+  bool any_nonconverged = false;
 
   for (const SuiteCase& c : suite) {
     std::fprintf(stderr, "[table1] %s: n=%d m=%zu\n", c.name.c_str(),
@@ -85,11 +87,22 @@ int main(int argc, char** argv) {
       // baseline's cost/accuracy budget by 2-7x (kept lower to bound bench
       // runtime on one core; see EXPERIMENTS.md).
       rp_opts.auto_scale = 48.0;
+      // Row solves chunk across the same pool as the batch queries.
+      rp_opts.pool = pool.get();
       const RandomProjectionEffRes rp(c.graph, rp_opts);
       (void)rp.resistances(queries, pool.get());
       rp_row.seconds = t.seconds();
       rp_row.nnz_ratio = rp.stats().nnz_ratio(c.graph.num_nodes());
       rp_row.ran = true;
+      rp_row.nonconverged_rows = rp.stats().nonconverged_rows;
+      any_nonconverged = any_nonconverged || rp_row.nonconverged_rows > 0;
+      if (rp_row.nonconverged_rows > 0)
+        std::fprintf(stderr,
+                     "WARNING: %s: %d of %d projection rows hit "
+                     "max_iterations without converging; baseline accuracy "
+                     "numbers are built on unconverged embeddings\n",
+                     c.name.c_str(), static_cast<int>(rp_row.nonconverged_rows),
+                     static_cast<int>(rp.stats().dimensions));
       const ErrorReport rep = measure_edge_errors(c.graph, rp, exact, 1000);
       rp_row.ea = rep.average_relative;
       rp_row.em = rep.max_relative;
@@ -104,9 +117,13 @@ int main(int argc, char** argv) {
                              TablePrinter::fmt_size(
                                  static_cast<long long>(c.graph.num_edges())) +
                              ")";
+    // A '*' on RP T(s) marks cases whose projection embeddings contain
+    // unconverged PCG rows (see the WARNING lines and the footnote).
     table.add_row(
         {c.name, size, TablePrinter::fmt_int(alg3.stats().max_depth),
-         rp_row.ran ? TablePrinter::fmt(rp_row.seconds, 2) : "-",
+         rp_row.ran ? TablePrinter::fmt(rp_row.seconds, 2) +
+                          (rp_row.nonconverged_rows > 0 ? "*" : "")
+                    : "-",
          rp_row.ran ? TablePrinter::fmt_sci(rp_row.ea) : "-",
          rp_row.ran ? TablePrinter::fmt_sci(rp_row.em) : "-",
          rp_row.ran ? TablePrinter::fmt(rp_row.nnz_ratio, 1) : "-",
@@ -131,6 +148,8 @@ int main(int argc, char** argv) {
         .set("rp_wall_seconds", rp_row.seconds)
         .set("rp_ea", rp_row.ea)
         .set("rp_em", rp_row.em)
+        .set("rp_nonconverged_rows",
+             static_cast<long long>(rp_row.nonconverged_rows))
         .set("speedup_alg3_over_rp",
              rp_row.ran ? rp_row.seconds / alg3_row.seconds : 0.0);
   }
@@ -139,6 +158,10 @@ int main(int argc, char** argv) {
   std::printf("(random projection [1] vs Alg. 3; errors vs exact on 1000 "
               "random edges)\n\n");
   table.print();
+  if (any_nonconverged)
+    std::printf("\n* projection embeddings contain rows whose PCG solve did "
+                "not converge (see WARNING lines); treat the baseline's "
+                "accuracy columns for those cases with suspicion\n");
   if (speedup_count > 0) {
     std::printf("\nAverage speedup of Alg. 3 over random projection: %.0fx\n",
                 speedup_sum / speedup_count);

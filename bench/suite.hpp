@@ -19,6 +19,7 @@
 #include "graph/graph.hpp"
 #include "parallel/thread_pool.hpp"
 #include "pg/generator.hpp"
+#include "reduction/pipeline.hpp"
 
 namespace er::bench {
 
@@ -154,6 +155,23 @@ class BenchJson {
  private:
   std::deque<Row> rows_;
 };
+
+/// Emit a ReductionStats timing breakdown with explicit wall/CPU labels.
+/// `*_wall_seconds` are disjoint stage spans of the run (each <= total);
+/// `*_cpu_seconds` are per-block phase timings summed over blocks that may
+/// run concurrently, so they can exceed the wall-clock totals in
+/// multi-thread runs — they measure work, not elapsed time (see the
+/// single-block caveat on ReductionStats: a lone block's nested queries
+/// fan out across the pool, understating its CPU-seconds).
+inline void set_reduction_stats(BenchJson::Row& row, const ReductionStats& s) {
+  row.set("partition_wall_seconds", s.partition_seconds)
+      .set("reduce_wall_seconds", s.reduce_seconds)
+      .set("stitch_wall_seconds", s.stitch_seconds)
+      .set("total_wall_seconds", s.total_seconds)
+      .set("schur_cpu_seconds", s.schur_cpu_seconds)
+      .set("er_cpu_seconds", s.er_cpu_seconds)
+      .set("sparsify_cpu_seconds", s.sparsify_cpu_seconds);
+}
 
 /// Shared bench epilogue: write BENCH_*.json (if enabled), report the
 /// outcome, and return the process exit code contribution (0 ok, 1 fail).

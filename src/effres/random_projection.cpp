@@ -1,6 +1,7 @@
 #include "effres/random_projection.hpp"
 
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
 #include "chol/ichol.hpp"
@@ -39,25 +40,45 @@ RandomProjectionEffRes::RandomProjectionEffRes(
 
   embedding_.assign(static_cast<std::size_t>(k_) * static_cast<std::size_t>(n_),
                     0.0);
-  Rng rng(opts.seed);
   const real_t inv_sqrt_k = 1.0 / std::sqrt(static_cast<real_t>(k_));
+
+  ThreadPool* pool = opts.pool;
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (pool == nullptr && resolve_num_threads(opts.parallel.num_threads) > 1) {
+    owned_pool = std::make_unique<ThreadPool>(opts.parallel.num_threads);
+    pool = owned_pool.get();
+  }
 
   // Row r of Y solves L y = B^T W^{1/2} q_r, with q_r a ±1/sqrt(k) vector
   // over edges. The right-hand side is assembled edge by edge without
-  // forming B explicitly.
-  std::vector<real_t> rhs(static_cast<std::size_t>(n_));
-  for (index_t r = 0; r < k_; ++r) {
-    std::fill(rhs.begin(), rhs.end(), 0.0);
-    for (const auto& e : g.edges()) {
-      const real_t qe = rng.sign() * inv_sqrt_k * std::sqrt(e.weight);
-      rhs[static_cast<std::size_t>(e.u)] += qe;
-      rhs[static_cast<std::size_t>(e.v)] -= qe;
+  // forming B explicitly. Each row draws q_r from its own stream
+  // mix_seed(seed, r) and writes a disjoint stride-k slice of the
+  // embedding, so the rows parallelize with a bit-identical result at any
+  // thread count; per-row counters are folded serially below.
+  std::vector<int> row_iterations(static_cast<std::size_t>(k_), 0);
+  std::vector<char> row_nonconverged(static_cast<std::size_t>(k_), 0);
+  parallel_for(pool, 0, k_, 1, [&](index_t lo, index_t hi) {
+    std::vector<real_t> rhs(static_cast<std::size_t>(n_));
+    for (index_t r = lo; r < hi; ++r) {
+      Rng rng(mix_seed(opts.seed, static_cast<std::uint64_t>(r)));
+      std::fill(rhs.begin(), rhs.end(), 0.0);
+      for (const auto& e : g.edges()) {
+        const real_t qe = rng.sign() * inv_sqrt_k * std::sqrt(e.weight);
+        rhs[static_cast<std::size_t>(e.u)] += qe;
+        rhs[static_cast<std::size_t>(e.v)] -= qe;
+      }
+      const PcgResult sol = pcg_solve(lg, rhs, precond, pcg_opts);
+      row_iterations[static_cast<std::size_t>(r)] = sol.iterations;
+      row_nonconverged[static_cast<std::size_t>(r)] = sol.converged ? 0 : 1;
+      for (index_t v = 0; v < n_; ++v)
+        embedding_[static_cast<std::size_t>(v) * k_ + r] =
+            sol.x[static_cast<std::size_t>(v)];
     }
-    const PcgResult sol = pcg_solve(lg, rhs, precond, pcg_opts);
-    stats_.total_solver_iterations += sol.iterations;
-    for (index_t v = 0; v < n_; ++v)
-      embedding_[static_cast<std::size_t>(v) * k_ + r] =
-          sol.x[static_cast<std::size_t>(v)];
+  });
+  for (index_t r = 0; r < k_; ++r) {
+    stats_.total_solver_iterations += row_iterations[static_cast<std::size_t>(r)];
+    if (row_nonconverged[static_cast<std::size_t>(r)])
+      ++stats_.nonconverged_rows;
   }
 
   stats_.dimensions = k_;

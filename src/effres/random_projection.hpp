@@ -14,6 +14,7 @@
 #include "chol/factor.hpp"
 #include "effres/engine.hpp"
 #include "graph/graph.hpp"
+#include "parallel/thread_pool.hpp"
 #include "solver/pcg.hpp"
 
 namespace er {
@@ -26,12 +27,26 @@ struct RandomProjectionOptions {
   real_t solver_tolerance = 1e-8;
   int solver_max_iterations = 1000;
   real_t ichol_droptol = 1e-3;  // preconditioner quality
+  /// Optional pool for the k per-row solves during construction (null =
+  /// honor `parallel` below). Row r draws its projection vector from its
+  /// own stream mix_seed(seed, r), so the embedding is bit-identical at
+  /// any thread count (DESIGN.md §3). Callers already running on a pool
+  /// worker (reduce_block) may pass the same pool: the row loop then runs
+  /// inline, which is the intended nesting behavior.
+  ThreadPool* pool = nullptr;
+  /// When `pool` is null and this asks for > 1 thread, the constructor
+  /// spins up its own pool for the duration of the build.
+  ParallelOptions parallel;
 };
 
 struct RandomProjectionStats {
   index_t dimensions = 0;
   double build_seconds = 0.0;
   long total_solver_iterations = 0;
+  /// Rows whose PCG solve hit max_iterations without reaching the residual
+  /// tolerance. Nonzero means the embedding — and any accuracy numbers
+  /// derived from it — rests on unconverged solves; bench tables flag it.
+  index_t nonconverged_rows = 0;
   /// nnz of the dense k x n projected matrix, normalized by n log2 n —
   /// the paper's nnz(Q)/(n log n) column.
   offset_t projection_nnz = 0;

@@ -10,6 +10,17 @@ namespace er {
 
 namespace {
 
+// Chunk grains for the per-level parallel loops. Results never depend on
+// the chunking: every parallel site writes per-index slots only.
+constexpr index_t kEdgeGrain = 2048;
+constexpr index_t kNodeGrain = 2048;
+
+// Per-level RNG streams: matching draws on level ell come from
+// mix_seed(seed ^ tag, ell), the initial partition from its own stream, so
+// no draw depends on how many draws another level consumed.
+constexpr std::uint64_t kMatchStreamTag = 0x70742d6d61ULL;  // "pt-ma"
+constexpr std::uint64_t kInitStreamTag = 0x70742d696eULL;   // "pt-in"
+
 /// One level of the multilevel hierarchy.
 struct Level {
   Graph graph;
@@ -54,36 +65,63 @@ std::vector<index_t> heavy_edge_matching(const Graph& g, Rng& rng) {
   return match;
 }
 
-/// Contract matched pairs into a coarser level.
+/// Contract matched pairs into a coarser level. The matching (order-
+/// dependent by design) stays serial; the heavy work — coarse-weight
+/// accumulation and edge contraction + coalesce — chunks across `pool`
+/// with per-index writes, so the level is identical at any thread count.
 Level coarsen(const Graph& g, const std::vector<real_t>& node_weight,
-              Rng& rng) {
+              Rng& rng, ThreadPool* pool) {
   const index_t n = g.num_nodes();
   const auto match = heavy_edge_matching(g, rng);
 
   Level lvl;
   lvl.map_to_coarse.assign(static_cast<std::size_t>(n), -1);
-  index_t coarse_n = 0;
+  // members[c] = the (one or two) fine nodes contracted into c, first
+  // member first: each coarse weight is summed over its own members in
+  // that fixed order, independent of chunking.
+  std::vector<std::pair<index_t, index_t>> members;
+  members.reserve(static_cast<std::size_t>(n));
   for (index_t u = 0; u < n; ++u) {
     if (lvl.map_to_coarse[static_cast<std::size_t>(u)] != -1) continue;
     const index_t v = match[static_cast<std::size_t>(u)];
-    lvl.map_to_coarse[static_cast<std::size_t>(u)] = coarse_n;
-    lvl.map_to_coarse[static_cast<std::size_t>(v)] = coarse_n;
-    ++coarse_n;
+    const auto coarse_id = static_cast<index_t>(members.size());
+    lvl.map_to_coarse[static_cast<std::size_t>(u)] = coarse_id;
+    lvl.map_to_coarse[static_cast<std::size_t>(v)] = coarse_id;
+    members.emplace_back(u, v);
   }
+  const auto coarse_n = static_cast<index_t>(members.size());
 
   lvl.node_weight.assign(static_cast<std::size_t>(coarse_n), 0.0);
-  for (index_t u = 0; u < n; ++u)
-    lvl.node_weight[static_cast<std::size_t>(
-        lvl.map_to_coarse[static_cast<std::size_t>(u)])] +=
-        node_weight[static_cast<std::size_t>(u)];
+  parallel_for(pool, 0, coarse_n, kNodeGrain, [&](index_t lo, index_t hi) {
+    for (index_t c = lo; c < hi; ++c) {
+      const auto& [u, v] = members[static_cast<std::size_t>(c)];
+      real_t w = node_weight[static_cast<std::size_t>(u)];
+      if (v != u) w += node_weight[static_cast<std::size_t>(v)];
+      lvl.node_weight[static_cast<std::size_t>(c)] = w;
+    }
+  });
 
+  // Map every edge to coarse endpoints in parallel (cu == cv marks a
+  // contracted self-loop), then compact in index order — fixed regardless
+  // of chunking — and hand the result to the shared coalesce.
+  const auto& edges = g.edges();
+  std::vector<Edge> contracted(edges.size());
+  parallel_for(pool, 0, static_cast<index_t>(edges.size()), kEdgeGrain,
+               [&](index_t lo, index_t hi) {
+                 for (index_t i = lo; i < hi; ++i) {
+                   const Edge& e = edges[static_cast<std::size_t>(i)];
+                   const index_t cu =
+                       lvl.map_to_coarse[static_cast<std::size_t>(e.u)];
+                   const index_t cv =
+                       lvl.map_to_coarse[static_cast<std::size_t>(e.v)];
+                   contracted[static_cast<std::size_t>(i)] = {cu, cv,
+                                                              e.weight};
+                 }
+               });
   Graph cg(coarse_n);
-  cg.reserve_edges(g.num_edges());
-  for (const auto& e : g.edges()) {
-    const index_t cu = lvl.map_to_coarse[static_cast<std::size_t>(e.u)];
-    const index_t cv = lvl.map_to_coarse[static_cast<std::size_t>(e.v)];
-    if (cu != cv) cg.add_edge(cu, cv, e.weight);
-  }
+  cg.reserve_edges(contracted.size());
+  for (const auto& e : contracted)
+    if (e.u != e.v) cg.add_edge(e.u, e.v, e.weight);
   lvl.graph = cg.coalesce_parallel_edges();
   return lvl;
 }
@@ -158,9 +196,19 @@ std::vector<index_t> initial_partition(const Graph& g,
 }
 
 /// Boundary refinement: greedy positive-gain moves under a balance cap.
+/// Two-phase per pass: the boundary scan — the heavy gain-relevant sweep
+/// over every node's adjacency — runs across `pool` against the partition
+/// as it stands at pass start, then moves are applied serially in node
+/// order with exact live gains. The candidate set is a pure per-node
+/// function of the pass-start partition, so the refined partition is
+/// identical at any thread count (an interior node that turns boundary
+/// mid-pass is picked up by the next pass).
 void refine(const Graph& g, const std::vector<real_t>& node_weight, index_t k,
-            real_t balance_factor, int passes, std::vector<index_t>& part) {
+            real_t balance_factor, int passes, std::vector<index_t>& part,
+            ThreadPool* pool) {
   const index_t n = g.num_nodes();
+  // Touching the adjacency here also forces the lazy CSR build before the
+  // parallel scan (concurrent first-builds of the cache would race).
   const auto& ptr = g.adjacency_ptr();
   const auto& nbr = g.neighbors();
   const auto& wts = g.adjacency_weights();
@@ -174,11 +222,33 @@ void refine(const Graph& g, const std::vector<real_t>& node_weight, index_t k,
   }
   const real_t cap = balance_factor * total / static_cast<real_t>(k);
 
+  std::vector<char> boundary(static_cast<std::size_t>(n), 0);
   std::vector<real_t> gain_to(static_cast<std::size_t>(k), 0.0);
   std::vector<index_t> touched;
   for (int pass = 0; pass < passes; ++pass) {
+    // Phase 1 (parallel): flag nodes with a neighbor in another part.
+    // Only such nodes can have a candidate move below.
+    parallel_for(pool, 0, n, kNodeGrain, [&](index_t lo, index_t hi) {
+      for (index_t v = lo; v < hi; ++v) {
+        const index_t pv = part[static_cast<std::size_t>(v)];
+        char flag = 0;
+        for (offset_t e = ptr[static_cast<std::size_t>(v)];
+             e < ptr[static_cast<std::size_t>(v) + 1]; ++e) {
+          if (part[static_cast<std::size_t>(
+                  nbr[static_cast<std::size_t>(e)])] != pv) {
+            flag = 1;
+            break;
+          }
+        }
+        boundary[static_cast<std::size_t>(v)] = flag;
+      }
+    });
+
+    // Phase 2 (serial): exact gains against the live partition, moves
+    // applied in fixed node order.
     bool moved_any = false;
     for (index_t v = 0; v < n; ++v) {
+      if (!boundary[static_cast<std::size_t>(v)]) continue;
       const index_t from = part[static_cast<std::size_t>(v)];
       touched.clear();
       real_t internal = 0.0;
@@ -258,7 +328,8 @@ real_t PartitionResult::balance(const Graph& g) const {
   return static_cast<real_t>(mx) / static_cast<real_t>(target);
 }
 
-PartitionResult partition_graph(const Graph& g, const PartitionOptions& opts) {
+PartitionResult partition_graph(const Graph& g, const PartitionOptions& opts,
+                                ThreadPool* pool) {
   if (opts.num_parts <= 0)
     throw std::invalid_argument("partition_graph: num_parts must be > 0");
   const index_t n = g.num_nodes();
@@ -273,9 +344,9 @@ PartitionResult partition_graph(const Graph& g, const PartitionOptions& opts) {
     return res;
   }
 
-  Rng rng(opts.seed);
-
-  // --- Coarsening phase. ---
+  // --- Coarsening phase. Each level's matching draws from its own
+  // mix_seed stream, so a level's randomness never depends on how many
+  // draws earlier levels consumed. ---
   std::vector<Level> levels;
   {
     Level base;
@@ -286,7 +357,10 @@ PartitionResult partition_graph(const Graph& g, const PartitionOptions& opts) {
   const index_t coarse_target = std::max<index_t>(
       opts.num_parts * opts.coarsen_target_per_part, 2 * opts.num_parts);
   while (levels.back().graph.num_nodes() > coarse_target) {
-    Level next = coarsen(levels.back().graph, levels.back().node_weight, rng);
+    Rng level_rng(mix_seed(opts.seed ^ kMatchStreamTag,
+                           static_cast<std::uint64_t>(levels.size() - 1)));
+    Level next = coarsen(levels.back().graph, levels.back().node_weight,
+                         level_rng, pool);
     // Stop if matching stalls (e.g. star graphs).
     if (next.graph.num_nodes() >
         static_cast<index_t>(0.95 * levels.back().graph.num_nodes()))
@@ -295,10 +369,12 @@ PartitionResult partition_graph(const Graph& g, const PartitionOptions& opts) {
   }
 
   // --- Initial partition on the coarsest level. ---
-  std::vector<index_t> part = initial_partition(
-      levels.back().graph, levels.back().node_weight, opts.num_parts, rng);
+  Rng init_rng(mix_seed(opts.seed ^ kInitStreamTag, 0));
+  std::vector<index_t> part =
+      initial_partition(levels.back().graph, levels.back().node_weight,
+                        opts.num_parts, init_rng);
   refine(levels.back().graph, levels.back().node_weight, opts.num_parts,
-         opts.balance_factor, opts.refinement_passes, part);
+         opts.balance_factor, opts.refinement_passes, part, pool);
 
   // --- Uncoarsening with refinement. ---
   for (std::size_t lvl = levels.size(); lvl-- > 1;) {
@@ -311,7 +387,7 @@ PartitionResult partition_graph(const Graph& g, const PartitionOptions& opts) {
           coarse.map_to_coarse[static_cast<std::size_t>(v)])];
     part = std::move(fine_part);
     refine(fine.graph, fine.node_weight, opts.num_parts, opts.balance_factor,
-           opts.refinement_passes, part);
+           opts.refinement_passes, part, pool);
   }
 
   res.part = std::move(part);

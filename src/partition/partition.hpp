@@ -6,11 +6,18 @@
 // Quality target: balanced parts with a modest cut. Reduction accuracy in
 // the downstream pipeline is dominated by the effective-resistance sampling,
 // not by cut optimality, so this does not need METIS-level refinement.
+//
+// Concurrency (DESIGN.md §3): the heavy per-level work — edge contraction,
+// coarse-weight accumulation, and the boundary scan that feeds refinement —
+// chunks across an optional ThreadPool into per-index slots; the matching
+// order, all moves, and every RNG draw (one mix_seed stream per level) stay
+// serial, so the partition is bit-identical at any thread count.
 #pragma once
 
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "parallel/thread_pool.hpp"
 #include "util/types.hpp"
 
 namespace er {
@@ -37,7 +44,9 @@ struct PartitionResult {
   [[nodiscard]] real_t balance(const Graph& g) const;
 };
 
-/// Partition g into opts.num_parts parts.
-PartitionResult partition_graph(const Graph& g, const PartitionOptions& opts);
+/// Partition g into opts.num_parts parts. `pool` (optional) parallelizes
+/// the per-level heavy work; the result is identical at any thread count.
+PartitionResult partition_graph(const Graph& g, const PartitionOptions& opts,
+                                ThreadPool* pool = nullptr);
 
 }  // namespace er

@@ -62,7 +62,10 @@ IncrementalReducer::IncrementalReducer(const ConductanceNetwork& net,
   Timer t;
   if (resolve_num_threads(opts_.parallel.num_threads) > 1)
     pool_ = std::make_unique<ThreadPool>(opts_.parallel.num_threads);
-  structure_ = build_block_structure(net, is_port_, opts_);
+  Timer phase;
+  structure_ = build_block_structure(net, is_port_, opts_, pool_.get());
+  const double partition_seconds = phase.seconds();
+  phase.reset();
   blocks_.assign(static_cast<std::size_t>(structure_.num_blocks), {});
   parallel_for(pool_.get(), 0, structure_.num_blocks, 1,
                [&](index_t lo, index_t hi) {
@@ -70,8 +73,11 @@ IncrementalReducer::IncrementalReducer(const ConductanceNetwork& net,
                    blocks_[static_cast<std::size_t>(b)] = reduce_block(
                        net, is_port_, structure_, b, opts_, pool_.get());
                });
-  model_ = stitch_blocks(net, structure_, blocks_);
+  const double reduce_seconds = phase.seconds();
+  model_ = stitch_blocks(net, structure_, blocks_, pool_.get());
   initial_seconds_ = t.seconds();
+  model_.stats.partition_seconds = partition_seconds;
+  model_.stats.reduce_seconds = reduce_seconds;
   model_.stats.total_seconds = initial_seconds_;
 }
 
@@ -79,6 +85,7 @@ const ReducedModel& IncrementalReducer::update(
     const ConductanceNetwork& modified,
     const std::vector<index_t>& dirty_blocks) {
   Timer t;
+  Timer phase;
   // Refresh cached block-internal edge weights from the modified network.
   BlockStructure st = structure_;
   for (auto& edges : st.block_edges) edges.clear();
@@ -92,6 +99,7 @@ const ReducedModel& IncrementalReducer::update(
       st.cut_edges.push_back(e);
   }
   structure_ = std::move(st);
+  const double structure_seconds = phase.seconds();
 
   for (index_t b : dirty_blocks)
     if (b < 0 || b >= structure_.num_blocks)
@@ -102,6 +110,7 @@ const ReducedModel& IncrementalReducer::update(
   dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
   // Only the dirty blocks are re-reduced; their slots are disjoint, so the
   // update parallelizes exactly like the initial reduction.
+  phase.reset();
   parallel_for(pool_.get(), 0, static_cast<index_t>(dirty.size()), 1,
                [&](index_t lo, index_t hi) {
                  for (index_t i = lo; i < hi; ++i) {
@@ -110,8 +119,12 @@ const ReducedModel& IncrementalReducer::update(
                        modified, is_port_, structure_, b, opts_, pool_.get());
                  }
                });
-  model_ = stitch_blocks(modified, structure_, blocks_);
+  const double reduce_seconds = phase.seconds();
+  model_ = stitch_blocks(modified, structure_, blocks_, pool_.get());
   update_seconds_ = t.seconds();
+  // The structure refresh plays the partition stage's role in an update.
+  model_.stats.partition_seconds = structure_seconds;
+  model_.stats.reduce_seconds = reduce_seconds;
   model_.stats.total_seconds = update_seconds_;
   return model_;
 }

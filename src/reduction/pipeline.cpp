@@ -45,7 +45,7 @@ std::uint64_t block_stream_seed(std::uint64_t seed, std::uint64_t tag,
 
 std::unique_ptr<EffResEngine> make_engine(const Graph& g,
                                           const ReductionOptions& opts,
-                                          index_t block) {
+                                          index_t block, ThreadPool* pool) {
   switch (opts.backend) {
     case ErBackend::kExact:
       return std::make_unique<ExactEffRes>(g);
@@ -53,6 +53,9 @@ std::unique_ptr<EffResEngine> make_engine(const Graph& g,
       RandomProjectionOptions rp;
       rp.auto_scale = opts.projection_scale;
       rp.seed = block_stream_seed(opts.seed, kEngineStreamTag, block);
+      // Row solves chunk across the same pool as the block dispatch; when
+      // this block already runs on a worker the rows fall back inline.
+      rp.pool = pool;
       return std::make_unique<RandomProjectionEffRes>(g, rp);
     }
     case ErBackend::kApproxChol: {
@@ -69,7 +72,8 @@ std::unique_ptr<EffResEngine> make_engine(const Graph& g,
 
 BlockStructure build_block_structure(const ConductanceNetwork& input,
                                      const std::vector<char>& is_port,
-                                     const ReductionOptions& opts) {
+                                     const ReductionOptions& opts,
+                                     ThreadPool* pool) {
   const index_t n = input.num_nodes();
   index_t num_ports = 0;
   for (char p : is_port)
@@ -81,7 +85,7 @@ BlockStructure build_block_structure(const ConductanceNetwork& input,
                         ? opts.num_blocks
                         : std::max<index_t>(1, num_ports / 50);
   popts.seed = opts.seed;
-  const PartitionResult part = partition_graph(input.graph, popts);
+  const PartitionResult part = partition_graph(input.graph, popts, pool);
   st.num_blocks = popts.num_parts;
   st.block_of = part.part;
 
@@ -166,7 +170,7 @@ BlockReduced reduce_block(const ConductanceNetwork& input,
   std::vector<real_t> edge_er(net_b.graph.num_edges(), 0.0);
   std::unique_ptr<EffResEngine> engine;
   if (net_b.graph.num_edges() > 0) {
-    engine = make_engine(net_b.graph, opts, block);
+    engine = make_engine(net_b.graph, opts, block, pool);
     edge_er = engine->resistances(all_edge_queries(net_b.graph), pool);
   }
   out.er_seconds = phase.seconds();
@@ -221,48 +225,76 @@ BlockReduced reduce_block(const ConductanceNetwork& input,
 
 ReducedModel stitch_blocks(const ConductanceNetwork& input,
                            const BlockStructure& structure,
-                           const std::vector<BlockReduced>& blocks) {
+                           const std::vector<BlockReduced>& blocks,
+                           ThreadPool* pool) {
+  Timer stitch_timer;
   const index_t n = input.num_nodes();
+  const index_t nb = structure.num_blocks;
   ReducedModel out;
   out.stats.original_nodes = n;
   out.stats.original_edges = input.graph.num_edges();
-  out.stats.blocks = structure.num_blocks;
+  out.stats.blocks = nb;
   out.node_map.assign(static_cast<std::size_t>(n), -1);
   out.block_of = structure.block_of;
-  out.block_kept.assign(static_cast<std::size_t>(structure.num_blocks), {});
+  out.block_kept.assign(static_cast<std::size_t>(nb), {});
 
-  std::vector<Edge> reduced_edges;
-  std::vector<real_t> reduced_shunts;
-  index_t next_global = 0;
-
-  for (index_t b = 0; b < structure.num_blocks; ++b) {
+  // Pass 1 (serial): prefix sums fix each block's global node base and its
+  // slice of the edge array; per-block phase timings fold here in fixed
+  // block order (they are CPU-second aggregates — see ReductionStats).
+  std::vector<index_t> node_base(static_cast<std::size_t>(nb) + 1, 0);
+  std::vector<std::size_t> edge_base(static_cast<std::size_t>(nb) + 1, 0);
+  for (index_t b = 0; b < nb; ++b) {
     const BlockReduced& blk = blocks[static_cast<std::size_t>(b)];
-    if (blk.merged_count == 0) continue;
-    const index_t base = next_global;
-    next_global += blk.merged_count;
-    reduced_shunts.resize(static_cast<std::size_t>(next_global), 0.0);
-    out.representative.resize(static_cast<std::size_t>(next_global), -1);
-
-    for (std::size_t s = 0; s < blk.kept_orig.size(); ++s) {
-      const index_t v = blk.kept_orig[s];
-      const index_t gid = base + blk.merge_map[s];
-      out.node_map[static_cast<std::size_t>(v)] = gid;
-      if (out.representative[static_cast<std::size_t>(gid)] == -1)
-        out.representative[static_cast<std::size_t>(gid)] = v;
-    }
-    for (index_t m = 0; m < blk.merged_count; ++m) {
-      reduced_shunts[static_cast<std::size_t>(base + m)] =
-          blk.shunts[static_cast<std::size_t>(m)];
-      out.block_kept[static_cast<std::size_t>(b)].push_back(base + m);
-    }
-    for (const auto& e : blk.sparse_graph.edges())
-      reduced_edges.push_back({base + e.u, base + e.v, e.weight});
-
-    out.stats.schur_seconds += blk.schur_seconds;
-    out.stats.er_seconds += blk.er_seconds;
-    out.stats.sparsify_seconds += blk.sparsify_seconds;
+    node_base[static_cast<std::size_t>(b) + 1] =
+        node_base[static_cast<std::size_t>(b)] + blk.merged_count;
+    edge_base[static_cast<std::size_t>(b) + 1] =
+        edge_base[static_cast<std::size_t>(b)] +
+        (blk.merged_count > 0 ? blk.sparse_graph.num_edges() : 0);
+    out.stats.schur_cpu_seconds += blk.schur_seconds;
+    out.stats.er_cpu_seconds += blk.er_seconds;
+    out.stats.sparsify_cpu_seconds += blk.sparsify_seconds;
   }
+  const index_t next_global = node_base[static_cast<std::size_t>(nb)];
 
+  std::vector<Edge> reduced_edges(edge_base[static_cast<std::size_t>(nb)]);
+  std::vector<real_t> reduced_shunts(static_cast<std::size_t>(next_global),
+                                     0.0);
+  out.representative.assign(static_cast<std::size_t>(next_global), -1);
+
+  // Pass 2 (parallel): every block writes only its own node range
+  // [node_base[b], node_base[b+1]), its own edge slice, and the node_map
+  // entries of its own members — all disjoint across blocks, so the result
+  // is identical at any thread count.
+  parallel_for(pool, 0, nb, 1, [&](index_t lo, index_t hi) {
+    for (index_t b = lo; b < hi; ++b) {
+      const BlockReduced& blk = blocks[static_cast<std::size_t>(b)];
+      if (blk.merged_count == 0) continue;
+      const index_t base = node_base[static_cast<std::size_t>(b)];
+
+      for (std::size_t s = 0; s < blk.kept_orig.size(); ++s) {
+        const index_t v = blk.kept_orig[s];
+        const index_t gid = base + blk.merge_map[s];
+        out.node_map[static_cast<std::size_t>(v)] = gid;
+        if (out.representative[static_cast<std::size_t>(gid)] == -1)
+          out.representative[static_cast<std::size_t>(gid)] = v;
+      }
+      auto& kept = out.block_kept[static_cast<std::size_t>(b)];
+      kept.reserve(static_cast<std::size_t>(blk.merged_count));
+      for (index_t m = 0; m < blk.merged_count; ++m) {
+        reduced_shunts[static_cast<std::size_t>(base + m)] =
+            blk.shunts[static_cast<std::size_t>(m)];
+        kept.push_back(base + m);
+      }
+      const std::size_t ebase = edge_base[static_cast<std::size_t>(b)];
+      const auto& bedges = blk.sparse_graph.edges();
+      for (std::size_t j = 0; j < bedges.size(); ++j)
+        reduced_edges[ebase + j] = {base + bedges[j].u, base + bedges[j].v,
+                                    bedges[j].weight};
+    }
+  });
+
+  // Serial tail: cut edges need the completed node_map, and the coalesce
+  // keeps its fixed, thread-count-independent edge order.
   for (const auto& e : structure.cut_edges) {
     const index_t gu = out.node_map[static_cast<std::size_t>(e.u)];
     const index_t gv = out.node_map[static_cast<std::size_t>(e.v)];
@@ -277,6 +309,7 @@ ReducedModel stitch_blocks(const ConductanceNetwork& input,
   out.network.shunts = std::move(reduced_shunts);
   out.stats.reduced_nodes = next_global;
   out.stats.reduced_edges = out.network.graph.num_edges();
+  out.stats.stitch_seconds = stitch_timer.seconds();
   return out;
 }
 
@@ -288,17 +321,21 @@ ReducedModel reduce_network(const ConductanceNetwork& input,
     throw std::invalid_argument("reduce_network: is_port size mismatch");
 
   Timer total_timer;
+  // The pool is shared by every stage: partitioner levels, block dispatch,
+  // batched ER queries / RP row solves inside blocks, and the stitch.
+  std::unique_ptr<ThreadPool> pool;
+  if (resolve_num_threads(opts.parallel.num_threads) > 1)
+    pool = std::make_unique<ThreadPool>(opts.parallel.num_threads);
+
   Timer phase;
-  const BlockStructure st = build_block_structure(input, is_port, opts);
+  const BlockStructure st = build_block_structure(input, is_port, opts,
+                                                  pool.get());
   const double partition_seconds = phase.seconds();
 
   // Steps 2-4 are independent per block; dispatch them across the pool.
   // Each task writes only its own slot, and every random stream is derived
   // from (seed, block), so the result is identical at any thread count.
-  std::unique_ptr<ThreadPool> pool;
-  if (resolve_num_threads(opts.parallel.num_threads) > 1)
-    pool = std::make_unique<ThreadPool>(opts.parallel.num_threads);
-
+  phase.reset();
   std::vector<BlockReduced> blocks(static_cast<std::size_t>(st.num_blocks));
   parallel_for(pool.get(), 0, st.num_blocks, 1,
                [&](index_t lo, index_t hi) {
@@ -306,9 +343,11 @@ ReducedModel reduce_network(const ConductanceNetwork& input,
                    blocks[static_cast<std::size_t>(b)] =
                        reduce_block(input, is_port, st, b, opts, pool.get());
                });
+  const double reduce_seconds = phase.seconds();
 
-  ReducedModel out = stitch_blocks(input, st, blocks);
+  ReducedModel out = stitch_blocks(input, st, blocks, pool.get());
   out.stats.partition_seconds = partition_seconds;
+  out.stats.reduce_seconds = reduce_seconds;
   out.stats.total_seconds = total_timer.seconds();
   return out;
 }

@@ -52,11 +52,24 @@ struct ReductionOptions {
 };
 
 struct ReductionStats {
-  double partition_seconds = 0.0;
-  double schur_seconds = 0.0;
-  double er_seconds = 0.0;
-  double sparsify_seconds = 0.0;
+  /// Wall-clock per pipeline stage. The stages are disjoint spans of the
+  /// run, so each is <= total_seconds (and their sum is ~total_seconds).
+  double partition_seconds = 0.0;  // step 1
+  double reduce_seconds = 0.0;     // steps 2-4 across all blocks
+  double stitch_seconds = 0.0;     // step 5
   double total_seconds = 0.0;
+  /// Aggregate per-block phase times: each block's wall time for the phase,
+  /// summed over blocks that may run concurrently. These measure work
+  /// (approximately CPU-seconds), not elapsed time, and can exceed
+  /// total_seconds in multi-thread runs; compare against the wall-clock
+  /// fields above to see how well a stage parallelized. Caveat: when a
+  /// block runs from the main thread (one block, or one dirty block in an
+  /// incremental update) its nested ER/RP queries fan out across the pool,
+  /// so that block's contribution is multi-thread wall time and
+  /// *understates* CPU-seconds by up to the thread count.
+  double schur_cpu_seconds = 0.0;
+  double er_cpu_seconds = 0.0;
+  double sparsify_cpu_seconds = 0.0;
   index_t blocks = 0;
   index_t original_nodes = 0;
   index_t reduced_nodes = 0;
@@ -100,10 +113,13 @@ struct ReducedModel {
   ReductionStats stats;
 };
 
-/// Step 1: partition the network and classify nodes/edges.
+/// Step 1: partition the network and classify nodes/edges. `pool`
+/// (optional) parallelizes the heavy per-level partitioner work; the
+/// partition is identical at any thread count.
 BlockStructure build_block_structure(const ConductanceNetwork& input,
                                      const std::vector<char>& is_port,
-                                     const ReductionOptions& opts);
+                                     const ReductionOptions& opts,
+                                     ThreadPool* pool = nullptr);
 
 /// Steps 2-4 for one block. `pool` (optional) parallelizes the block's
 /// batched ER queries; when reduce_block itself runs on a pool worker the
@@ -115,10 +131,17 @@ BlockReduced reduce_block(const ConductanceNetwork& input,
                           const ReductionOptions& opts,
                           ThreadPool* pool = nullptr);
 
-/// Step 5: combine per-block reductions and cut edges.
+/// Step 5: combine per-block reductions and cut edges. Two-pass: a serial
+/// prefix sum over merged_count/edge counts fixes each block's global node
+/// base and edge slice, then the per-block writes (node_map,
+/// representative, shunts, edge slices) go across `pool` into disjoint
+/// pre-sized slots; the cut-edge tail and parallel-edge coalescing stay
+/// serial. Output is identical at any thread count. Sets
+/// stats.stitch_seconds plus the per-phase *_cpu_seconds aggregates.
 ReducedModel stitch_blocks(const ConductanceNetwork& input,
                            const BlockStructure& structure,
-                           const std::vector<BlockReduced>& blocks);
+                           const std::vector<BlockReduced>& blocks,
+                           ThreadPool* pool = nullptr);
 
 /// Run the whole of Alg. 1. `is_port[v]` marks nodes that must survive
 /// reduction (voltage/current source attachments).

@@ -1,7 +1,8 @@
 // Tests for the parallel subsystem: thread-pool task completion, exception
 // propagation, nested (reentrant) parallel_for, batched ER queries across a
-// pool, and the determinism guarantee — reduce_network must produce a
-// bit-identical ReducedModel at any thread count.
+// pool, and the determinism guarantee — the partitioner, stitch, RP row
+// solves, and the whole reduce_network pipeline must produce bit-identical
+// results at any thread count.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -13,6 +14,7 @@
 #include "effres/random_projection.hpp"
 #include "graph/generators.hpp"
 #include "parallel/thread_pool.hpp"
+#include "partition/partition.hpp"
 #include "pg/incremental.hpp"
 #include "reduction/pipeline.hpp"
 #include "util/rng.hpp"
@@ -122,6 +124,27 @@ TEST(BatchedQueries, AllEnginesMatchSerialExactly) {
     ASSERT_EQ(serial.size(), parallel.size()) << engine->name();
     for (std::size_t i = 0; i < serial.size(); ++i)
       EXPECT_EQ(serial[i], parallel[i]) << engine->name() << " query " << i;
+  }
+}
+
+// ---------------- Parallel partitioner ----------------
+
+TEST(ParallelPartition, BitIdenticalAcrossThreadCounts) {
+  // Coarsening contraction, coarse-weight accumulation, and the boundary
+  // scan all chunk across the pool; the partition must not change.
+  for (const Graph& g :
+       {grid_2d(40, 40, WeightKind::kUniform, 51),
+        barabasi_albert(1500, 3, WeightKind::kUniform, 52)}) {
+    PartitionOptions opts;
+    opts.num_parts = 8;
+    opts.seed = 7;
+    const PartitionResult serial = partition_graph(g, opts);
+    for (int threads : {2, 4, 8}) {
+      ThreadPool pool(threads);
+      const PartitionResult par = partition_graph(g, opts, &pool);
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      ASSERT_EQ(serial.part, par.part);
+    }
   }
 }
 
@@ -253,6 +276,98 @@ TEST(ParallelReduction, IncrementalUpdateOrderIndependent) {
   const ReducedModel& a = fwd.update(modified, mod.dirty_blocks);
   const ReducedModel& b = rev.update(modified, reversed);
   expect_identical_models(a, b);
+}
+
+TEST(ParallelStitch, BitIdenticalAcrossThreadCounts) {
+  // Fix one set of per-block reductions, then stitch it serially and across
+  // pools of every width: the two-pass prefix-sum scheme must write the
+  // exact same model.
+  const PipelineCase c = make_case(36, 36, 80, 41);
+  ReductionOptions opts;
+  opts.num_blocks = 24;
+  const BlockStructure st = build_block_structure(c.net, c.ports, opts);
+  std::vector<BlockReduced> blocks(static_cast<std::size_t>(st.num_blocks));
+  for (index_t b = 0; b < st.num_blocks; ++b)
+    blocks[static_cast<std::size_t>(b)] =
+        reduce_block(c.net, c.ports, st, b, opts);
+
+  const ReducedModel serial = stitch_blocks(c.net, st, blocks);
+  for (int threads : {2, 4, 8}) {
+    ThreadPool pool(threads);
+    const ReducedModel par = stitch_blocks(c.net, st, blocks, &pool);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    expect_identical_models(serial, par);
+  }
+}
+
+// ---------------- Parallel random-projection rows ----------------
+
+TEST(ParallelRandomProjection, RowSolvesBitIdenticalAcrossThreadCounts) {
+  // Every projection row draws from its own mix_seed(seed, r) stream and
+  // solves into a disjoint embedding slice, so the engine built at any
+  // thread count answers every query with the exact same bits.
+  const Graph g = grid_2d(14, 14, WeightKind::kUniform, 61);
+  const auto queries = all_edge_queries(g);
+  RandomProjectionOptions opts;
+  opts.seed = 19;
+  const RandomProjectionEffRes serial(g, opts);
+  const auto reference = serial.resistances(queries);
+  EXPECT_EQ(serial.stats().nonconverged_rows, 0);
+  for (int threads : {2, 4, 8}) {
+    RandomProjectionOptions par_opts;
+    par_opts.seed = 19;
+    par_opts.parallel.num_threads = threads;
+    const RandomProjectionEffRes par(g, par_opts);
+    const auto got = par.resistances(queries);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ASSERT_EQ(reference.size(), got.size());
+    for (std::size_t i = 0; i < reference.size(); ++i)
+      ASSERT_EQ(reference[i], got[i]) << "query " << i;
+    EXPECT_EQ(par.stats().total_solver_iterations,
+              serial.stats().total_solver_iterations);
+  }
+}
+
+TEST(ParallelRandomProjection, CountsNonconvergedRows) {
+  // With the preconditioner degraded to (near-)diagonal, one CG iteration
+  // can't reach a 1e-12 residual on a mesh, so every row must be flagged
+  // instead of silently feeding an unconverged embedding onward.
+  const Graph g = grid_2d(12, 12, WeightKind::kUniform, 62);
+  RandomProjectionOptions opts;
+  opts.dimensions = 16;
+  opts.solver_max_iterations = 1;
+  opts.solver_tolerance = 1e-12;
+  opts.ichol_droptol = 1.0;
+  const RandomProjectionEffRes rp(g, opts);
+  EXPECT_EQ(rp.stats().nonconverged_rows, 16);
+}
+
+// ---------------- Timing-stats sanity ----------------
+
+TEST(ReductionStats, PhaseWallClocksBoundedByTotal) {
+  // Regression for the misleading multi-thread breakdown: the wall-clock
+  // stage spans are disjoint, so each must stay within total_seconds even
+  // when blocks run concurrently (the CPU-second aggregates may not).
+  const PipelineCase c = make_case(32, 32, 64, 43);
+  ReductionOptions opts;
+  opts.num_blocks = 16;
+  for (int threads : {1, 4}) {
+    opts.parallel.num_threads = threads;
+    const ReducedModel m = reduce_network(c.net, c.ports, opts);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const ReductionStats& s = m.stats;
+    EXPECT_GE(s.partition_seconds, 0.0);
+    EXPECT_GE(s.reduce_seconds, 0.0);
+    EXPECT_GE(s.stitch_seconds, 0.0);
+    EXPECT_LE(s.partition_seconds, s.total_seconds);
+    EXPECT_LE(s.reduce_seconds, s.total_seconds);
+    EXPECT_LE(s.stitch_seconds, s.total_seconds);
+    EXPECT_LE(s.partition_seconds + s.reduce_seconds + s.stitch_seconds,
+              s.total_seconds);
+    EXPECT_GE(s.schur_cpu_seconds, 0.0);
+    EXPECT_GE(s.er_cpu_seconds, 0.0);
+    EXPECT_GE(s.sparsify_cpu_seconds, 0.0);
+  }
 }
 
 TEST(RandomModification, PerBlockSelectionIsStable) {
