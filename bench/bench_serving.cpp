@@ -1,0 +1,184 @@
+// Serving bench: queries/sec through the ModelStore vs. thread count
+// (DESIGN.md §4). For each grid, the reduction runs once, a ModelSnapshot
+// is built and published, and a mixed 10k-query batch (port responses +
+// effective resistances, intra- and cross-block) is answered at 1/2/4/8
+// threads on each route mode. Enforced invariants (exit 1 on violation):
+//
+//   * every multi-thread batch is bit-identical to the 1-thread batch of
+//     the same mode (per-query slot writes, shared immutable snapshot), and
+//   * the sharded domain-decomposition answers match the serial
+//     single-model (monolithic-factor) answers to 1e-8 relative.
+//
+// Emits BENCH_serving.json (schema: bench/README.md).
+//
+//   bench_serving [--threads N] [--json PATH]
+//
+// N is the *maximum* thread count swept (default 8).
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "serve/model_store.hpp"
+#include "serve/query_frontend.hpp"
+#include "suite.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace er;
+
+namespace {
+
+std::vector<PortQuery> make_batch(const ReducedModel& model,
+                                  std::size_t count, std::uint64_t seed) {
+  std::vector<index_t> kept;
+  for (std::size_t v = 0; v < model.node_map.size(); ++v)
+    if (model.node_map[v] >= 0) kept.push_back(static_cast<index_t>(v));
+  std::vector<PortQuery> batch;
+  batch.reserve(count);
+  Rng rng(seed);
+  const auto n = static_cast<index_t>(kept.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    PortQuery query;
+    query.kind = i % 2 == 0 ? QueryKind::kResistance : QueryKind::kResponse;
+    query.p = kept[static_cast<std::size_t>(rng.uniform_int(n))];
+    query.q = kept[static_cast<std::size_t>(rng.uniform_int(n))];
+    batch.push_back(query);
+  }
+  return batch;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions bopts = bench::parse_bench_args(
+      argc, argv, "BENCH_serving.json", /*default_threads=*/8);
+  constexpr std::size_t kBatchSize = 10000;
+
+  std::vector<int> thread_counts{1};
+  for (int t = 2; t <= bopts.threads; t *= 2) thread_counts.push_back(t);
+
+  TablePrinter table({"Case", "|V_red|", "Boundary", "Mode", "Threads",
+                      "Batch(s)", "kQPS", "Speedup", "Identical"});
+  bench::BenchJson json;
+  bool all_ok = true;
+
+  for (const auto& [name, pg] : bench::table2_suite()) {
+    const ConductanceNetwork net = pg.to_network();
+    std::fprintf(stderr, "[serving] %s: n=%d resistors=%zu\n", name.c_str(),
+                 pg.num_nodes, pg.resistors.size());
+
+    ReductionOptions ropts;
+    ropts.num_blocks = 32;
+    ropts.sparsify_quality = 1.0;
+    const ReductionArtifacts art =
+        reduce_network_artifacts(net, pg.port_mask(), ropts);
+
+    ModelStore store;
+    store.publish(ModelSnapshot::build(art));
+    const QueryFrontEnd frontend(&store);
+    const SnapshotPtr snap = store.acquire();
+    const auto batch = make_batch(art.model, kBatchSize, 2027);
+
+    // Serial single-model reference: the whole batch through the monolithic
+    // factor on one thread. Doubles as the (monolithic, 1 thread) row so
+    // that configuration isn't computed twice.
+    BatchStats reference_stats;
+    Timer reference_timer;
+    const auto reference = frontend.answer(batch, nullptr,
+                                           RouteMode::kMonolithic,
+                                           &reference_stats);
+    const double reference_seconds = reference_timer.seconds();
+
+    for (RouteMode mode : {RouteMode::kSharded, RouteMode::kMonolithic,
+                           RouteMode::kLocalApprox}) {
+      std::vector<real_t> serial_answers;
+      double serial_seconds = 0.0;
+      double max_rel_vs_reference = 0.0;
+      for (int threads : thread_counts) {
+        BatchStats stats;
+        std::vector<real_t> answers;
+        double seconds = 0.0;
+        if (mode == RouteMode::kMonolithic && threads == 1) {
+          answers = reference;
+          stats = reference_stats;
+          seconds = reference_seconds;
+        } else {
+          std::unique_ptr<ThreadPool> pool;
+          if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+          Timer t;
+          answers = frontend.answer(batch, pool.get(), mode, &stats);
+          seconds = t.seconds();
+        }
+
+        bool identical = true;
+        if (threads == 1) {
+          serial_answers = answers;
+          serial_seconds = seconds;
+          // How far the mode strays from the serial single-model answers
+          // (exact modes: solver-roundoff; local-approx: model error).
+          for (std::size_t i = 0; i < answers.size(); ++i) {
+            const double rel = std::abs(answers[i] - reference[i]) /
+                               (1.0 + std::abs(reference[i]));
+            max_rel_vs_reference = std::max(max_rel_vs_reference, rel);
+          }
+          if (mode != RouteMode::kLocalApprox &&
+              max_rel_vs_reference > 1e-8) {
+            std::fprintf(stderr,
+                         "ERROR: %s/%s diverged from the serial single-model "
+                         "reference (max rel %.3g)\n",
+                         name.c_str(), to_string(mode), max_rel_vs_reference);
+            all_ok = false;
+          }
+        } else {
+          for (std::size_t i = 0; i < answers.size(); ++i)
+            identical = identical && answers[i] == serial_answers[i];
+          all_ok = all_ok && identical;
+        }
+
+        const double qps =
+            seconds > 0.0 ? static_cast<double>(batch.size()) / seconds : 0.0;
+        const double speedup = seconds > 0.0 ? serial_seconds / seconds : 0.0;
+        table.add_row({name, TablePrinter::fmt_size(snap->model().stats.reduced_nodes),
+                       TablePrinter::fmt_size(snap->num_boundary_nodes()),
+                       to_string(mode), TablePrinter::fmt_int(threads),
+                       TablePrinter::fmt(seconds, 3),
+                       TablePrinter::fmt(qps / 1000.0, 1),
+                       TablePrinter::fmt(speedup, 2) + "x",
+                       identical ? "yes" : "NO"});
+        auto& row = json.add_row();
+        row.set("bench", "serving")
+            .set("case", name)
+            .set("mode", to_string(mode))
+            .set("threads", threads)
+            .set("queries", batch.size())
+            .set("reduced_nodes",
+                 static_cast<long long>(snap->model().stats.reduced_nodes))
+            .set("boundary_nodes",
+                 static_cast<long long>(snap->num_boundary_nodes()))
+            .set("blocks", static_cast<int>(snap->num_blocks()))
+            .set("snapshot_build_seconds", snap->build_seconds())
+            .set("wall_seconds", seconds)
+            .set("queries_per_second", qps)
+            .set("speedup", speedup)
+            .set("identical", identical)
+            .set("cross_block_queries", stats.cross_block)
+            .set("engine_answered", stats.engine_answered)
+            .set("max_rel_vs_monolithic", max_rel_vs_reference);
+      }
+    }
+  }
+
+  std::printf("\nServing throughput — mixed %zu-query batches through the "
+              "ModelStore\n(speedup relative to the same mode at 1 thread; "
+              "batches must be bit-identical)\n\n",
+              kBatchSize);
+  table.print();
+  const int json_status = bench::write_json_or_report(json, bopts);
+  if (!all_ok) {
+    std::fprintf(stderr, "ERROR: serving answers diverged\n");
+    return 1;
+  }
+  return json_status;
+}

@@ -1,12 +1,16 @@
 #include "effres/engine.hpp"
 
+#include <stdexcept>
+
 #include "parallel/thread_pool.hpp"
 
 namespace er {
 
-std::vector<real_t> EffResEngine::resistances(
-    const std::vector<ResistanceQuery>& queries, ThreadPool* pool) const {
-  std::vector<real_t> out(queries.size(), 0.0);
+void EffResEngine::resistances_into(const std::vector<ResistanceQuery>& queries,
+                                    std::vector<real_t>& out,
+                                    ThreadPool* pool) const {
+  if (out.size() < queries.size())
+    throw std::invalid_argument("resistances_into: output under-sized");
   parallel_for(pool, 0, static_cast<index_t>(queries.size()), kBatchQueryGrain,
                [&](index_t lo, index_t hi) {
                  for (index_t i = lo; i < hi; ++i) {
@@ -14,6 +18,12 @@ std::vector<real_t> EffResEngine::resistances(
                    out[static_cast<std::size_t>(i)] = resistance(p, q);
                  }
                });
+}
+
+std::vector<real_t> EffResEngine::resistances(
+    const std::vector<ResistanceQuery>& queries, ThreadPool* pool) const {
+  std::vector<real_t> out(queries.size(), 0.0);
+  resistances_into(queries, out, pool);
   return out;
 }
 

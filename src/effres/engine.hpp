@@ -1,9 +1,10 @@
-// Common interface for effective-resistance engines.
-//
-// Three implementations mirror the paper's evaluation:
-//   * ExactEffRes          — direct solves on the grounded Laplacian (ground truth)
-//   * ApproxCholEffRes     — the paper's Alg. 3 (ICT + approximate inverse)
-//   * RandomProjectionEffRes — the WWW'15 baseline [1] (JL projection + PCG)
+/// \file
+/// Common interface for effective-resistance engines.
+///
+/// Three implementations mirror the paper's evaluation:
+///   * ExactEffRes            — direct solves on the grounded Laplacian (ground truth)
+///   * ApproxCholEffRes       — the paper's Alg. 3 (ICT + approximate inverse)
+///   * RandomProjectionEffRes — the WWW'15 baseline [1] (JL projection + PCG)
 #pragma once
 
 #include <string>
@@ -25,21 +26,35 @@ using ResistanceQuery = std::pair<index_t, index_t>;
 /// engine's batch path so the grain is tuned in one place.
 inline constexpr index_t kBatchQueryGrain = 64;
 
+/// Common interface of the three effective-resistance engines.
+///
+/// Thread-safety contract (DESIGN.md §3/§4): every query method is `const`
+/// and safe to call from any number of threads concurrently — engines hold
+/// no shared mutable query state. This is what lets a serving snapshot keep
+/// one resident engine per block and answer a query batch across a pool.
+/// (Sole exception: the Monte-Carlo RandomWalkEffRes diagnostic, whose
+/// queries advance a shared RNG stream; see its header.)
 class EffResEngine {
  public:
   virtual ~EffResEngine() = default;
 
   /// Effective resistance between nodes p and q (original node ids).
-  /// Thread safety is engine-specific (ExactEffRes keeps a serial-only
-  /// workspace); concurrent callers must go through the batch interface.
+  /// Const and thread-safe for every engine; engines that need a solve
+  /// workspace allocate it per call (batch callers amortize it per chunk
+  /// via resistances_into instead).
   [[nodiscard]] virtual real_t resistance(index_t p, index_t q) const = 0;
 
-  /// Batch interface. Queries are chunked across `pool` (null = serial);
-  /// results are written into per-query slots, so the output is identical
-  /// at any thread count. The default chunks over resistance(), which is
-  /// safe for engines whose resistance() is stateless; engines with query
-  /// workspaces override this with a per-chunk workspace.
-  [[nodiscard]] virtual std::vector<real_t> resistances(
+  /// Batch interface: chunk `queries` across `pool` (null = serial) and
+  /// write answer i into `out[i]`. `out` must already have queries.size()
+  /// slots; per-query slot writes make the result identical at any thread
+  /// count. The default chunks over resistance(); engines with a per-query
+  /// workspace override it to reuse one workspace per chunk.
+  virtual void resistances_into(const std::vector<ResistanceQuery>& queries,
+                                std::vector<real_t>& out,
+                                ThreadPool* pool = nullptr) const;
+
+  /// Allocating convenience wrapper around resistances_into.
+  [[nodiscard]] std::vector<real_t> resistances(
       const std::vector<ResistanceQuery>& queries,
       ThreadPool* pool = nullptr) const;
 

@@ -12,7 +12,6 @@ ExactEffRes::ExactEffRes(const Graph& g, Ordering ordering)
     : n_(g.num_nodes()) {
   const CscMatrix lg = grounded_laplacian(g);
   factor_ = cholesky(lg, ordering);
-  work_.assign(static_cast<std::size_t>(n_), 0.0);
 }
 
 real_t ExactEffRes::resistance_with(std::vector<real_t>& work, index_t p,
@@ -32,12 +31,18 @@ real_t ExactEffRes::resistance_with(std::vector<real_t>& work, index_t p,
 }
 
 real_t ExactEffRes::resistance(index_t p, index_t q) const {
-  return resistance_with(work_, p, q);
+  // Thread-safe without per-call allocation: each thread reuses one scratch
+  // vector across queries (resistance_with zero-fills it itself).
+  static thread_local std::vector<real_t> work;
+  work.resize(static_cast<std::size_t>(n_));
+  return resistance_with(work, p, q);
 }
 
-std::vector<real_t> ExactEffRes::resistances(
-    const std::vector<ResistanceQuery>& queries, ThreadPool* pool) const {
-  std::vector<real_t> out(queries.size(), 0.0);
+void ExactEffRes::resistances_into(const std::vector<ResistanceQuery>& queries,
+                                   std::vector<real_t>& out,
+                                   ThreadPool* pool) const {
+  if (out.size() < queries.size())
+    throw std::invalid_argument("resistances_into: output under-sized");
   parallel_for(pool, 0, static_cast<index_t>(queries.size()), kBatchQueryGrain,
                [&](index_t lo, index_t hi) {
                  std::vector<real_t> work(static_cast<std::size_t>(n_), 0.0);
@@ -46,7 +51,6 @@ std::vector<real_t> ExactEffRes::resistances(
                    out[static_cast<std::size_t>(i)] = resistance_with(work, p, q);
                  }
                });
-  return out;
 }
 
 }  // namespace er

@@ -16,13 +16,16 @@ class ExactEffRes final : public EffResEngine {
  public:
   explicit ExactEffRes(const Graph& g, Ordering ordering = Ordering::kMinDeg);
 
+  /// Thread-safe single query: the solve vector is a thread-local scratch,
+  /// so concurrent callers never share state and serial query loops don't
+  /// allocate per call.
   [[nodiscard]] real_t resistance(index_t p, index_t q) const override;
 
-  /// Thread-safe batch override: each chunk solves with its own workspace,
-  /// so queries can be chunked across a pool despite the serial work_.
-  [[nodiscard]] std::vector<real_t> resistances(
-      const std::vector<ResistanceQuery>& queries,
-      ThreadPool* pool = nullptr) const override;
+  /// Batch override: each chunk solves with its own workspace, so queries
+  /// chunk across a pool without sharing any mutable state.
+  void resistances_into(const std::vector<ResistanceQuery>& queries,
+                        std::vector<real_t>& out,
+                        ThreadPool* pool = nullptr) const override;
 
   [[nodiscard]] std::string name() const override { return "exact"; }
 
@@ -35,8 +38,6 @@ class ExactEffRes final : public EffResEngine {
 
   index_t n_ = 0;
   CholFactor factor_;
-  // Workspace reused across queries (single-threaded usage assumed).
-  mutable std::vector<real_t> work_;
 };
 
 }  // namespace er

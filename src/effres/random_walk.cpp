@@ -61,14 +61,15 @@ real_t RandomWalkEffRes::resistance(index_t p, index_t q) const {
   return commute / (2.0 * total_weight_);
 }
 
-std::vector<real_t> RandomWalkEffRes::resistances(
-    const std::vector<ResistanceQuery>& queries, ThreadPool* pool) const {
+void RandomWalkEffRes::resistances_into(
+    const std::vector<ResistanceQuery>& queries, std::vector<real_t>& out,
+    ThreadPool* pool) const {
   // Deliberately serial: each query advances the shared rng_ stream.
   (void)pool;
-  std::vector<real_t> out;
-  out.reserve(queries.size());
-  for (const auto& [p, q] : queries) out.push_back(resistance(p, q));
-  return out;
+  if (out.size() < queries.size())
+    throw std::invalid_argument("resistances_into: output under-sized");
+  for (std::size_t i = 0; i < queries.size(); ++i)
+    out[i] = resistance(queries[i].first, queries[i].second);
 }
 
 }  // namespace er

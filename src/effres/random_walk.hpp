@@ -27,13 +27,17 @@ class RandomWalkEffRes final : public EffResEngine {
  public:
   explicit RandomWalkEffRes(const Graph& g, const RandomWalkOptions& opts = {});
 
+  /// NOT thread-safe, unlike every other engine: each query advances the
+  /// shared rng_ stream (documented exception to the EffResEngine
+  /// contract; this Monte-Carlo engine is a diagnostic, never resident
+  /// serving state).
   [[nodiscard]] real_t resistance(index_t p, index_t q) const override;
 
   /// Serial override: queries advance the shared RNG stream, so chunking
   /// them across a pool would race (and change results with thread count).
-  [[nodiscard]] std::vector<real_t> resistances(
-      const std::vector<ResistanceQuery>& queries,
-      ThreadPool* pool = nullptr) const override;
+  void resistances_into(const std::vector<ResistanceQuery>& queries,
+                        std::vector<real_t>& out,
+                        ThreadPool* pool = nullptr) const override;
 
   [[nodiscard]] std::string name() const override { return "random-walk"; }
 

@@ -126,7 +126,30 @@ const ReducedModel& IncrementalReducer::update(
   model_.stats.partition_seconds = structure_seconds;
   model_.stats.reduce_seconds = reduce_seconds;
   model_.stats.total_seconds = update_seconds_;
+  // Counted unconditionally so a model revision never reuses a version
+  // number, even across detach_store / attach_store cycles.
+  ++revision_;
+  if (store_) publish_current();
   return model_;
+}
+
+void IncrementalReducer::attach_store(ModelStore* store,
+                                      const ServingOptions& opts) {
+  if (!store)
+    throw std::invalid_argument("IncrementalReducer::attach_store: null store");
+  store_ = store;
+  serving_opts_ = opts;
+  publish_current();
+}
+
+void IncrementalReducer::publish_current() {
+  Timer t;
+  // The snapshot is built completely off to the side and only then swapped
+  // in, so queries racing with this publish never observe a half-built
+  // model (DESIGN.md §4 publish protocol).
+  store_->publish(ModelSnapshot::build(blocks_, model_, serving_opts_,
+                                       pool_.get(), revision_));
+  publish_seconds_ = t.seconds();
 }
 
 }  // namespace er

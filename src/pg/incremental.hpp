@@ -1,10 +1,13 @@
-// DC incremental analysis (paper Table II lower half).
-//
-// Design iterations modify a small fraction of the grid (the paper models
-// this as 10% of partition blocks changing). The reduction-based flow
-// caches per-block reductions; after a modification only the dirty blocks
-// are re-reduced and the model re-stitched, making the incremental
-// reduction cost ~10% of a full reduction.
+/// \file
+/// DC incremental analysis (paper Table II lower half).
+///
+/// Design iterations modify a small fraction of the grid (the paper models
+/// this as 10% of partition blocks changing). The reduction-based flow
+/// caches per-block reductions; after a modification only the dirty blocks
+/// are re-reduced and the model re-stitched, making the incremental
+/// reduction cost ~10% of a full reduction. With a ModelStore attached,
+/// every re-stitch also publishes an immutable serving snapshot
+/// (DESIGN.md §4).
 #pragma once
 
 #include <memory>
@@ -13,6 +16,7 @@
 #include "parallel/thread_pool.hpp"
 #include "pg/power_grid.hpp"
 #include "reduction/pipeline.hpp"
+#include "serve/model_store.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
@@ -21,8 +25,8 @@ namespace er {
 /// A grid modification: resistances of all segments whose *both* endpoints
 /// lie in a modified block are scaled by `resistance_scale`.
 struct GridModification {
-  std::vector<index_t> dirty_blocks;
-  real_t resistance_scale = 1.2;
+  std::vector<index_t> dirty_blocks;  ///< blocks whose segments change
+  real_t resistance_scale = 1.2;      ///< R multiplier inside dirty blocks
 };
 
 /// Pick `fraction` of the blocks uniformly at random (at least one).
@@ -41,6 +45,8 @@ ConductanceNetwork apply_modification(const ConductanceNetwork& net,
 /// modification triggers work only on dirty blocks.
 class IncrementalReducer {
  public:
+  /// Runs the full initial reduction of `net` and primes the per-block
+  /// cache; `initial_seconds()` reports its cost.
   IncrementalReducer(const ConductanceNetwork& net,
                      const std::vector<char>& is_port,
                      const ReductionOptions& opts);
@@ -48,17 +54,42 @@ class IncrementalReducer {
   /// Full initial reduction (also primes the cache).
   const ReducedModel& model() const { return model_; }
   const BlockStructure& structure() const { return structure_; }
+  /// Cached per-block reductions (the serving snapshot inputs).
+  const std::vector<BlockReduced>& blocks() const { return blocks_; }
 
   /// Re-reduce only the dirty blocks against the modified network and
   /// re-stitch. Returns the updated model; update_seconds() reports the
   /// incremental reduction time (the paper's incremental T_red).
+  ///
+  /// When a ModelStore is attached, the updated model is published to it as
+  /// a fresh immutable snapshot *after* the stitch completes — in-flight
+  /// query batches keep answering against the snapshot they pinned, and
+  /// only batches started after the publish see the new model (the publish
+  /// protocol of DESIGN.md §4).
   const ReducedModel& update(const ConductanceNetwork& modified,
                              const std::vector<index_t>& dirty_blocks);
 
+  /// Serve this reducer's models through `store` (see DESIGN.md §4): the
+  /// current model is published immediately under the current revision
+  /// number (0 for a freshly constructed reducer; each update() bumps the
+  /// revision whether or not a store is attached, so a version number is
+  /// never reused for a different model), and every subsequent update()
+  /// publishes the next revision. `store` must outlive the reducer (or a
+  /// detach_store() call). Snapshot build time is reported by
+  /// publish_seconds() and is *not* counted into update_seconds(), keeping
+  /// the paper's incremental T_red comparable.
+  void attach_store(ModelStore* store, const ServingOptions& opts = {});
+  void detach_store() { store_ = nullptr; }
+
   [[nodiscard]] double initial_seconds() const { return initial_seconds_; }
   [[nodiscard]] double update_seconds() const { return update_seconds_; }
+  /// Snapshot build + publish time of the most recent publish (0 if no
+  /// store is attached).
+  [[nodiscard]] double publish_seconds() const { return publish_seconds_; }
 
  private:
+  void publish_current();
+
   std::vector<char> is_port_;
   ReductionOptions opts_;
   /// Kept across updates so repeated incremental re-reductions reuse the
@@ -67,8 +98,12 @@ class IncrementalReducer {
   BlockStructure structure_;
   std::vector<BlockReduced> blocks_;
   ReducedModel model_;
+  ModelStore* store_ = nullptr;
+  ServingOptions serving_opts_;
+  std::uint64_t revision_ = 0;
   double initial_seconds_ = 0.0;
   double update_seconds_ = 0.0;
+  double publish_seconds_ = 0.0;
 };
 
 }  // namespace er

@@ -313,9 +313,9 @@ ReducedModel stitch_blocks(const ConductanceNetwork& input,
   return out;
 }
 
-ReducedModel reduce_network(const ConductanceNetwork& input,
-                            const std::vector<char>& is_port,
-                            const ReductionOptions& opts) {
+ReductionArtifacts reduce_network_artifacts(const ConductanceNetwork& input,
+                                            const std::vector<char>& is_port,
+                                            const ReductionOptions& opts) {
   const index_t n = input.num_nodes();
   if (is_port.size() != static_cast<std::size_t>(n))
     throw std::invalid_argument("reduce_network: is_port size mismatch");
@@ -327,29 +327,35 @@ ReducedModel reduce_network(const ConductanceNetwork& input,
   if (resolve_num_threads(opts.parallel.num_threads) > 1)
     pool = std::make_unique<ThreadPool>(opts.parallel.num_threads);
 
+  ReductionArtifacts out;
   Timer phase;
-  const BlockStructure st = build_block_structure(input, is_port, opts,
-                                                  pool.get());
+  out.structure = build_block_structure(input, is_port, opts, pool.get());
   const double partition_seconds = phase.seconds();
 
   // Steps 2-4 are independent per block; dispatch them across the pool.
   // Each task writes only its own slot, and every random stream is derived
   // from (seed, block), so the result is identical at any thread count.
   phase.reset();
-  std::vector<BlockReduced> blocks(static_cast<std::size_t>(st.num_blocks));
-  parallel_for(pool.get(), 0, st.num_blocks, 1,
+  out.blocks.assign(static_cast<std::size_t>(out.structure.num_blocks), {});
+  parallel_for(pool.get(), 0, out.structure.num_blocks, 1,
                [&](index_t lo, index_t hi) {
                  for (index_t b = lo; b < hi; ++b)
-                   blocks[static_cast<std::size_t>(b)] =
-                       reduce_block(input, is_port, st, b, opts, pool.get());
+                   out.blocks[static_cast<std::size_t>(b)] = reduce_block(
+                       input, is_port, out.structure, b, opts, pool.get());
                });
   const double reduce_seconds = phase.seconds();
 
-  ReducedModel out = stitch_blocks(input, st, blocks, pool.get());
-  out.stats.partition_seconds = partition_seconds;
-  out.stats.reduce_seconds = reduce_seconds;
-  out.stats.total_seconds = total_timer.seconds();
+  out.model = stitch_blocks(input, out.structure, out.blocks, pool.get());
+  out.model.stats.partition_seconds = partition_seconds;
+  out.model.stats.reduce_seconds = reduce_seconds;
+  out.model.stats.total_seconds = total_timer.seconds();
   return out;
+}
+
+ReducedModel reduce_network(const ConductanceNetwork& input,
+                            const std::vector<char>& is_port,
+                            const ReductionOptions& opts) {
+  return reduce_network_artifacts(input, is_port, opts).model;
 }
 
 bool models_identical(const ReducedModel& a, const ReducedModel& b) {

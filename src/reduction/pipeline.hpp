@@ -1,17 +1,21 @@
-// Algorithm 1 — power grid reduction via effective-resistance-based graph
-// sparsification (the framework of [8], modified to preserve all ports):
-//
-//   1. partition the network into blocks,
-//   2. per block, eliminate non-port interior nodes (Schur complement),
-//   3. per block, compute effective resistances of the reduced edges
-//      (exact / random-projection / Alg. 3 — the paper's Table II axis),
-//   4. merge electrically-indistinguishable non-port nodes, then sparsify
-//      by effective-resistance sampling,
-//   5. stitch blocks and cut edges into the final reduced network.
-//
-// The per-block step is exposed separately (reduce_block / stitch_blocks)
-// so DC *incremental* analysis can re-reduce only modified blocks and reuse
-// the cached reductions of untouched ones (paper §IV-B lower table).
+/// \file
+/// Algorithm 1 — power grid reduction via effective-resistance-based graph
+/// sparsification (the framework of [8], modified to preserve all ports):
+///
+///   1. partition the network into blocks,
+///   2. per block, eliminate non-port interior nodes (Schur complement),
+///   3. per block, compute effective resistances of the reduced edges
+///      (exact / random-projection / Alg. 3 — the paper's Table II axis),
+///   4. merge electrically-indistinguishable non-port nodes, then sparsify
+///      by effective-resistance sampling,
+///   5. stitch blocks and cut edges into the final reduced network.
+///
+/// The per-block step is exposed separately (reduce_block / stitch_blocks)
+/// so DC *incremental* analysis can re-reduce only modified blocks and
+/// reuse the cached reductions of untouched ones (paper §IV-B lower
+/// table), and the full artifact bundle is exposed
+/// (reduce_network_artifacts) so the serving layer can keep it resident
+/// (DESIGN.md §4).
 #pragma once
 
 #include <vector>
@@ -34,6 +38,7 @@ const char* to_string(ErBackend b);
 struct ReductionOptions {
   /// Number of partition blocks; 0 = auto (#ports / 50, the paper's rule).
   index_t num_blocks = 0;
+  /// Effective-resistance engine for step 3.
   ErBackend backend = ErBackend::kApproxChol;
   /// Alg. 3 parameters (backend == kApproxChol).
   real_t droptol = 1e-3;
@@ -44,6 +49,7 @@ struct ReductionOptions {
   real_t sparsify_quality = 4.0;
   /// Node-merge threshold relative to mean edge ER (0 disables merging).
   real_t merge_threshold = 0.0;
+  /// Root seed of every per-block/per-row RNG stream (DESIGN.md §3).
   std::uint64_t seed = 42;
   /// Threading for block reduction and batched ER queries. The reduced
   /// model is bit-identical at any thread count (per-block RNG streams are
@@ -54,10 +60,10 @@ struct ReductionOptions {
 struct ReductionStats {
   /// Wall-clock per pipeline stage. The stages are disjoint spans of the
   /// run, so each is <= total_seconds (and their sum is ~total_seconds).
-  double partition_seconds = 0.0;  // step 1
-  double reduce_seconds = 0.0;     // steps 2-4 across all blocks
-  double stitch_seconds = 0.0;     // step 5
-  double total_seconds = 0.0;
+  double partition_seconds = 0.0;  ///< step 1
+  double reduce_seconds = 0.0;     ///< steps 2-4 across all blocks
+  double stitch_seconds = 0.0;     ///< step 5
+  double total_seconds = 0.0;      ///< whole-run wall clock
   /// Aggregate per-block phase times: each block's wall time for the phase,
   /// summed over blocks that may run concurrently. These measure work
   /// (approximately CPU-seconds), not elapsed time, and can exceed
@@ -67,37 +73,37 @@ struct ReductionStats {
   /// incremental update) its nested ER/RP queries fan out across the pool,
   /// so that block's contribution is multi-thread wall time and
   /// *understates* CPU-seconds by up to the thread count.
-  double schur_cpu_seconds = 0.0;
-  double er_cpu_seconds = 0.0;
-  double sparsify_cpu_seconds = 0.0;
-  index_t blocks = 0;
-  index_t original_nodes = 0;
-  index_t reduced_nodes = 0;
-  std::size_t original_edges = 0;
-  std::size_t reduced_edges = 0;
+  double schur_cpu_seconds = 0.0;     ///< step 2 aggregate over blocks
+  double er_cpu_seconds = 0.0;        ///< step 3 aggregate over blocks
+  double sparsify_cpu_seconds = 0.0;  ///< step 4 aggregate over blocks
+  index_t blocks = 0;                 ///< partition width
+  index_t original_nodes = 0;         ///< input |V|
+  index_t reduced_nodes = 0;          ///< stitched model |V|
+  std::size_t original_edges = 0;     ///< input |E|
+  std::size_t reduced_edges = 0;      ///< stitched model |E|
 };
 
 /// Partition + node classification, computed once and reusable across
 /// incremental re-reductions.
 struct BlockStructure {
   index_t num_blocks = 0;
-  std::vector<index_t> block_of;                 // node -> block
-  std::vector<char> is_interface;                // touches a cut edge
-  std::vector<std::vector<index_t>> block_nodes; // block -> member nodes
-  std::vector<std::vector<Edge>> block_edges;    // block-internal edges
-  std::vector<Edge> cut_edges;
+  std::vector<index_t> block_of;                 ///< node -> block
+  std::vector<char> is_interface;                ///< touches a cut edge
+  std::vector<std::vector<index_t>> block_nodes; ///< block -> member nodes
+  std::vector<std::vector<Edge>> block_edges;    ///< block-internal edges
+  std::vector<Edge> cut_edges;                   ///< inter-block edges
 };
 
 /// One block after steps 2-4.
 struct BlockReduced {
-  std::vector<index_t> kept_orig;   // S index -> original node id
-  std::vector<index_t> merge_map;   // S index -> merged local id
-  index_t merged_count = 0;
-  Graph sparse_graph;               // on merged local ids
-  std::vector<real_t> shunts;       // per merged local id
-  double schur_seconds = 0.0;
-  double er_seconds = 0.0;
-  double sparsify_seconds = 0.0;
+  std::vector<index_t> kept_orig;   ///< S index -> original node id
+  std::vector<index_t> merge_map;   ///< S index -> merged local id
+  index_t merged_count = 0;         ///< nodes surviving the merge
+  Graph sparse_graph;               ///< sparsified block, merged local ids
+  std::vector<real_t> shunts;       ///< per merged local id
+  double schur_seconds = 0.0;       ///< step 2 wall time of this block
+  double er_seconds = 0.0;          ///< step 3 wall time of this block
+  double sparsify_seconds = 0.0;    ///< step 4 wall time of this block
 };
 
 struct ReducedModel {
@@ -111,6 +117,17 @@ struct ReducedModel {
   /// per block: reduced ids of its kept nodes.
   std::vector<std::vector<index_t>> block_kept;
   ReductionStats stats;
+};
+
+/// Everything Alg. 1 produces, with the per-block intermediates retained
+/// instead of discarded after the stitch. The serving layer (`serve/`,
+/// DESIGN.md §4) turns these into a resident, immutable ModelSnapshot:
+/// `structure` routes queries to blocks, `blocks` seeds the per-block
+/// engines, and `model` is the stitched network the answers refer to.
+struct ReductionArtifacts {
+  BlockStructure structure;
+  std::vector<BlockReduced> blocks;  ///< per-block reductions, indexed by block
+  ReducedModel model;
 };
 
 /// Step 1: partition the network and classify nodes/edges. `pool`
@@ -148,6 +165,14 @@ ReducedModel stitch_blocks(const ConductanceNetwork& input,
 ReducedModel reduce_network(const ConductanceNetwork& input,
                             const std::vector<char>& is_port,
                             const ReductionOptions& opts = {});
+
+/// Like reduce_network, but keeps the block structure and the per-block
+/// reductions alongside the stitched model (the inputs a serving
+/// ModelSnapshot is built from). reduce_network is a thin wrapper that
+/// discards everything but the model.
+ReductionArtifacts reduce_network_artifacts(const ConductanceNetwork& input,
+                                            const std::vector<char>& is_port,
+                                            const ReductionOptions& opts = {});
 
 /// Bit-exact equality of everything but timing stats: node maps,
 /// representatives, block bookkeeping, edges, weights, and shunts. This is

@@ -1,0 +1,34 @@
+#include "serve/model_store.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace er {
+
+void ModelStore::publish(SnapshotPtr snapshot) {
+  if (!snapshot)
+    throw std::invalid_argument("ModelStore::publish: null snapshot");
+  // Swap under the lock, destroy outside it: if this publish drops the last
+  // reference to the displaced snapshot, its (large) teardown must not
+  // stall concurrent acquire() calls — the critical section stays a
+  // pointer swap.
+  SnapshotPtr displaced;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    displaced = std::move(current_);
+    current_ = std::move(snapshot);
+    ++publish_count_;
+  }
+}
+
+SnapshotPtr ModelStore::acquire() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
+
+std::uint64_t ModelStore::publish_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return publish_count_;
+}
+
+}  // namespace er

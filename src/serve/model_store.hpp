@@ -1,0 +1,46 @@
+/// \file
+/// Read-mostly store of the currently-published ModelSnapshot
+/// (DESIGN.md §4).
+///
+/// Publish protocol: a writer (IncrementalReducer, or any pipeline driver)
+/// builds a complete immutable snapshot *off to the side*, then swaps it
+/// in with publish(). Readers acquire() a shared_ptr and keep answering
+/// against their pinned snapshot for as long as they hold it — a publish
+/// never invalidates in-flight queries, it only changes what the *next*
+/// acquire returns. Old snapshots are freed by shared_ptr refcounting once
+/// the last reader drops them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "serve/snapshot.hpp"
+
+namespace er {
+
+using SnapshotPtr = std::shared_ptr<const ModelSnapshot>;
+
+/// Thread-safe holder of the current snapshot. All methods may be called
+/// concurrently from any thread; the store never blocks on query work (the
+/// critical section is a pointer swap).
+class ModelStore {
+ public:
+  /// Atomically replace the current snapshot. Null snapshots are rejected.
+  void publish(SnapshotPtr snapshot);
+
+  /// The currently-published snapshot (null before the first publish).
+  /// The returned pointer pins the snapshot: it stays valid and immutable
+  /// however many publishes happen afterwards.
+  [[nodiscard]] SnapshotPtr acquire() const;
+
+  /// Number of publish() calls so far.
+  [[nodiscard]] std::uint64_t publish_count() const;
+
+ private:
+  mutable std::mutex mutex_;
+  SnapshotPtr current_;
+  std::uint64_t publish_count_ = 0;
+};
+
+}  // namespace er

@@ -1,0 +1,153 @@
+#include "serve/query_frontend.hpp"
+
+#include <atomic>
+#include <limits>
+#include <stdexcept>
+
+#include "parallel/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace er {
+
+namespace {
+
+constexpr real_t kNaN = std::numeric_limits<real_t>::quiet_NaN();
+
+/// Evaluate one query on the exact paths (sharded or monolithic), counting
+/// routing diagnostics into the chunk's counters.
+real_t answer_exact(const ModelSnapshot& snap, const PortQuery& query,
+                    bool monolithic, ModelSnapshot::Workspace& ws,
+                    std::size_t& invalid, std::size_t& same_block,
+                    std::size_t& cross_block) {
+  const index_t p = snap.reduced_id(query.p);
+  const index_t q = snap.reduced_id(query.q);
+  if (p < 0 || q < 0) {
+    ++invalid;
+    return kNaN;
+  }
+  if (snap.block_of_reduced(p) == snap.block_of_reduced(q))
+    ++same_block;
+  else
+    ++cross_block;
+  if (query.kind == QueryKind::kResponse)
+    return monolithic ? snap.response_monolithic(p, q, ws)
+                      : snap.response(p, q, ws);
+  return monolithic ? snap.resistance_monolithic(p, q, ws)
+                    : snap.resistance(p, q, ws);
+}
+
+}  // namespace
+
+const char* to_string(RouteMode m) {
+  switch (m) {
+    case RouteMode::kSharded:
+      return "sharded";
+    case RouteMode::kMonolithic:
+      return "monolithic";
+    case RouteMode::kLocalApprox:
+      return "local-approx";
+  }
+  return "?";
+}
+
+QueryFrontEnd::QueryFrontEnd(const ModelStore* store) : store_(store) {
+  if (!store_)
+    throw std::invalid_argument("QueryFrontEnd: null ModelStore");
+}
+
+std::vector<real_t> QueryFrontEnd::answer(const std::vector<PortQuery>& batch,
+                                          ThreadPool* pool, RouteMode mode,
+                                          BatchStats* stats) const {
+  // Pin the snapshot once: the whole batch is answered against one model
+  // version, however many publishes race with it.
+  const SnapshotPtr snap = store_->acquire();
+  if (!snap)
+    throw std::runtime_error("QueryFrontEnd::answer: nothing published yet");
+  return answer_on(*snap, batch, pool, mode, stats);
+}
+
+std::vector<real_t> QueryFrontEnd::answer_on(const ModelSnapshot& snap,
+                                             const std::vector<PortQuery>& batch,
+                                             ThreadPool* pool, RouteMode mode,
+                                             BatchStats* stats) {
+  Timer timer;
+  const auto n = static_cast<index_t>(batch.size());
+  std::vector<real_t> out(batch.size(), 0.0);
+  std::atomic<std::size_t> invalid{0}, same_block{0}, cross_block{0},
+      engine_answered{0};
+
+  // The block-local fast path routes same-block resistance queries to the
+  // block's resident engine; everything else (responses, cross-block,
+  // engineless blocks) takes the exact sharded path below.
+  std::vector<char> pending;
+  if (mode == RouteMode::kLocalApprox) {
+    pending.assign(batch.size(), 0);
+    // Bucket engine-eligible queries by owning block, then fan the blocks
+    // out across the pool: every bucket writes disjoint out[] slots.
+    std::vector<std::vector<index_t>> bucket(
+        static_cast<std::size_t>(snap.num_blocks()));
+    for (index_t i = 0; i < n; ++i) {
+      const PortQuery& query = batch[static_cast<std::size_t>(i)];
+      const index_t p = snap.reduced_id(query.p);
+      const index_t q = snap.reduced_id(query.q);
+      const bool eligible = p >= 0 && q >= 0 &&
+                            query.kind == QueryKind::kResistance &&
+                            snap.block_of_reduced(p) ==
+                                snap.block_of_reduced(q) &&
+                            snap.block_engine(snap.block_of_reduced(p));
+      if (eligible)
+        bucket[static_cast<std::size_t>(snap.block_of_reduced(p))].push_back(i);
+      else
+        pending[static_cast<std::size_t>(i)] = 1;
+    }
+    parallel_for(pool, 0, snap.num_blocks(), 1, [&](index_t lo, index_t hi) {
+      for (index_t b = lo; b < hi; ++b) {
+        const auto& ids = bucket[static_cast<std::size_t>(b)];
+        if (ids.empty()) continue;
+        std::vector<ResistanceQuery> local;
+        local.reserve(ids.size());
+        for (index_t i : ids) {
+          const PortQuery& query = batch[static_cast<std::size_t>(i)];
+          local.emplace_back(
+              snap.block_local_id(snap.reduced_id(query.p)),
+              snap.block_local_id(snap.reduced_id(query.q)));
+        }
+        std::vector<real_t> answers(local.size(), 0.0);
+        snap.block_engine(b)->resistances_into(local, answers);
+        for (std::size_t j = 0; j < ids.size(); ++j)
+          out[static_cast<std::size_t>(ids[j])] = answers[j];
+        same_block += ids.size();
+        engine_answered += ids.size();
+      }
+    });
+  }
+
+  // Exact paths, chunked across the pool with one workspace per chunk.
+  const bool monolithic = mode == RouteMode::kMonolithic;
+  parallel_for(pool, 0, n, kBatchQueryGrain, [&](index_t lo, index_t hi) {
+    ModelSnapshot::Workspace ws;
+    std::size_t inv = 0, same = 0, cross = 0;
+    for (index_t i = lo; i < hi; ++i) {
+      if (!pending.empty() && !pending[static_cast<std::size_t>(i)]) continue;
+      out[static_cast<std::size_t>(i)] =
+          answer_exact(snap, batch[static_cast<std::size_t>(i)], monolithic,
+                       ws, inv, same, cross);
+    }
+    invalid += inv;
+    same_block += same;
+    cross_block += cross;
+  });
+
+  if (stats) {
+    stats->queries = batch.size();
+    stats->invalid = invalid.load();
+    stats->same_block = same_block.load();
+    stats->cross_block = cross_block.load();
+    stats->engine_answered = engine_answered.load();
+    stats->snapshot_version = snap.version();
+    stats->seconds = timer.seconds();
+  }
+  return out;
+}
+
+}  // namespace er

@@ -1,0 +1,88 @@
+/// \file
+/// Concurrent query front-end over a ModelStore (DESIGN.md §4).
+///
+/// Accepts batches of port-response / effective-resistance queries in
+/// *original* node ids, pins the store's current snapshot once per batch,
+/// routes each query to the owning block(s) through the snapshot's
+/// node->block map, and fans the batch out across a ThreadPool. Answers
+/// land in per-query slots, so a batch is bit-identical at any thread
+/// count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/model_store.hpp"
+#include "util/types.hpp"
+
+namespace er {
+
+class ThreadPool;
+
+/// What a PortQuery asks for.
+enum class QueryKind {
+  kResponse,    ///< Z(p, q) = e_q^T G^{-1} e_p (transfer impedance)
+  kResistance,  ///< (e_p - e_q)^T G^{-1} (e_p - e_q)
+};
+
+/// One query against the published model, in original (pre-reduction) node
+/// ids. Nodes that were eliminated by the reduction answer NaN.
+struct PortQuery {
+  QueryKind kind = QueryKind::kResistance;
+  index_t p = 0;
+  index_t q = 0;
+};
+
+/// Which evaluation path answers the batch.
+enum class RouteMode {
+  /// Exact two-level domain decomposition: per-block interior factors plus
+  /// the stitched boundary system. The default serving path.
+  kSharded,
+  /// One factor of the whole stitched system — the "single-model" reference
+  /// the sharded path is validated against.
+  kMonolithic,
+  /// Same-block kResistance queries go to the resident block-local ER
+  /// engine (approximate: the block is served in isolation from the rest of
+  /// the grid). Everything else falls back to kSharded.
+  kLocalApprox,
+};
+
+const char* to_string(RouteMode m);
+
+/// Per-batch diagnostics.
+struct BatchStats {
+  std::size_t queries = 0;
+  std::size_t invalid = 0;          ///< unmapped / out-of-range endpoints
+  std::size_t same_block = 0;       ///< both endpoints owned by one block
+  std::size_t cross_block = 0;      ///< endpoints in different blocks
+  std::size_t engine_answered = 0;  ///< served by a block-local engine
+  std::uint64_t snapshot_version = 0;
+  double seconds = 0.0;
+};
+
+/// Stateless batch evaluator bound to a ModelStore. Thread-safe: any number
+/// of threads may call answer() concurrently; each batch pins the snapshot
+/// current at its start and is unaffected by publishes that race with it.
+class QueryFrontEnd {
+ public:
+  /// `store` must outlive the front-end.
+  explicit QueryFrontEnd(const ModelStore* store);
+
+  /// Answer a batch against the currently-published snapshot. Throws
+  /// std::runtime_error if nothing has been published yet.
+  [[nodiscard]] std::vector<real_t> answer(const std::vector<PortQuery>& batch,
+                                           ThreadPool* pool = nullptr,
+                                           RouteMode mode = RouteMode::kSharded,
+                                           BatchStats* stats = nullptr) const;
+
+  /// Answer a batch against an explicitly pinned snapshot (tests, replay).
+  [[nodiscard]] static std::vector<real_t> answer_on(
+      const ModelSnapshot& snapshot, const std::vector<PortQuery>& batch,
+      ThreadPool* pool = nullptr, RouteMode mode = RouteMode::kSharded,
+      BatchStats* stats = nullptr);
+
+ private:
+  const ModelStore* store_;
+};
+
+}  // namespace er

@@ -1,0 +1,358 @@
+#include "serve/snapshot.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "chol/cholesky.hpp"
+#include "effres/approx_chol.hpp"
+#include "effres/exact.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sparse/coo.hpp"
+#include "util/timer.hpp"
+
+namespace er {
+
+namespace {
+
+std::unique_ptr<EffResEngine> make_block_engine(const Graph& g,
+                                                const ServingOptions& opts) {
+  if (g.num_nodes() < 2 || g.num_edges() == 0) return nullptr;
+  // A block whose local system resists factorization (e.g. pathological
+  // weights) must not take the whole snapshot down: the exact sharded path
+  // still serves its queries, so the fast path just stays unavailable.
+  try {
+    if (opts.engine_backend == ErBackend::kExact)
+      return std::make_unique<ExactEffRes>(g);
+    ApproxCholOptions ac;
+    ac.droptol = opts.engine_droptol;
+    ac.epsilon = opts.engine_epsilon;
+    return std::make_unique<ApproxCholEffRes>(g, ac);
+  } catch (const std::exception&) {
+    return nullptr;
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<const ModelSnapshot> ModelSnapshot::build(
+    const ReductionArtifacts& artifacts, const ServingOptions& opts,
+    ThreadPool* pool, std::uint64_t version) {
+  return build(artifacts.blocks, artifacts.model, opts, pool, version);
+}
+
+std::shared_ptr<const ModelSnapshot> ModelSnapshot::build(
+    const std::vector<BlockReduced>& reduced_blocks, const ReducedModel& input_model,
+    const ServingOptions& opts, ThreadPool* pool, std::uint64_t version) {
+  Timer timer;
+  auto snap = std::shared_ptr<ModelSnapshot>(new ModelSnapshot());
+  snap->model_ = input_model;
+  snap->version_ = version;
+  const ReducedModel& model = snap->model_;
+  const Graph& rg = model.network.graph;
+  const index_t n = rg.num_nodes();
+  const auto nb_blocks = static_cast<index_t>(model.block_kept.size());
+
+  // Reduced node -> owning block and engine-local id (block_kept[b][m] is
+  // the reduced id of the block's m-th merged node, matching the node ids
+  // of BlockReduced::sparse_graph).
+  snap->block_of_reduced_.assign(static_cast<std::size_t>(n), -1);
+  snap->block_local_.assign(static_cast<std::size_t>(n), -1);
+  for (index_t b = 0; b < nb_blocks; ++b) {
+    const auto& kept = model.block_kept[static_cast<std::size_t>(b)];
+    for (std::size_t m = 0; m < kept.size(); ++m) {
+      snap->block_of_reduced_[static_cast<std::size_t>(kept[m])] = b;
+      snap->block_local_[static_cast<std::size_t>(kept[m])] =
+          static_cast<index_t>(m);
+    }
+  }
+
+  // Boundary = reduced nodes incident to an inter-block edge; everything
+  // else is interior to its block. Weighted degrees feed the Laplacian
+  // diagonals of the principal sub-systems below.
+  std::vector<char> boundary_flag(static_cast<std::size_t>(n), 0);
+  std::vector<real_t> wdeg(static_cast<std::size_t>(n), 0.0);
+  for (const Edge& e : rg.edges()) {
+    wdeg[static_cast<std::size_t>(e.u)] += e.weight;
+    wdeg[static_cast<std::size_t>(e.v)] += e.weight;
+    if (snap->block_of_reduced_[static_cast<std::size_t>(e.u)] !=
+        snap->block_of_reduced_[static_cast<std::size_t>(e.v)]) {
+      boundary_flag[static_cast<std::size_t>(e.u)] = 1;
+      boundary_flag[static_cast<std::size_t>(e.v)] = 1;
+    }
+  }
+  snap->boundary_index_.assign(static_cast<std::size_t>(n), -1);
+  snap->interior_index_.assign(static_cast<std::size_t>(n), -1);
+  for (index_t v = 0; v < n; ++v)
+    if (boundary_flag[static_cast<std::size_t>(v)]) {
+      snap->boundary_index_[static_cast<std::size_t>(v)] =
+          static_cast<index_t>(snap->boundary_nodes_.size());
+      snap->boundary_nodes_.push_back(v);
+    }
+
+  snap->blocks_.resize(static_cast<std::size_t>(nb_blocks));
+  for (index_t b = 0; b < nb_blocks; ++b) {
+    BlockSystem& bs = snap->blocks_[static_cast<std::size_t>(b)];
+    for (index_t g : model.block_kept[static_cast<std::size_t>(b)])
+      if (!boundary_flag[static_cast<std::size_t>(g)]) {
+        snap->interior_index_[static_cast<std::size_t>(g)] =
+            static_cast<index_t>(bs.interior.size());
+        bs.interior.push_back(g);
+      }
+  }
+
+  // Bucket intra-block edges per block (cut edges go straight to S).
+  std::vector<std::vector<Edge>> block_edges(
+      static_cast<std::size_t>(nb_blocks));
+  std::vector<Edge> boundary_edges;  // both endpoints boundary (any blocks)
+  for (const Edge& e : rg.edges()) {
+    const bool bu = boundary_flag[static_cast<std::size_t>(e.u)] != 0;
+    const bool bv = boundary_flag[static_cast<std::size_t>(e.v)] != 0;
+    if (bu && bv) {
+      boundary_edges.push_back(e);
+      continue;
+    }
+    block_edges[static_cast<std::size_t>(
+                    snap->block_of_reduced_[static_cast<std::size_t>(e.u)])]
+        .push_back(e);
+  }
+
+  // Per-block systems build independently into their own slots (factor,
+  // couplings, Schur-correction triplets, engine), so the construction can
+  // fan out across the pool and still be identical at any thread count —
+  // the boundary system is assembled serially in block order below.
+  std::vector<std::vector<Triplet>> corrections(
+      static_cast<std::size_t>(nb_blocks));
+  parallel_for(pool, 0, nb_blocks, 1, [&](index_t lo, index_t hi) {
+    for (index_t b = lo; b < hi; ++b) {
+      BlockSystem& bs = snap->blocks_[static_cast<std::size_t>(b)];
+      const auto ni = static_cast<index_t>(bs.interior.size());
+      if (opts.build_block_engines)
+        bs.engine = make_block_engine(
+            reduced_blocks[static_cast<std::size_t>(b)].sparse_graph, opts);
+      if (ni == 0) continue;
+
+      // A_II: principal submatrix of G on the block's interior nodes. The
+      // diagonal carries the node's full weighted degree (edges to boundary
+      // neighbors included) plus its shunt; interior-interior edges add the
+      // off-diagonals; interior-boundary edges become A_IB couplings.
+      TripletMatrix t(ni, ni);
+      for (index_t l = 0; l < ni; ++l) {
+        const index_t g = bs.interior[static_cast<std::size_t>(l)];
+        t.add(l, l,
+              wdeg[static_cast<std::size_t>(g)] +
+                  model.network.shunts[static_cast<std::size_t>(g)]);
+      }
+      for (const Edge& e : block_edges[static_cast<std::size_t>(b)]) {
+        const index_t iu = snap->interior_index_[static_cast<std::size_t>(e.u)];
+        const index_t iv = snap->interior_index_[static_cast<std::size_t>(e.v)];
+        if (iu >= 0 && iv >= 0) {
+          t.add_symmetric(iu, iv, -e.weight);
+        } else if (iu >= 0) {
+          bs.couplings.push_back(
+              {iu, snap->boundary_index_[static_cast<std::size_t>(e.v)],
+               e.weight});
+        } else {
+          bs.couplings.push_back(
+              {iv, snap->boundary_index_[static_cast<std::size_t>(e.u)],
+               e.weight});
+        }
+      }
+      bs.factor = cholesky(CscMatrix::from_triplets(t));
+
+      // This block's contribution to the interface Schur complement:
+      // -A_BI (A_II)^-1 A_IB over the boundary nodes it couples to. The
+      // couplings are bucketed by boundary column once, so assembling the
+      // |coupled| x |coupled| correction touches each coupling entry once
+      // per column/row instead of rescanning the whole list.
+      std::vector<index_t> coupled;
+      for (const Coupling& c : bs.couplings) coupled.push_back(c.boundary);
+      std::sort(coupled.begin(), coupled.end());
+      coupled.erase(std::unique(coupled.begin(), coupled.end()),
+                    coupled.end());
+      std::vector<std::vector<std::pair<index_t, real_t>>> by_boundary(
+          coupled.size());
+      for (const Coupling& c : bs.couplings) {
+        const auto lj = static_cast<std::size_t>(
+            std::lower_bound(coupled.begin(), coupled.end(), c.boundary) -
+            coupled.begin());
+        by_boundary[lj].emplace_back(c.interior, c.weight);
+      }
+      std::vector<real_t> col(static_cast<std::size_t>(ni), 0.0);
+      for (std::size_t lj = 0; lj < coupled.size(); ++lj) {
+        std::fill(col.begin(), col.end(), 0.0);
+        for (const auto& [i, w] : by_boundary[lj])
+          col[static_cast<std::size_t>(i)] -= w;
+        const std::vector<real_t> y = bs.factor.solve(col);
+        for (std::size_t lk = 0; lk < coupled.size(); ++lk) {
+          real_t val = 0.0;
+          for (const auto& [i, w] : by_boundary[lk])
+            val += w * y[static_cast<std::size_t>(i)];
+          if (val != 0.0)
+            corrections[static_cast<std::size_t>(b)].push_back(
+                {coupled[lk], coupled[lj], val});
+        }
+      }
+    }
+  });
+
+  // Stitched boundary system S = A_BB + per-block corrections, assembled
+  // serially in fixed (boundary, block) order.
+  const auto nbd = static_cast<index_t>(snap->boundary_nodes_.size());
+  if (nbd > 0) {
+    TripletMatrix s(nbd, nbd);
+    for (index_t j = 0; j < nbd; ++j) {
+      const index_t g = snap->boundary_nodes_[static_cast<std::size_t>(j)];
+      s.add(j, j,
+            wdeg[static_cast<std::size_t>(g)] +
+                model.network.shunts[static_cast<std::size_t>(g)]);
+    }
+    for (const Edge& e : boundary_edges)
+      s.add_symmetric(snap->boundary_index_[static_cast<std::size_t>(e.u)],
+                      snap->boundary_index_[static_cast<std::size_t>(e.v)],
+                      -e.weight);
+    for (const auto& block_corr : corrections)
+      for (const Triplet& c : block_corr) s.add(c.row, c.col, c.value);
+    snap->boundary_factor_ = cholesky(CscMatrix::from_triplets(s));
+  }
+
+  if (opts.build_monolithic_factor) {
+    snap->global_factor_ = cholesky(model.network.system_matrix());
+    snap->has_monolithic_factor_ = true;
+  }
+  snap->build_seconds_ = timer.seconds();
+  return snap;
+}
+
+index_t ModelSnapshot::reduced_id(index_t original) const {
+  if (original < 0 ||
+      static_cast<std::size_t>(original) >= model_.node_map.size())
+    return -1;
+  return model_.node_map[static_cast<std::size_t>(original)];
+}
+
+void ModelSnapshot::solve_sparse(const index_t* rhs_nodes,
+                                 const real_t* rhs_values, int nrhs,
+                                 const index_t* targets, real_t* out,
+                                 int ntargets, Workspace& ws) const {
+  const auto nbd = static_cast<index_t>(boundary_nodes_.size());
+  ws.boundary_rhs.assign(static_cast<std::size_t>(nbd), 0.0);
+
+  // Forward pass: boundary rhs entries land directly; interior entries are
+  // condensed through their block, rhs_B -= A_BI (A_II)^-1 rhs_I (a
+  // coupling entry A[j,i] is -weight, hence the += below).
+  for (int r = 0; r < nrhs; ++r) {
+    const index_t g = rhs_nodes[r];
+    const index_t bidx = boundary_index_[static_cast<std::size_t>(g)];
+    if (bidx >= 0) ws.boundary_rhs[static_cast<std::size_t>(bidx)] += rhs_values[r];
+  }
+  for (int r = 0; r < nrhs; ++r) {
+    const index_t g = rhs_nodes[r];
+    if (boundary_index_[static_cast<std::size_t>(g)] >= 0) continue;
+    // Skip if this block was already condensed for an earlier rhs entry.
+    const index_t b = block_of_reduced_[static_cast<std::size_t>(g)];
+    bool done = false;
+    for (int r2 = 0; r2 < r; ++r2)
+      done = done ||
+             (boundary_index_[static_cast<std::size_t>(rhs_nodes[r2])] < 0 &&
+              block_of_reduced_[static_cast<std::size_t>(rhs_nodes[r2])] == b);
+    if (done) continue;
+    const BlockSystem& bs = blocks_[static_cast<std::size_t>(b)];
+    ws.block_rhs.assign(bs.interior.size(), 0.0);
+    for (int r2 = r; r2 < nrhs; ++r2) {
+      const index_t g2 = rhs_nodes[r2];
+      if (boundary_index_[static_cast<std::size_t>(g2)] < 0 &&
+          block_of_reduced_[static_cast<std::size_t>(g2)] == b)
+        ws.block_rhs[static_cast<std::size_t>(
+            interior_index_[static_cast<std::size_t>(g2)])] += rhs_values[r2];
+    }
+    const std::vector<real_t> t = bs.factor.solve(ws.block_rhs);
+    for (const Coupling& c : bs.couplings)
+      ws.boundary_rhs[static_cast<std::size_t>(c.boundary)] +=
+          c.weight * t[static_cast<std::size_t>(c.interior)];
+  }
+
+  // Global boundary solve S x_B = rhs_B.
+  std::vector<real_t> bx;
+  if (nbd > 0) bx = boundary_factor_.solve(ws.boundary_rhs);
+
+  // Back-substitution: boundary targets read x_B; interior targets solve
+  // their block once, x_I = (A_II)^-1 (rhs_I - A_IB x_B). The most recent
+  // block solution is kept so consecutive targets in one block (the
+  // resistance query's (p, q) pair) share a single solve.
+  index_t solved_block = -1;
+  for (int t = 0; t < ntargets; ++t) {
+    const index_t g = targets[t];
+    const index_t bidx = boundary_index_[static_cast<std::size_t>(g)];
+    if (bidx >= 0) {
+      out[t] = bx[static_cast<std::size_t>(bidx)];
+      continue;
+    }
+    const index_t b = block_of_reduced_[static_cast<std::size_t>(g)];
+    if (b != solved_block) {
+      const BlockSystem& bs = blocks_[static_cast<std::size_t>(b)];
+      ws.block_rhs.assign(bs.interior.size(), 0.0);
+      for (int r = 0; r < nrhs; ++r) {
+        const index_t g2 = rhs_nodes[r];
+        if (boundary_index_[static_cast<std::size_t>(g2)] < 0 &&
+            block_of_reduced_[static_cast<std::size_t>(g2)] == b)
+          ws.block_rhs[static_cast<std::size_t>(
+              interior_index_[static_cast<std::size_t>(g2)])] += rhs_values[r];
+      }
+      for (const Coupling& c : bs.couplings)
+        ws.block_rhs[static_cast<std::size_t>(c.interior)] +=
+            c.weight * bx[static_cast<std::size_t>(c.boundary)];
+      ws.block_solution = bs.factor.solve(ws.block_rhs);
+      solved_block = b;
+    }
+    out[t] = ws.block_solution[static_cast<std::size_t>(
+        interior_index_[static_cast<std::size_t>(g)])];
+  }
+}
+
+real_t ModelSnapshot::response(index_t p, index_t q, Workspace& ws) const {
+  const real_t one = 1.0;
+  real_t out = 0.0;
+  solve_sparse(&p, &one, 1, &q, &out, 1, ws);
+  return out;
+}
+
+real_t ModelSnapshot::resistance(index_t p, index_t q, Workspace& ws) const {
+  if (p == q) return 0.0;
+  const index_t rhs_nodes[2] = {p, q};
+  const real_t rhs_values[2] = {1.0, -1.0};
+  real_t out[2] = {0.0, 0.0};
+  solve_sparse(rhs_nodes, rhs_values, 2, rhs_nodes, out, 2, ws);
+  return out[0] - out[1];
+}
+
+real_t ModelSnapshot::response_monolithic(index_t p, index_t q,
+                                          Workspace& ws) const {
+  if (!has_monolithic_factor())
+    throw std::logic_error(
+        "ModelSnapshot: built without the monolithic factor");
+  ws.mono_rhs.assign(static_cast<std::size_t>(global_factor_.n), 0.0);
+  const index_t pp = global_factor_.inv_perm[static_cast<std::size_t>(p)];
+  const index_t qq = global_factor_.inv_perm[static_cast<std::size_t>(q)];
+  ws.mono_rhs[static_cast<std::size_t>(pp)] = 1.0;
+  global_factor_.solve_permuted(ws.mono_rhs);
+  return ws.mono_rhs[static_cast<std::size_t>(qq)];
+}
+
+real_t ModelSnapshot::resistance_monolithic(index_t p, index_t q,
+                                            Workspace& ws) const {
+  if (!has_monolithic_factor())
+    throw std::logic_error(
+        "ModelSnapshot: built without the monolithic factor");
+  if (p == q) return 0.0;
+  ws.mono_rhs.assign(static_cast<std::size_t>(global_factor_.n), 0.0);
+  const index_t pp = global_factor_.inv_perm[static_cast<std::size_t>(p)];
+  const index_t qq = global_factor_.inv_perm[static_cast<std::size_t>(q)];
+  ws.mono_rhs[static_cast<std::size_t>(pp)] = 1.0;
+  ws.mono_rhs[static_cast<std::size_t>(qq)] = -1.0;
+  global_factor_.solve_permuted(ws.mono_rhs);
+  return ws.mono_rhs[static_cast<std::size_t>(pp)] -
+         ws.mono_rhs[static_cast<std::size_t>(qq)];
+}
+
+}  // namespace er

@@ -1,0 +1,186 @@
+/// \file
+/// Immutable serving snapshot of a reduced model (DESIGN.md §4).
+///
+/// A ModelSnapshot is built once from the reduction pipeline's artifacts
+/// and then never mutated: every member is resident, read-only state
+/// shared by any number of concurrent query threads. The sharded query
+/// path is exact two-level domain decomposition on the stitched reduced
+/// system G = L(reduced graph) + diag(shunts):
+///
+///   * per block: the Cholesky factor of its interior sub-system A_II and
+///     the interior<->boundary coupling entries A_IB,
+///   * globally: the Cholesky factor of the stitched boundary system
+///     S = A_BB - sum_b A_BI (A_II)^-1 A_IB (interface Schur complement),
+///   * plus a monolithic factor of the whole of G (the single-model
+///     reference path) and an optional per-block EffResEngine for the
+///     approximate block-local fast path.
+///
+/// A query touches only the owning block(s) of its endpoints and S, never
+/// another block's factors.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "chol/factor.hpp"
+#include "effres/engine.hpp"
+#include "reduction/pipeline.hpp"
+#include "util/types.hpp"
+
+namespace er {
+
+class ThreadPool;
+
+/// Knobs for ModelSnapshot::build.
+struct ServingOptions {
+  /// Build a resident per-block EffResEngine (block-local approximate ER
+  /// fast path; see QueryFrontEnd RouteMode::kLocalApprox).
+  bool build_block_engines = true;
+  /// Also factor the whole stitched system (RouteMode::kMonolithic — the
+  /// single-model reference the sharded path is validated against).
+  /// Production sharded serving can turn this off to roughly halve the
+  /// snapshot build cost and resident memory; kMonolithic queries on such
+  /// a snapshot throw.
+  bool build_monolithic_factor = true;
+  /// Backend of the per-block engines (kApproxChol or kExact; a
+  /// kRandomProjection request falls back to kApproxChol, whose build cost
+  /// profile fits resident serving state better than k PCG solves).
+  ErBackend engine_backend = ErBackend::kApproxChol;
+  /// Alg. 3 parameters of the per-block engines.
+  real_t engine_droptol = 1e-3;
+  real_t engine_epsilon = 1e-3;
+};
+
+/// Read-only serving state for one published model version. Every method is
+/// const and thread-safe; per-query scratch lives in a caller-owned
+/// Workspace so concurrent callers never share mutable state.
+class ModelSnapshot {
+ public:
+  /// Per-caller scratch for the solve paths. Reuse one instance across the
+  /// queries of a chunk; never share one across threads.
+  struct Workspace {
+    std::vector<real_t> boundary_rhs;     ///< |boundary| right-hand side
+    std::vector<real_t> block_rhs;        ///< interior rhs of the active block
+    std::vector<real_t> block_solution;   ///< most recent block solve result
+    std::vector<real_t> mono_rhs;         ///< monolithic-path rhs
+  };
+
+  /// Build a snapshot from the per-block reductions and the stitched model
+  /// (`blocks` indexed like model.block_kept). `pool` (optional)
+  /// parallelizes the per-block factor/engine construction; the snapshot
+  /// contents are identical at any thread count (per-block slot writes, S
+  /// assembled serially in block order). Throws std::runtime_error if the
+  /// stitched system is not SPD (a connected component without any shunt).
+  static std::shared_ptr<const ModelSnapshot> build(
+      const std::vector<BlockReduced>& blocks, const ReducedModel& model,
+      const ServingOptions& opts = {}, ThreadPool* pool = nullptr,
+      std::uint64_t version = 0);
+
+  /// Convenience overload over the whole artifacts bundle.
+  static std::shared_ptr<const ModelSnapshot> build(
+      const ReductionArtifacts& artifacts, const ServingOptions& opts = {},
+      ThreadPool* pool = nullptr, std::uint64_t version = 0);
+
+  /// The stitched model the answers refer to.
+  [[nodiscard]] const ReducedModel& model() const { return model_; }
+
+  /// Publisher-assigned version (IncrementalReducer: its revision count).
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+
+  [[nodiscard]] index_t num_blocks() const {
+    return static_cast<index_t>(blocks_.size());
+  }
+  /// Reduced nodes incident to an inter-block edge (size of S).
+  [[nodiscard]] index_t num_boundary_nodes() const {
+    return static_cast<index_t>(boundary_nodes_.size());
+  }
+  [[nodiscard]] double build_seconds() const { return build_seconds_; }
+
+  /// Original node id -> reduced id, or -1 if the node was eliminated (or
+  /// out of range).
+  [[nodiscard]] index_t reduced_id(index_t original) const;
+
+  /// Partition block owning a reduced node.
+  [[nodiscard]] index_t block_of_reduced(index_t reduced) const {
+    return block_of_reduced_[static_cast<std::size_t>(reduced)];
+  }
+  /// True when the reduced node is part of the stitched boundary system.
+  [[nodiscard]] bool is_boundary(index_t reduced) const {
+    return boundary_index_[static_cast<std::size_t>(reduced)] >= 0;
+  }
+
+  /// Resident block-local ER engine, or null when the block has none
+  /// (engines disabled, or the block is empty / edgeless).
+  [[nodiscard]] const EffResEngine* block_engine(index_t block) const {
+    return blocks_[static_cast<std::size_t>(block)].engine.get();
+  }
+  /// Reduced id -> local node id inside its block's engine graph.
+  [[nodiscard]] index_t block_local_id(index_t reduced) const {
+    return block_local_[static_cast<std::size_t>(reduced)];
+  }
+
+  // Sharded (domain-decomposition) query path — reduced node ids.
+
+  /// Port response Z(p, q) = e_q^T G^{-1} e_p: voltage-drop response at q
+  /// to a unit current injected at p.
+  [[nodiscard]] real_t response(index_t p, index_t q, Workspace& ws) const;
+  /// Effective resistance (e_p - e_q)^T G^{-1} (e_p - e_q) of the stitched
+  /// system (shunts included — the pad-grounded impedance, not the
+  /// shunt-free graph ER).
+  [[nodiscard]] real_t resistance(index_t p, index_t q, Workspace& ws) const;
+
+  // Monolithic reference path (one factor of the whole stitched system).
+  // Throws std::logic_error when the snapshot was built with
+  // ServingOptions::build_monolithic_factor = false.
+
+  [[nodiscard]] bool has_monolithic_factor() const {
+    return has_monolithic_factor_;
+  }
+  [[nodiscard]] real_t response_monolithic(index_t p, index_t q,
+                                           Workspace& ws) const;
+  [[nodiscard]] real_t resistance_monolithic(index_t p, index_t q,
+                                             Workspace& ws) const;
+
+ private:
+  ModelSnapshot() = default;
+
+  /// A_IB entry: interior node (block-local index) coupled to a boundary
+  /// node (global boundary index) by an edge of weight `weight` (the matrix
+  /// entry is -weight).
+  struct Coupling {
+    index_t interior = 0;
+    index_t boundary = 0;
+    real_t weight = 0.0;
+  };
+
+  /// Resident per-block state.
+  struct BlockSystem {
+    std::vector<index_t> interior;  ///< interior local id -> reduced id
+    CholFactor factor;              ///< Cholesky of A_II (n == 0 if none)
+    std::vector<Coupling> couplings;
+    std::unique_ptr<EffResEngine> engine;  ///< block-local ER (may be null)
+  };
+
+  /// Solve G x = rhs (rhs has nrhs sparse entries) and write x at the
+  /// `ntargets` target reduced nodes. The domain-decomposition driver
+  /// behind response/resistance.
+  void solve_sparse(const index_t* rhs_nodes, const real_t* rhs_values,
+                    int nrhs, const index_t* targets, real_t* out,
+                    int ntargets, Workspace& ws) const;
+
+  ReducedModel model_;
+  std::uint64_t version_ = 0;
+  double build_seconds_ = 0.0;
+
+  std::vector<index_t> block_of_reduced_;  // reduced -> block
+  std::vector<index_t> boundary_index_;    // reduced -> boundary idx or -1
+  std::vector<index_t> interior_index_;    // reduced -> interior idx or -1
+  std::vector<index_t> block_local_;       // reduced -> engine-local id
+  std::vector<index_t> boundary_nodes_;    // boundary idx -> reduced id
+  std::vector<BlockSystem> blocks_;
+  CholFactor boundary_factor_;  // S (n == 0 when there is no boundary)
+  CholFactor global_factor_;    // monolithic factor of G
+  bool has_monolithic_factor_ = false;
+};
+
+}  // namespace er

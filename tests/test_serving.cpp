@@ -1,0 +1,362 @@
+// Serving subsystem tests (DESIGN.md §4): the sharded domain-decomposition
+// path must agree with the monolithic single-model path, answers must be
+// bit-identical at any thread count, and ModelStore's publish protocol must
+// let queries race with IncrementalReducer updates — every batch answers
+// exactly against the snapshot version it pinned (no torn reads; the
+// concurrent test is part of the CI TSan job).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "pg/analysis.hpp"
+#include "pg/incremental.hpp"
+#include "reduction/pipeline.hpp"
+#include "serve/model_store.hpp"
+#include "serve/query_frontend.hpp"
+#include "serve/snapshot.hpp"
+#include "util/rng.hpp"
+
+namespace er {
+namespace {
+
+struct ServeCase {
+  ConductanceNetwork net;
+  std::vector<char> ports;
+};
+
+ServeCase make_case(index_t nx, index_t ny, index_t nports,
+                    std::uint64_t seed) {
+  ServeCase c;
+  c.net.graph = grid_2d(nx, ny, WeightKind::kUniform, seed);
+  const index_t n = nx * ny;
+  c.net.shunts.assign(static_cast<std::size_t>(n), 0.0);
+  c.ports.assign(static_cast<std::size_t>(n), 0);
+  Rng rng(seed + 1);
+  index_t placed = 0;
+  while (placed < nports) {
+    const index_t v = rng.uniform_int(n);
+    if (c.ports[static_cast<std::size_t>(v)]) continue;
+    c.ports[static_cast<std::size_t>(v)] = 1;
+    if (placed < 4) c.net.shunts[static_cast<std::size_t>(v)] = 50.0;
+    ++placed;
+  }
+  return c;
+}
+
+std::vector<index_t> kept_originals(const ReducedModel& model) {
+  std::vector<index_t> kept;
+  for (std::size_t v = 0; v < model.node_map.size(); ++v)
+    if (model.node_map[v] >= 0) kept.push_back(static_cast<index_t>(v));
+  return kept;
+}
+
+/// Mixed batch over surviving original nodes: alternating response /
+/// resistance queries on random pairs (naturally mixing intra- and
+/// cross-block routing).
+std::vector<PortQuery> mixed_batch(const std::vector<index_t>& nodes,
+                                   std::size_t count, std::uint64_t seed) {
+  std::vector<PortQuery> batch;
+  batch.reserve(count);
+  Rng rng(seed);
+  const auto n = static_cast<index_t>(nodes.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    PortQuery query;
+    query.kind = i % 2 == 0 ? QueryKind::kResistance : QueryKind::kResponse;
+    query.p = nodes[static_cast<std::size_t>(rng.uniform_int(n))];
+    query.q = nodes[static_cast<std::size_t>(rng.uniform_int(n))];
+    batch.push_back(query);
+  }
+  return batch;
+}
+
+TEST(ModelSnapshot, ShardedMatchesMonolithic) {
+  const ServeCase c = make_case(24, 24, 64, 71);
+  ReductionOptions opts;
+  opts.num_blocks = 8;
+  const ReductionArtifacts art =
+      reduce_network_artifacts(c.net, c.ports, opts);
+  const auto snap = ModelSnapshot::build(art);
+  ASSERT_GT(snap->num_boundary_nodes(), 0);
+
+  const auto batch = mixed_batch(kept_originals(art.model), 400, 3);
+  BatchStats sharded_stats, mono_stats;
+  const auto sharded = QueryFrontEnd::answer_on(*snap, batch, nullptr,
+                                                RouteMode::kSharded,
+                                                &sharded_stats);
+  const auto mono = QueryFrontEnd::answer_on(*snap, batch, nullptr,
+                                             RouteMode::kMonolithic,
+                                             &mono_stats);
+  ASSERT_EQ(sharded.size(), mono.size());
+  EXPECT_EQ(sharded_stats.invalid, 0u);
+  EXPECT_GT(sharded_stats.cross_block, 0u);  // the batch exercises routing
+  EXPECT_GT(sharded_stats.same_block, 0u);
+  for (std::size_t i = 0; i < sharded.size(); ++i)
+    EXPECT_NEAR(sharded[i], mono[i], 1e-8 * (1.0 + std::abs(mono[i])))
+        << "query " << i;
+}
+
+TEST(ModelSnapshot, ResponseMatchesDcSolve) {
+  const ServeCase c = make_case(18, 18, 40, 73);
+  ReductionOptions opts;
+  opts.num_blocks = 6;
+  const ReductionArtifacts art =
+      reduce_network_artifacts(c.net, c.ports, opts);
+  const auto snap = ModelSnapshot::build(art);
+
+  // Z(p, q) is column p of G^{-1}: inject a unit current at reduced p and
+  // read the DC voltage drops.
+  const index_t p_orig = kept_originals(art.model).front();
+  const index_t p_red = snap->reduced_id(p_orig);
+  std::vector<real_t> injection(
+      static_cast<std::size_t>(art.model.network.num_nodes()), 0.0);
+  injection[static_cast<std::size_t>(p_red)] = 1.0;
+  const DcSolution dc = solve_dc(art.model.network, injection);
+
+  ModelSnapshot::Workspace ws;
+  for (index_t q = 0; q < art.model.network.num_nodes(); q += 7) {
+    const real_t z = snap->response(p_red, q, ws);
+    EXPECT_NEAR(z, dc.drops[static_cast<std::size_t>(q)],
+                1e-8 * (1.0 + std::abs(z)))
+        << "response at reduced node " << q;
+  }
+
+  // Internal consistency: R(p,q) = Z(p,p) - Z(p,q) - Z(q,p) + Z(q,q).
+  const index_t q_red = snap->reduced_id(kept_originals(art.model).back());
+  const real_t r = snap->resistance(p_red, q_red, ws);
+  const real_t via_z = snap->response(p_red, p_red, ws) -
+                       snap->response(p_red, q_red, ws) -
+                       snap->response(q_red, p_red, ws) +
+                       snap->response(q_red, q_red, ws);
+  EXPECT_NEAR(r, via_z, 1e-9 * (1.0 + std::abs(r)));
+}
+
+TEST(QueryFrontEnd, BitIdenticalAcrossThreadCounts) {
+  const ServeCase c = make_case(24, 24, 64, 79);
+  ReductionOptions opts;
+  opts.num_blocks = 8;
+  const ReductionArtifacts art =
+      reduce_network_artifacts(c.net, c.ports, opts);
+  const auto snap = ModelSnapshot::build(art);
+  const auto batch = mixed_batch(kept_originals(art.model), 1500, 5);
+
+  for (RouteMode mode : {RouteMode::kSharded, RouteMode::kMonolithic,
+                         RouteMode::kLocalApprox}) {
+    const auto serial = QueryFrontEnd::answer_on(*snap, batch, nullptr, mode);
+    for (int threads : {2, 4, 8}) {
+      ThreadPool pool(threads);
+      const auto par =
+          QueryFrontEnd::answer_on(*snap, batch, &pool, mode);
+      SCOPED_TRACE(std::string(to_string(mode)) + " threads=" +
+                   std::to_string(threads));
+      ASSERT_EQ(serial.size(), par.size());
+      for (std::size_t i = 0; i < serial.size(); ++i)
+        ASSERT_EQ(serial[i], par[i]) << "query " << i;  // bit-identical
+    }
+  }
+}
+
+TEST(ModelSnapshot, MonolithicFactorIsOptional) {
+  // Production sharded serving skips the whole-system factor; the sharded
+  // path still answers and the monolithic path refuses loudly.
+  const ServeCase c = make_case(16, 16, 24, 101);
+  ReductionOptions opts;
+  opts.num_blocks = 4;
+  const ReductionArtifacts art =
+      reduce_network_artifacts(c.net, c.ports, opts);
+  ServingOptions with, without;
+  without.build_monolithic_factor = false;
+  const auto full = ModelSnapshot::build(art, with);
+  const auto lean = ModelSnapshot::build(art, without);
+  EXPECT_TRUE(full->has_monolithic_factor());
+  EXPECT_FALSE(lean->has_monolithic_factor());
+
+  const auto batch = mixed_batch(kept_originals(art.model), 100, 19);
+  const auto want = QueryFrontEnd::answer_on(*full, batch);
+  const auto got = QueryFrontEnd::answer_on(*lean, batch);
+  ASSERT_EQ(want.size(), got.size());
+  for (std::size_t i = 0; i < want.size(); ++i)
+    ASSERT_EQ(want[i], got[i]) << "query " << i;  // sharded path unaffected
+  EXPECT_THROW((void)QueryFrontEnd::answer_on(*lean, batch, nullptr,
+                                              RouteMode::kMonolithic),
+               std::logic_error);
+}
+
+TEST(QueryFrontEnd, InvalidQueriesAnswerNaN) {
+  const ServeCase c = make_case(16, 16, 24, 83);
+  ReductionOptions opts;
+  opts.num_blocks = 4;
+  const ReductionArtifacts art =
+      reduce_network_artifacts(c.net, c.ports, opts);
+  const auto snap = ModelSnapshot::build(art);
+
+  index_t eliminated = -1;
+  for (std::size_t v = 0; v < art.model.node_map.size(); ++v)
+    if (art.model.node_map[v] < 0) {
+      eliminated = static_cast<index_t>(v);
+      break;
+    }
+  ASSERT_GE(eliminated, 0);
+  const index_t valid = kept_originals(art.model).front();
+
+  const std::vector<PortQuery> batch{
+      {QueryKind::kResistance, eliminated, valid},
+      {QueryKind::kResponse, valid, eliminated},
+      {QueryKind::kResistance, -5, valid},
+      {QueryKind::kResistance, valid, valid},
+  };
+  BatchStats stats;
+  const auto out =
+      QueryFrontEnd::answer_on(*snap, batch, nullptr, RouteMode::kSharded,
+                               &stats);
+  EXPECT_TRUE(std::isnan(out[0]));
+  EXPECT_TRUE(std::isnan(out[1]));
+  EXPECT_TRUE(std::isnan(out[2]));
+  EXPECT_EQ(out[3], 0.0);  // same node: zero resistance
+  EXPECT_EQ(stats.invalid, 3u);
+  EXPECT_EQ(stats.queries, 4u);
+}
+
+TEST(QueryFrontEnd, LocalApproxRoutesThroughBlockEngines) {
+  const ServeCase c = make_case(24, 24, 64, 89);
+  ReductionOptions opts;
+  opts.num_blocks = 8;
+  const ReductionArtifacts art =
+      reduce_network_artifacts(c.net, c.ports, opts);
+  const auto snap = ModelSnapshot::build(art);
+  const auto batch = mixed_batch(kept_originals(art.model), 600, 7);
+
+  BatchStats stats;
+  const auto out = QueryFrontEnd::answer_on(*snap, batch, nullptr,
+                                            RouteMode::kLocalApprox, &stats);
+  EXPECT_GT(stats.engine_answered, 0u);  // the fast path actually engaged
+  EXPECT_GT(stats.cross_block, 0u);      // and the fallback did too
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(out[i])) << "query " << i;
+    if (batch[i].kind == QueryKind::kResistance) {
+      EXPECT_GE(out[i], 0.0) << "query " << i;
+    }
+  }
+}
+
+TEST(ModelStore, PublishPinsInFlightSnapshots) {
+  const ServeCase c = make_case(20, 20, 48, 91);
+  ReductionOptions opts;
+  opts.num_blocks = 8;
+  ModelStore store;
+  QueryFrontEnd frontend(&store);
+  const auto batch_probe = mixed_batch({0}, 0, 0);
+  EXPECT_THROW((void)frontend.answer(batch_probe), std::runtime_error);
+
+  IncrementalReducer reducer(c.net, c.ports, opts);
+  reducer.attach_store(&store);
+  EXPECT_EQ(store.publish_count(), 1u);
+  const SnapshotPtr pinned = store.acquire();
+  ASSERT_TRUE(pinned);
+  EXPECT_EQ(pinned->version(), 0u);
+
+  const auto batch = mixed_batch(kept_originals(reducer.model()), 200, 11);
+  const auto before = QueryFrontEnd::answer_on(*pinned, batch);
+
+  const GridModification mod =
+      random_modification(reducer.structure().num_blocks, 0.25, 1.5, 13);
+  const ConductanceNetwork modified =
+      apply_modification(c.net, reducer.structure(), mod);
+  reducer.update(modified, mod.dirty_blocks);
+  EXPECT_EQ(store.publish_count(), 2u);
+  EXPECT_GT(reducer.publish_seconds(), 0.0);
+
+  // The pinned snapshot is immutable: identical answers after the publish.
+  const auto after = QueryFrontEnd::answer_on(*pinned, batch);
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i)
+    ASSERT_EQ(before[i], after[i]) << "query " << i;
+
+  // New batches see the new version.
+  BatchStats stats;
+  (void)frontend.answer(batch, nullptr, RouteMode::kSharded, &stats);
+  EXPECT_EQ(stats.snapshot_version, 1u);
+}
+
+// The acceptance test for concurrent serving (runs under TSan in CI):
+// reader threads answer batches through the ModelStore while the main
+// thread runs IncrementalReducer updates that publish new snapshots. Every
+// batch must be answered entirely against the snapshot it pinned — the
+// answers of version v are precomputed from a deterministic twin reducer,
+// so any torn read or cross-version mix shows up as a bitwise mismatch.
+TEST(Serving, ConcurrentPublishWhileQuerying) {
+  const ServeCase c = make_case(20, 20, 48, 97);
+  ReductionOptions opts;
+  opts.num_blocks = 8;
+  opts.parallel.num_threads = 2;
+  constexpr int kUpdates = 3;
+  constexpr int kReaders = 4;
+  constexpr int kBatchesPerReader = 12;
+
+  // Twin pass: replay the exact update sequence on an unattached reducer
+  // and record each version's serial answers (everything is deterministic,
+  // so the serving reducer publishes bit-identical snapshots).
+  std::vector<PortQuery> batch;
+  std::map<std::uint64_t, std::vector<real_t>> reference;
+  std::vector<ConductanceNetwork> nets{c.net};
+  std::vector<GridModification> mods;
+  {
+    IncrementalReducer twin(c.net, c.ports, opts);
+    batch = mixed_batch(kept_originals(twin.model()), 64, 17);
+    reference[0] = QueryFrontEnd::answer_on(
+        *ModelSnapshot::build(twin.blocks(), twin.model()), batch);
+    for (int u = 1; u <= kUpdates; ++u) {
+      const GridModification mod = random_modification(
+          twin.structure().num_blocks, 0.25, 1.4,
+          static_cast<std::uint64_t>(100 + u));
+      nets.push_back(apply_modification(nets.back(), twin.structure(), mod));
+      mods.push_back(mod);
+      twin.update(nets.back(), mod.dirty_blocks);
+      reference[static_cast<std::uint64_t>(u)] = QueryFrontEnd::answer_on(
+          *ModelSnapshot::build(twin.blocks(), twin.model()), batch);
+    }
+  }
+
+  ModelStore store;
+  IncrementalReducer reducer(c.net, c.ports, opts);
+  reducer.attach_store(&store);
+  const QueryFrontEnd frontend(&store);
+
+  std::atomic<int> mismatches{0};
+  std::atomic<std::uint64_t> versions_seen{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r)
+    readers.emplace_back([&] {
+      for (int i = 0; i < kBatchesPerReader; ++i) {
+        BatchStats stats;
+        const auto got =
+            frontend.answer(batch, nullptr, RouteMode::kSharded, &stats);
+        versions_seen |= std::uint64_t{1} << stats.snapshot_version;
+        const auto& want = reference.at(stats.snapshot_version);
+        for (std::size_t j = 0; j < want.size(); ++j)
+          if (got[j] != want[j]) {
+            ++mismatches;
+            break;
+          }
+      }
+    });
+
+  for (int u = 1; u <= kUpdates; ++u)
+    reducer.update(nets[static_cast<std::size_t>(u)],
+                   mods[static_cast<std::size_t>(u - 1)].dirty_blocks);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(store.publish_count(),
+            static_cast<std::uint64_t>(kUpdates) + 1);
+  EXPECT_NE(versions_seen.load(), 0u);
+}
+
+}  // namespace
+}  // namespace er
