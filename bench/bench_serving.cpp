@@ -9,16 +9,28 @@
 //   * the sharded domain-decomposition answers match the serial
 //     single-model (monolithic-factor) answers to 1e-8 relative.
 //
+// --churn switches to the mixed update+query mode (DESIGN.md §4.1): an
+// AsyncUpdater streams modification batches through the IncrementalReducer
+// (dirty-only snapshot rebuilds) while query batches keep hitting the
+// store, measuring publish latency, staleness (modifications behind), and
+// QPS under churn. Enforced there (exit 1 on violation): the final
+// asynchronously-published snapshot answers bit-identically to a
+// synchronous twin reducer that applied the same modification stream
+// sequentially and built its snapshot from scratch.
+//
 // Emits BENCH_serving.json (schema: bench/README.md).
 //
-//   bench_serving [--threads N] [--json PATH]
+//   bench_serving [--threads N] [--json PATH] [--churn]
 //
 // N is the *maximum* thread count swept (default 8).
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "pg/incremental.hpp"
+#include "serve/async_updater.hpp"
 #include "serve/model_store.hpp"
 #include "serve/query_frontend.hpp"
 #include "suite.hpp"
@@ -49,11 +61,216 @@ std::vector<PortQuery> make_batch(const ReducedModel& model,
   return batch;
 }
 
+/// Mixed update+query mode: per (case, threads), stream kChurnMods
+/// modifications through an AsyncUpdater-driven reducer while answering
+/// query batches, then validate the final published snapshot bitwise
+/// against a synchronous sequential twin.
+int run_churn(const bench::BenchOptions& bopts) {
+  constexpr int kChurnMods = 10;
+  constexpr std::size_t kChurnBatch = 2000;
+
+  std::vector<int> thread_counts{1};
+  for (int t = 2; t <= bopts.threads; t *= 2) thread_counts.push_back(t);
+
+  TablePrinter table({"Case", "Threads", "Mods", "Batches", "PubLat(ms)",
+                      "MaxStale", "kQPS", "Reused", "Identical"});
+  bench::BenchJson json;
+  bool all_ok = true;
+
+  for (const auto& [name, pg] : bench::table2_suite()) {
+    const ConductanceNetwork net = pg.to_network();
+    std::fprintf(stderr, "[serving --churn] %s: n=%d resistors=%zu\n",
+                 name.c_str(), pg.num_nodes, pg.resistors.size());
+
+    for (int threads : thread_counts) {
+      ReductionOptions ropts;
+      ropts.num_blocks = 32;
+      ropts.sparsify_quality = 1.0;
+      ropts.parallel.num_threads = threads;
+
+      ModelStore store;
+      IncrementalReducer reducer(net, pg.port_mask(), ropts);
+      ServingOptions sopts;
+      // Production churn configuration: no whole-system factor per publish.
+      sopts.build_monolithic_factor = false;
+      reducer.attach_store(&store, sopts);
+      const double full_build_seconds = store.acquire()->build_seconds();
+      const QueryFrontEnd frontend(&store);
+      const auto batch = make_batch(reducer.model(), kChurnBatch, 2029);
+      // The worker mutates reducer.structure() during updates; capture the
+      // routing info the submitter needs up front.
+      const BlockStructure structure = reducer.structure();
+
+      // Pre-build the deterministic modification stream (cumulative
+      // states, the AsyncUpdater submission contract).
+      std::vector<ConductanceNetwork> nets;
+      std::vector<GridModification> mods;
+      {
+        ConductanceNetwork current = net;
+        for (int u = 1; u <= kChurnMods; ++u) {
+          const GridModification mod = random_modification(
+              structure.num_blocks, 0.1, 1.2,
+              static_cast<std::uint64_t>(4000 + u));
+          current = apply_modification(current, structure, mod);
+          nets.push_back(current);
+          mods.push_back(mod);
+        }
+      }
+
+      std::unique_ptr<ThreadPool> qpool;
+      if (threads > 1) qpool = std::make_unique<ThreadPool>(threads);
+      AsyncUpdater updater([&reducer](const ConductanceNetwork& m,
+                                      const std::vector<index_t>& dirty) {
+        reducer.update(m, dirty);
+        return reducer.revision();
+      });
+
+      // Churn phase: submit one modification, answer one batch, repeat —
+      // queries overlap the background update+publish cycles.
+      std::size_t queries_answered = 0;
+      std::uint64_t stale_sum = 0, stale_max = 0;
+      std::uint64_t vstale_sum = 0, vstale_max = 0;
+      std::size_t stale_samples = 0;
+      Timer churn_timer;
+      double query_seconds = 0.0;
+      for (int u = 0; u < kChurnMods; ++u) {
+        updater.submit(nets[static_cast<std::size_t>(u)],
+                       mods[static_cast<std::size_t>(u)].dirty_blocks);
+        BatchStats bstats;
+        Timer bt;
+        (void)frontend.answer(batch, qpool.get(), RouteMode::kSharded,
+                              &bstats);
+        query_seconds += bt.seconds();
+        queries_answered += batch.size();
+        const std::uint64_t submitted = static_cast<std::uint64_t>(u) + 1;
+        const std::uint64_t reflected =
+            updater.mods_reflected(bstats.snapshot_version);
+        const std::uint64_t stale =
+            submitted > reflected ? submitted - reflected : 0;
+        stale_sum += stale;
+        stale_max = std::max(stale_max, stale);
+        // Model versions the pinned snapshot trails the newest publish by
+        // (sampled at batch end, so publishes racing the batch count).
+        const std::uint64_t latest = store.current_version();
+        const std::uint64_t vstale = latest > bstats.snapshot_version
+                                         ? latest - bstats.snapshot_version
+                                         : 0;
+        vstale_sum += vstale;
+        vstale_max = std::max(vstale_max, vstale);
+        ++stale_samples;
+      }
+      updater.flush();
+      const double churn_seconds = churn_timer.seconds();
+      const AsyncUpdater::Stats ustats = updater.stats();
+      const SnapshotPtr final_snap = store.acquire();
+
+      // Validation: a synchronous twin applies the same stream one update
+      // at a time; the async final model must match it bit-for-bit, and
+      // the chain of dirty-only rebuilds must answer bit-identically to a
+      // from-scratch snapshot of the twin's model.
+      IncrementalReducer twin(net, pg.port_mask(), ropts);
+      for (int u = 0; u < kChurnMods; ++u)
+        twin.update(nets[static_cast<std::size_t>(u)],
+                    mods[static_cast<std::size_t>(u)].dirty_blocks);
+      bool identical = models_identical(reducer.model(), twin.model());
+      const auto twin_snap =
+          ModelSnapshot::build(twin.blocks(), twin.model(), sopts);
+      const auto want = QueryFrontEnd::answer_on(*twin_snap, batch);
+      const auto got = QueryFrontEnd::answer_on(*final_snap, batch);
+      for (std::size_t i = 0; i < want.size(); ++i)
+        identical = identical && want[i] == got[i];
+      if (!identical) {
+        std::fprintf(stderr,
+                     "ERROR: %s threads=%d async churn diverged from the "
+                     "synchronous sequential path\n",
+                     name.c_str(), threads);
+        all_ok = false;
+      }
+
+      const double qps =
+          query_seconds > 0.0
+              ? static_cast<double>(queries_answered) / query_seconds
+              : 0.0;
+      const double publish_latency_mean =
+          ustats.batches > 0
+              ? ustats.total_publish_latency_seconds /
+                    static_cast<double>(ustats.batches)
+              : 0.0;
+      const double stale_mean =
+          stale_samples > 0
+              ? static_cast<double>(stale_sum) /
+                    static_cast<double>(stale_samples)
+              : 0.0;
+      const double vstale_mean =
+          stale_samples > 0
+              ? static_cast<double>(vstale_sum) /
+                    static_cast<double>(stale_samples)
+              : 0.0;
+      const double reused_fraction =
+          final_snap->num_blocks() > 0
+              ? static_cast<double>(final_snap->reused_blocks()) /
+                    static_cast<double>(final_snap->num_blocks())
+              : 0.0;
+
+      table.add_row({name, TablePrinter::fmt_int(threads),
+                     TablePrinter::fmt_int(kChurnMods),
+                     TablePrinter::fmt_int(static_cast<int>(ustats.batches)),
+                     TablePrinter::fmt(publish_latency_mean * 1000.0, 2),
+                     TablePrinter::fmt_int(static_cast<int>(stale_max)),
+                     TablePrinter::fmt(qps / 1000.0, 1),
+                     TablePrinter::fmt(reused_fraction, 2),
+                     identical ? "yes" : "NO"});
+      auto& row = json.add_row();
+      row.set("bench", "serving")
+          .set("case", name)
+          .set("mode", "churn")
+          .set("threads", threads)
+          .set("queries", queries_answered)
+          .set("reduced_nodes",
+               static_cast<long long>(
+                   final_snap->model().stats.reduced_nodes))
+          .set("boundary_nodes",
+               static_cast<long long>(final_snap->num_boundary_nodes()))
+          .set("blocks", static_cast<int>(final_snap->num_blocks()))
+          .set("mods_submitted", ustats.submitted)
+          .set("update_batches", ustats.batches)
+          .set("mods_coalesced", ustats.coalesced)
+          .set("publish_latency_mean_seconds", publish_latency_mean)
+          .set("publish_latency_max_seconds",
+               ustats.max_publish_latency_seconds)
+          .set("staleness_mean_mods", stale_mean)
+          .set("staleness_max_mods", stale_max)
+          .set("staleness_mean_versions", vstale_mean)
+          .set("staleness_max_versions", vstale_max)
+          .set("queries_per_second", qps)
+          .set("churn_wall_seconds", churn_seconds)
+          .set("reused_block_fraction", reused_fraction)
+          .set("incremental_publish_seconds", reducer.publish_seconds())
+          .set("full_snapshot_build_seconds", full_build_seconds)
+          .set("identical", identical);
+    }
+  }
+
+  std::printf("\nServing under churn — %d async modifications per case while "
+              "%zu-query batches race\n(final model must be bit-identical to "
+              "the synchronous sequential path)\n\n",
+              kChurnMods, kChurnBatch);
+  table.print();
+  const int json_status = bench::write_json_or_report(json, bopts);
+  if (!all_ok) {
+    std::fprintf(stderr, "ERROR: churn serving diverged\n");
+    return 1;
+  }
+  return json_status;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bench::BenchOptions bopts = bench::parse_bench_args(
-      argc, argv, "BENCH_serving.json", /*default_threads=*/8);
+      argc, argv, "BENCH_serving.json", /*default_threads=*/8,
+      /*allow_churn=*/true);
+  if (bopts.churn) return run_churn(bopts);
   constexpr std::size_t kBatchSize = 10000;
 
   std::vector<int> thread_counts{1};

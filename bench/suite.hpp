@@ -34,6 +34,11 @@ struct BenchOptions {
   /// Machine-readable results file (BENCH_*.json); set via --json PATH,
   /// empty disables JSON output.
   std::string json_path;
+  /// Mixed update+query mode (bench_serving only; set via --churn): stream
+  /// modifications through an AsyncUpdater while querying, measuring
+  /// publish latency / staleness / QPS-under-churn instead of the static
+  /// route-mode sweep.
+  bool churn = false;
 };
 
 /// Strict non-negative integer parse; exits with usage on garbage so a
@@ -52,7 +57,8 @@ inline int parse_thread_count(const char* prog, const std::string& text) {
 
 inline BenchOptions parse_bench_args(int argc, char** argv,
                                      std::string default_json,
-                                     int default_threads = 1) {
+                                     int default_threads = 1,
+                                     bool allow_churn = false) {
   BenchOptions o;
   o.threads = default_threads;
   o.json_path = std::move(default_json);
@@ -66,12 +72,18 @@ inline BenchOptions parse_bench_args(int argc, char** argv,
       o.json_path = argv[++i];
     } else if (a.rfind("--json=", 0) == 0) {
       o.json_path = a.substr(7);
+    } else if (allow_churn && a == "--churn") {
+      o.churn = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--threads N] [--json PATH]\n"
+                   "usage: %s [--threads N] [--json PATH]%s\n"
                    "  --threads N   worker threads (0 = hardware)\n"
-                   "  --json PATH   machine-readable output ('' disables)\n",
-                   argv[0]);
+                   "  --json PATH   machine-readable output ('' disables)\n%s",
+                   argv[0], allow_churn ? " [--churn]" : "",
+                   allow_churn
+                       ? "  --churn       mixed update+query mode "
+                         "(publish latency / staleness / QPS)\n"
+                       : "");
       std::exit(a == "--help" ? 0 : 2);
     }
   }

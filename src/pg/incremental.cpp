@@ -85,6 +85,13 @@ const ReducedModel& IncrementalReducer::update(
     const ConductanceNetwork& modified,
     const std::vector<index_t>& dirty_blocks) {
   Timer t;
+  // Disarm the snapshot-reuse source while the caches mutate: if anything
+  // below throws after blocks_ was partially rewritten and the caller
+  // recovers with another update, the next publish must not dirty-only
+  // rebuild against a snapshot predating the failed update (it would
+  // alias artifacts of blocks that update already rewrote). Restored once
+  // the mutations succeed, just in time for this update's publish.
+  SnapshotPtr reuse_source = std::move(last_published_);
   Timer phase;
   // Refresh cached block-internal edge weights from the modified network.
   BlockStructure st = structure_;
@@ -129,7 +136,8 @@ const ReducedModel& IncrementalReducer::update(
   // Counted unconditionally so a model revision never reuses a version
   // number, even across detach_store / attach_store cycles.
   ++revision_;
-  if (store_) publish_current();
+  last_published_ = std::move(reuse_source);
+  if (store_) publish_current(&dirty);
   return model_;
 }
 
@@ -139,16 +147,36 @@ void IncrementalReducer::attach_store(ModelStore* store,
     throw std::invalid_argument("IncrementalReducer::attach_store: null store");
   store_ = store;
   serving_opts_ = opts;
-  publish_current();
+  publish_current(nullptr);
 }
 
-void IncrementalReducer::publish_current() {
+void IncrementalReducer::publish_current(const std::vector<index_t>* dirty) {
   Timer t;
   // The snapshot is built completely off to the side and only then swapped
   // in, so queries racing with this publish never observe a half-built
-  // model (DESIGN.md §4 publish protocol).
-  store_->publish(ModelSnapshot::build(blocks_, model_, serving_opts_,
-                                       pool_.get(), revision_));
+  // model (DESIGN.md §4 publish protocol). An update publish is a
+  // dirty-only rebuild: clean blocks alias the previous snapshot's
+  // artifacts, so only the dirty blocks and the boundary (plus optional
+  // monolithic) factors are recomputed — bit-identical to the full build
+  // (DESIGN.md §4.1).
+  SnapshotPtr snap;
+  try {
+    if (dirty && last_published_ && serving_opts_.incremental_publish)
+      snap = ModelSnapshot::rebuild(*last_published_, blocks_, model_,
+                                    *dirty, pool_.get(), revision_);
+    else
+      snap = ModelSnapshot::build(blocks_, model_, serving_opts_,
+                                  pool_.get(), revision_);
+    store_->publish(snap);
+  } catch (...) {
+    // A failed build/publish leaves last_published_ behind the reducer's
+    // state: a later dirty-only rebuild against it would alias artifacts
+    // of blocks dirtied by the unpublished updates. Drop it so the next
+    // publish falls back to a full build.
+    last_published_.reset();
+    throw;
+  }
+  last_published_ = std::move(snap);
   publish_seconds_ = t.seconds();
 }
 

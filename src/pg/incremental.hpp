@@ -6,8 +6,11 @@
 /// caches per-block reductions; after a modification only the dirty blocks
 /// are re-reduced and the model re-stitched, making the incremental
 /// reduction cost ~10% of a full reduction. With a ModelStore attached,
-/// every re-stitch also publishes an immutable serving snapshot
-/// (DESIGN.md §4).
+/// every re-stitch also publishes an immutable serving snapshot as a
+/// dirty-only rebuild — clean blocks share the previous snapshot's factors
+/// and resident engines (DESIGN.md §4, §4.1). To run updates off the
+/// serving threads, drive the reducer through serve/AsyncUpdater
+/// (docs/serving_guide.md).
 #pragma once
 
 #include <memory>
@@ -65,7 +68,16 @@ class IncrementalReducer {
   /// a fresh immutable snapshot *after* the stitch completes — in-flight
   /// query batches keep answering against the snapshot they pinned, and
   /// only batches started after the publish see the new model (the publish
-  /// protocol of DESIGN.md §4).
+  /// protocol of DESIGN.md §4). The published snapshot is a *dirty-only
+  /// rebuild* (ModelSnapshot::rebuild): clean blocks share the previous
+  /// snapshot's factors and resident engines, and only the dirty blocks
+  /// plus the interface-Schur boundary factor are refactored — bit-identical
+  /// to a full rebuild (DESIGN.md §4.1; disable via
+  /// ServingOptions::incremental_publish).
+  ///
+  /// Thread-safety: external synchronization per reducer, like every other
+  /// method — AsyncUpdater is the supported way to run update() off the
+  /// caller's thread while queries keep hitting the store (DESIGN.md §4.1).
   const ReducedModel& update(const ConductanceNetwork& modified,
                              const std::vector<index_t>& dirty_blocks);
 
@@ -79,7 +91,16 @@ class IncrementalReducer {
   /// publish_seconds() and is *not* counted into update_seconds(), keeping
   /// the paper's incremental T_red comparable.
   void attach_store(ModelStore* store, const ServingOptions& opts = {});
-  void detach_store() { store_ = nullptr; }
+  /// Stop publishing (and drop the cached last-published snapshot a future
+  /// re-attach would otherwise rebuild against).
+  void detach_store() {
+    store_ = nullptr;
+    last_published_.reset();
+  }
+
+  /// Model revision counter: 0 after construction, +1 per update(). The
+  /// version number of the snapshot a publish at this state would carry.
+  [[nodiscard]] std::uint64_t revision() const { return revision_; }
 
   [[nodiscard]] double initial_seconds() const { return initial_seconds_; }
   [[nodiscard]] double update_seconds() const { return update_seconds_; }
@@ -88,7 +109,11 @@ class IncrementalReducer {
   [[nodiscard]] double publish_seconds() const { return publish_seconds_; }
 
  private:
-  void publish_current();
+  /// Build + publish the snapshot of the current model. `dirty` (the
+  /// deduplicated dirty set of the update that triggered the publish)
+  /// selects the dirty-only rebuild path; null forces a full build (initial
+  /// attach, or incremental_publish disabled).
+  void publish_current(const std::vector<index_t>* dirty);
 
   std::vector<char> is_port_;
   ReductionOptions opts_;
@@ -100,6 +125,9 @@ class IncrementalReducer {
   ReducedModel model_;
   ModelStore* store_ = nullptr;
   ServingOptions serving_opts_;
+  /// Most recent published snapshot — the artifact-reuse source of the next
+  /// dirty-only rebuild (null when nothing was published yet).
+  SnapshotPtr last_published_;
   std::uint64_t revision_ = 0;
   double initial_seconds_ = 0.0;
   double update_seconds_ = 0.0;

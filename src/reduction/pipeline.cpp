@@ -358,19 +358,36 @@ ReducedModel reduce_network(const ConductanceNetwork& input,
   return reduce_network_artifacts(input, is_port, opts).model;
 }
 
+namespace {
+
+/// Bit-exact graph equality (node count, edge order, endpoints, weights) —
+/// the edge-level criterion shared by both determinism oracles below.
+bool graphs_identical(const Graph& a, const Graph& b) {
+  if (a.num_nodes() != b.num_nodes() || a.num_edges() != b.num_edges())
+    return false;
+  for (std::size_t e = 0; e < a.num_edges(); ++e) {
+    const Edge& ea = a.edges()[e];
+    const Edge& eb = b.edges()[e];
+    if (ea.u != eb.u || ea.v != eb.v || ea.weight != eb.weight) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool blocks_identical(const BlockReduced& a, const BlockReduced& b) {
+  if (a.kept_orig != b.kept_orig || a.merge_map != b.merge_map ||
+      a.merged_count != b.merged_count || a.shunts != b.shunts)
+    return false;
+  return graphs_identical(a.sparse_graph, b.sparse_graph);
+}
+
 bool models_identical(const ReducedModel& a, const ReducedModel& b) {
   if (a.node_map != b.node_map || a.representative != b.representative ||
       a.block_of != b.block_of || a.block_kept != b.block_kept)
     return false;
-  if (a.network.num_nodes() != b.network.num_nodes() ||
-      a.network.graph.num_edges() != b.network.graph.num_edges())
-    return false;
-  for (std::size_t e = 0; e < a.network.graph.num_edges(); ++e) {
-    const Edge& ea = a.network.graph.edges()[e];
-    const Edge& eb = b.network.graph.edges()[e];
-    if (ea.u != eb.u || ea.v != eb.v || ea.weight != eb.weight) return false;
-  }
-  return a.network.shunts == b.network.shunts;
+  return graphs_identical(a.network.graph, b.network.graph) &&
+         a.network.shunts == b.network.shunts;
 }
 
 }  // namespace er

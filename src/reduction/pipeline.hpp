@@ -174,6 +174,14 @@ ReductionArtifacts reduce_network_artifacts(const ConductanceNetwork& input,
                                             const std::vector<char>& is_port,
                                             const ReductionOptions& opts = {});
 
+/// Bit-exact equality of two per-block reductions (everything but the
+/// timing fields): kept nodes, merge map, local graph edges/weights, and
+/// shunts. The per-block determinism oracle behind the serving layer's
+/// copy-on-write snapshot sharing — a block untouched by an incremental
+/// update must reduce to a bit-identical BlockReduced, which is what lets
+/// successive snapshots alias its factors (DESIGN.md §4.1).
+bool blocks_identical(const BlockReduced& a, const BlockReduced& b);
+
 /// Bit-exact equality of everything but timing stats: node maps,
 /// representatives, block bookkeeping, edges, weights, and shunts. This is
 /// the determinism oracle used to assert that serial and parallel runs

@@ -1,0 +1,202 @@
+#include "serve/async_updater.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace er {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+AsyncUpdater::AsyncUpdater(UpdateFn apply) : apply_(std::move(apply)) {
+  if (!apply_)
+    throw std::invalid_argument("AsyncUpdater: null update function");
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+AsyncUpdater::~AsyncUpdater() {
+  try {
+    drain();
+  } catch (...) {
+    // drain() rethrows a latched worker error; the destructor only needs
+    // the join, which drain() completed before throwing.
+  }
+}
+
+void AsyncUpdater::submit(ConductanceNetwork network,
+                          std::vector<index_t> dirty_blocks) {
+  std::sort(dirty_blocks.begin(), dirty_blocks.end());
+  dirty_blocks.erase(std::unique(dirty_blocks.begin(), dirty_blocks.end()),
+                     dirty_blocks.end());
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (error_) std::rethrow_exception(error_);
+  if (stop_)
+    throw std::logic_error("AsyncUpdater::submit: updater was drained");
+  ++stats_.submitted;
+  if (pending_) {
+    // Coalesce: the newer network is the more recent cumulative state, so
+    // it replaces the pending one; the dirty sets union; the latency
+    // anchor stays the oldest merged modification.
+    pending_->network = std::move(network);
+    std::vector<index_t> merged;
+    merged.reserve(pending_->dirty_blocks.size() + dirty_blocks.size());
+    std::set_union(pending_->dirty_blocks.begin(),
+                   pending_->dirty_blocks.end(), dirty_blocks.begin(),
+                   dirty_blocks.end(), std::back_inserter(merged));
+    pending_->dirty_blocks = std::move(merged);
+    ++pending_->mods;
+    ++stats_.coalesced;
+  } else {
+    pending_.emplace();
+    pending_->network = std::move(network);
+    pending_->dirty_blocks = std::move(dirty_blocks);
+    pending_->oldest = std::chrono::steady_clock::now();
+    pending_->mods = 1;
+  }
+  cv_worker_.notify_one();
+}
+
+void AsyncUpdater::flush() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  // flush implies resume: the predicate clears paused_ on every
+  // evaluation — including the initial one on an idle updater and every
+  // wake (pause() notifies cv_idle_ precisely so this re-evaluation
+  // happens) — so a racing pause can neither strand the pending batch nor
+  // leave the updater paused after flush returns.
+  cv_idle_.wait(lock, [this] {
+    if (paused_) {
+      paused_ = false;
+      cv_worker_.notify_one();
+    }
+    return error_ != nullptr || (!pending_ && !in_flight_);
+  });
+  if (error_) std::rethrow_exception(error_);
+}
+
+void AsyncUpdater::drain() {
+  std::exception_ptr err;
+  try {
+    flush();
+  } catch (...) {
+    err = std::current_exception();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_worker_.notify_one();
+  // call_once serializes concurrent drains (e.g. an explicit drain racing
+  // the destructor's): exactly one caller joins, the rest block until the
+  // join completes — keeping drain() idempotent and thread-safe.
+  std::call_once(join_once_, [this] { worker_.join(); });
+  if (err) std::rethrow_exception(err);
+}
+
+void AsyncUpdater::pause() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = true;
+  // Wake flush()/drain() waiters so they can override the pause (their
+  // wait predicate re-clears paused_) instead of hanging on a batch the
+  // worker will no longer pick up.
+  cv_idle_.notify_all();
+}
+
+void AsyncUpdater::resume() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = false;
+  cv_worker_.notify_one();
+}
+
+AsyncUpdater::Stats AsyncUpdater::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s = stats_;
+  s.pending = pending_ ? pending_->mods : 0;
+  s.update_in_flight = in_flight_;
+  return s;
+}
+
+std::uint64_t AsyncUpdater::mods_reflected(std::uint64_t version) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Versions are strictly increasing in publish order: binary-search the
+  // newest batch published at or before `version`, falling back to the
+  // prune marker for versions older than the retention window.
+  const auto it = std::partition_point(
+      version_log_.begin(), version_log_.end(),
+      [version](const std::pair<std::uint64_t, std::uint64_t>& e) {
+        return e.first <= version;
+      });
+  if (it != version_log_.begin()) return std::prev(it)->second;
+  if (pruned_ && version >= pruned_->first) return pruned_->second;
+  return 0;
+}
+
+void AsyncUpdater::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_worker_.wait(lock, [this] {
+      return stop_ || (pending_.has_value() && !paused_);
+    });
+    if (!pending_ || paused_) {
+      // Only reachable with stop_ set: a paused drain was abandoned (the
+      // destructor path after a flush error) — nothing runnable remains.
+      if (stop_) return;
+      continue;
+    }
+    PendingBatch batch = std::move(*pending_);
+    pending_.reset();
+    in_flight_ = true;
+    lock.unlock();
+
+    std::uint64_t version = 0;
+    std::exception_ptr err;
+    try {
+      version = apply_(batch.network, batch.dirty_blocks);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    const double latency = seconds_since(batch.oldest);
+
+    lock.lock();
+    in_flight_ = false;
+    if (err) {
+      // Latch the error and stop: the model source's state after a failed
+      // update is suspect, so no further batches are applied. submit() and
+      // flush() surface the error to the caller; the batch's modifications
+      // land in Stats::failed so the accounting invariant stays exact.
+      error_ = err;
+      stop_ = true;
+      stats_.failed += batch.mods;
+      cv_idle_.notify_all();
+      return;
+    }
+    stats_.applied += batch.mods;
+    ++stats_.batches;
+    stats_.last_publish_latency_seconds = latency;
+    stats_.max_publish_latency_seconds =
+        std::max(stats_.max_publish_latency_seconds, latency);
+    stats_.total_publish_latency_seconds += latency;
+    version_log_.emplace_back(version, stats_.applied);
+    // Bound the log: fold the older half into the prune marker once it
+    // outgrows the cap (kVersionLogCap batches of retention is far beyond
+    // any realistically pinned snapshot's age).
+    constexpr std::size_t kVersionLogCap = 256;
+    if (version_log_.size() > kVersionLogCap) {
+      const auto half =
+          static_cast<std::ptrdiff_t>(version_log_.size() / 2);
+      pruned_ = version_log_[static_cast<std::size_t>(half - 1)];
+      version_log_.erase(version_log_.begin(),
+                         version_log_.begin() + half);
+    }
+    cv_idle_.notify_all();
+    if (stop_ && !pending_) return;
+  }
+}
+
+}  // namespace er

@@ -1,0 +1,177 @@
+/// \file
+/// Background incremental-update service (DESIGN.md §4.1).
+///
+/// AsyncUpdater decouples the *publisher* side of the serving pipeline
+/// from the threads that produce modifications: submit() enqueues a
+/// modification batch and returns immediately, while a dedicated worker
+/// thread applies batches through a caller-supplied update function
+/// (typically IncrementalReducer::update with a ModelStore attached, whose
+/// per-block solves still fan out over the reducer's shared ThreadPool).
+/// Queries never wait on updates: they keep answering against the
+/// currently-published snapshot, and each publish only affects later
+/// acquires (the §4 publish protocol).
+///
+/// Coalescing: the queue is a single pending slot. A batch submitted while
+/// an update is in flight (or while the updater is paused) merges into the
+/// pending slot — the newest network state replaces the older one and the
+/// dirty sets union — so the worker always applies the most recent state
+/// in one update instead of replaying a backlog. This is what bounds
+/// staleness under churn: the store is at most one update behind the last
+/// submitted state once the worker catches up.
+///
+/// Layering: this lives in `serve/` and deliberately knows nothing about
+/// `pg/` — the update function closes over whatever model source the
+/// caller uses (see docs/serving_guide.md for the IncrementalReducer
+/// wiring).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "reduction/network.hpp"
+#include "util/types.hpp"
+
+namespace er {
+
+/// Runs modification batches on a dedicated background thread against a
+/// caller-supplied update function. All public methods are thread-safe.
+class AsyncUpdater {
+ public:
+  /// Applies one coalesced batch: re-reduce against `network` (the full
+  /// modified state, *not* a delta) treating `dirty_blocks` as changed,
+  /// and publish the result. Returns the published model version (for
+  /// IncrementalReducer: its revision()). Runs on the worker thread; it
+  /// must not touch the updater (deadlock) and must not race with other
+  /// users of the underlying model source.
+  using UpdateFn = std::function<std::uint64_t(
+      const ConductanceNetwork& network,
+      const std::vector<index_t>& dirty_blocks)>;
+
+  /// Counters and latency figures of the update stream so far. Snapshot
+  /// semantics: one stats() call is internally consistent.
+  struct Stats {
+    std::uint64_t submitted = 0;  ///< modifications handed to submit()
+    std::uint64_t applied = 0;    ///< modifications folded into finished updates
+    std::uint64_t batches = 0;    ///< worker update+publish cycles
+    /// Modifications that merged into an already-pending batch instead of
+    /// opening a new one. Accounting invariant: submitted = applied +
+    /// failed + pending + (modifications of the batch currently in
+    /// flight, counted in neither) — so submitted = applied + failed +
+    /// pending whenever update_in_flight is false.
+    std::uint64_t coalesced = 0;
+    /// Modifications lost to a batch whose update threw (the latched-error
+    /// state; at most one batch ever fails because the worker stops).
+    std::uint64_t failed = 0;
+    /// Modifications waiting in the slot (derived from the slot itself by
+    /// stats(); never stored).
+    std::uint64_t pending = 0;
+    bool update_in_flight = false;  ///< worker currently inside UpdateFn
+    /// Submit-to-publish latency of the *oldest* modification in the most
+    /// recent batch (what a just-submitted change waits before queries can
+    /// see it).
+    double last_publish_latency_seconds = 0.0;
+    double max_publish_latency_seconds = 0.0;
+    /// Sum of per-batch publish latencies (mean = total / batches).
+    double total_publish_latency_seconds = 0.0;
+  };
+
+  /// Starts the worker thread. `apply` outlives the updater's last batch
+  /// (i.e. the updater must be destroyed/drained before the model source).
+  explicit AsyncUpdater(UpdateFn apply);
+
+  /// Drains (applies every pending modification) and stops the worker.
+  /// Worker errors are swallowed here; call drain() explicitly to observe
+  /// them.
+  ~AsyncUpdater();
+
+  AsyncUpdater(const AsyncUpdater&) = delete;
+  AsyncUpdater& operator=(const AsyncUpdater&) = delete;
+
+  /// Enqueue one modification: `network` is the full modified state and
+  /// `dirty_blocks` the blocks it changed *relative to the previously
+  /// submitted state* (the same contract as IncrementalReducer::update —
+  /// submissions describe a cumulative edit stream). Returns immediately;
+  /// if a batch is already pending the modification coalesces into it.
+  /// Throws std::logic_error after drain(); rethrows the worker's error if
+  /// a previous batch failed.
+  void submit(ConductanceNetwork network, std::vector<index_t> dirty_blocks);
+
+  /// Block until every modification submitted so far has been applied and
+  /// published. Implies resume(): a paused updater is resumed and stays
+  /// resumed after the flush returns (re-pause explicitly if the gate
+  /// should persist). Rethrows the worker's error if an update threw; the
+  /// error stays latched, so later calls throw again.
+  void flush();
+
+  /// flush(), then stop the worker permanently (submit() afterwards
+  /// throws). Called by the destructor; idempotent.
+  void drain();
+
+  /// Hold back the worker: submissions keep coalescing into the pending
+  /// slot but nothing is applied until resume() — or flush()/drain(),
+  /// which imply resume (including when pause() races an in-progress
+  /// flush: the flush wins and the updater ends up resumed). Lets tests
+  /// make coalescing deterministic and operators gate publishes around
+  /// maintenance windows.
+  void pause();
+  void resume();
+
+  [[nodiscard]] Stats stats() const;
+
+  /// How many submitted modifications are reflected in the snapshot with
+  /// the given version (monotone in `version`): the staleness of a pinned
+  /// batch is stats().submitted at pin time minus mods_reflected(pinned
+  /// version). Versions published before this updater existed (e.g. the
+  /// initial attach_store publish) report 0.
+  ///
+  /// Conservative lower bound: a version published by a batch whose
+  /// bookkeeping has not landed yet (the instants between the publish
+  /// inside the update function and the worker re-acquiring the lock, or a
+  /// version older than the bounded log's retention window) reports the
+  /// previous batch's count, so staleness derived from it can transiently
+  /// over-state but never under-state. It converges as soon as the batch
+  /// completes.
+  [[nodiscard]] std::uint64_t mods_reflected(std::uint64_t version) const;
+
+ private:
+  /// The single-slot queue entry: the newest submitted state plus the
+  /// union of the dirty sets and the enqueue time of the *oldest* merged
+  /// modification (the latency anchor).
+  struct PendingBatch {
+    ConductanceNetwork network;
+    std::vector<index_t> dirty_blocks;
+    std::chrono::steady_clock::time_point oldest;
+    std::uint64_t mods = 0;
+  };
+
+  void worker_loop();
+
+  UpdateFn apply_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_worker_;  // wakes the worker
+  std::condition_variable cv_idle_;    // wakes flush()/drain() waiters
+  std::optional<PendingBatch> pending_;
+  bool paused_ = false;
+  bool stop_ = false;
+  bool in_flight_ = false;
+  std::exception_ptr error_;
+  Stats stats_;
+  /// (published version, cumulative modifications applied through it) per
+  /// batch, in publish order (strictly increasing versions) — the
+  /// mods_reflected() lookup table. Bounded: when it outgrows its cap the
+  /// older half folds into pruned_ (the newest dropped entry), so memory
+  /// stays O(1) over a long-lived update stream and lookups for versions
+  /// older than the retention window degrade to the pruned marker.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> version_log_;
+  std::optional<std::pair<std::uint64_t, std::uint64_t>> pruned_;
+  std::once_flag join_once_;  // serializes the worker join across drains
+  std::thread worker_;
+};
+
+}  // namespace er

@@ -31,4 +31,9 @@ std::uint64_t ModelStore::publish_count() const {
   return publish_count_;
 }
 
+std::uint64_t ModelStore::current_version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_ ? current_->version() : 0;
+}
+
 }  // namespace er

@@ -8,7 +8,10 @@
 /// against their pinned snapshot for as long as they hold it — a publish
 /// never invalidates in-flight queries, it only changes what the *next*
 /// acquire returns. Old snapshots are freed by shared_ptr refcounting once
-/// the last reader drops them.
+/// the last reader drops them; with copy-on-write rebuilds (DESIGN.md
+/// §4.1) successive snapshots share their clean blocks' artifacts, so a
+/// displaced snapshot's teardown releases only the per-version state no
+/// newer snapshot aliases.
 #pragma once
 
 #include <cstdint>
@@ -36,6 +39,14 @@ class ModelStore {
 
   /// Number of publish() calls so far.
   [[nodiscard]] std::uint64_t publish_count() const;
+
+  /// Version of the currently-published snapshot — the cheap monitoring
+  /// probe for staleness: a reader that pinned version v runs
+  /// current_version() - v model versions behind. Note 0 is ambiguous on
+  /// its own: it is returned both before the first publish and while the
+  /// initial model is current (IncrementalReducer revisions start at 0);
+  /// use publish_count() to distinguish an empty store.
+  [[nodiscard]] std::uint64_t current_version() const;
 
  private:
   mutable std::mutex mutex_;

@@ -33,6 +33,104 @@ std::unique_ptr<EffResEngine> make_block_engine(const Graph& g,
   }
 }
 
+/// Factor one block into its local artifact. Pure function of the block's
+/// own reduction output and its local interior/boundary classification —
+/// never of global (snapshot-wide) numbering — so the result is
+/// bit-identical however the surrounding blocks changed, which is what
+/// lets ModelSnapshot::rebuild alias artifacts of clean blocks.
+std::shared_ptr<const BlockArtifact> build_block_artifact(
+    const BlockReduced& blk, std::vector<index_t> interior_locals,
+    std::vector<index_t> boundary_locals, const ServingOptions& opts) {
+  auto art = std::make_shared<BlockArtifact>();
+  art->interior_locals = std::move(interior_locals);
+  art->boundary_locals = std::move(boundary_locals);
+  const index_t nloc = blk.merged_count;
+  const auto ni = static_cast<index_t>(art->interior_locals.size());
+
+  // local id -> interior / boundary slot.
+  std::vector<index_t> islot(static_cast<std::size_t>(nloc), -1);
+  std::vector<index_t> bslot(static_cast<std::size_t>(nloc), -1);
+  for (std::size_t s = 0; s < art->interior_locals.size(); ++s)
+    islot[static_cast<std::size_t>(art->interior_locals[s])] =
+        static_cast<index_t>(s);
+  for (std::size_t s = 0; s < art->boundary_locals.size(); ++s)
+    bslot[static_cast<std::size_t>(art->boundary_locals[s])] =
+        static_cast<index_t>(s);
+
+  art->intra_wdeg.assign(static_cast<std::size_t>(nloc), 0.0);
+  for (const Edge& e : blk.sparse_graph.edges()) {
+    art->intra_wdeg[static_cast<std::size_t>(e.u)] += e.weight;
+    art->intra_wdeg[static_cast<std::size_t>(e.v)] += e.weight;
+  }
+
+  if (opts.build_block_engines)
+    art->engine = make_block_engine(blk.sparse_graph, opts);
+
+  // Classify the block's edges: interior-interior entries go into A_II,
+  // interior-boundary edges become A_IB couplings, boundary-boundary edges
+  // are A_BB entries the snapshot assembles into S.
+  TripletMatrix t(ni, ni);
+  for (index_t l = 0; l < ni; ++l) {
+    const index_t g = art->interior_locals[static_cast<std::size_t>(l)];
+    t.add(l, l,
+          art->intra_wdeg[static_cast<std::size_t>(g)] +
+              blk.shunts[static_cast<std::size_t>(g)]);
+  }
+  for (const Edge& e : blk.sparse_graph.edges()) {
+    const index_t iu = islot[static_cast<std::size_t>(e.u)];
+    const index_t iv = islot[static_cast<std::size_t>(e.v)];
+    if (iu >= 0 && iv >= 0) {
+      t.add_symmetric(iu, iv, -e.weight);
+    } else if (iu >= 0) {
+      art->couplings.push_back({iu, bslot[static_cast<std::size_t>(e.v)],
+                                e.weight});
+    } else if (iv >= 0) {
+      art->couplings.push_back({iv, bslot[static_cast<std::size_t>(e.u)],
+                                e.weight});
+    } else {
+      art->boundary_edges.push_back({bslot[static_cast<std::size_t>(e.u)],
+                                     bslot[static_cast<std::size_t>(e.v)],
+                                     e.weight});
+    }
+  }
+  if (ni == 0) return art;
+  art->factor = cholesky(CscMatrix::from_triplets(t));
+
+  // This block's contribution to the interface Schur complement:
+  // -A_BI (A_II)^-1 A_IB over the boundary slots it couples to. The
+  // couplings are bucketed by boundary slot once, so assembling the
+  // |coupled| x |coupled| correction touches each coupling entry once per
+  // column/row instead of rescanning the whole list.
+  std::vector<index_t> coupled;
+  for (const BlockArtifact::Coupling& c : art->couplings)
+    coupled.push_back(c.boundary);
+  std::sort(coupled.begin(), coupled.end());
+  coupled.erase(std::unique(coupled.begin(), coupled.end()), coupled.end());
+  std::vector<std::vector<std::pair<index_t, real_t>>> by_boundary(
+      coupled.size());
+  for (const BlockArtifact::Coupling& c : art->couplings) {
+    const auto lj = static_cast<std::size_t>(
+        std::lower_bound(coupled.begin(), coupled.end(), c.boundary) -
+        coupled.begin());
+    by_boundary[lj].emplace_back(c.interior, c.weight);
+  }
+  std::vector<real_t> col(static_cast<std::size_t>(ni), 0.0);
+  for (std::size_t lj = 0; lj < coupled.size(); ++lj) {
+    std::fill(col.begin(), col.end(), 0.0);
+    for (const auto& [i, w] : by_boundary[lj])
+      col[static_cast<std::size_t>(i)] -= w;
+    const std::vector<real_t> y = art->factor.solve(col);
+    for (std::size_t lk = 0; lk < coupled.size(); ++lk) {
+      real_t val = 0.0;
+      for (const auto& [i, w] : by_boundary[lk])
+        val += w * y[static_cast<std::size_t>(i)];
+      if (val != 0.0)
+        art->corrections.push_back({coupled[lk], coupled[lj], val});
+    }
+  }
+  return art;
+}
+
 }  // namespace
 
 std::shared_ptr<const ModelSnapshot> ModelSnapshot::build(
@@ -42,12 +140,49 @@ std::shared_ptr<const ModelSnapshot> ModelSnapshot::build(
 }
 
 std::shared_ptr<const ModelSnapshot> ModelSnapshot::build(
-    const std::vector<BlockReduced>& reduced_blocks, const ReducedModel& input_model,
-    const ServingOptions& opts, ThreadPool* pool, std::uint64_t version) {
+    const std::vector<BlockReduced>& reduced_blocks,
+    const ReducedModel& input_model, const ServingOptions& opts,
+    ThreadPool* pool, std::uint64_t version) {
+  return build_impl(reduced_blocks, input_model, opts, pool, version,
+                    nullptr, nullptr);
+}
+
+std::shared_ptr<const ModelSnapshot> ModelSnapshot::rebuild(
+    const ModelSnapshot& previous,
+    const std::vector<BlockReduced>& reduced_blocks,
+    const ReducedModel& input_model,
+    const std::vector<index_t>& dirty_blocks, ThreadPool* pool,
+    std::uint64_t version) {
+  const auto nb = static_cast<index_t>(input_model.block_kept.size());
+  std::vector<char> clean(static_cast<std::size_t>(nb), 1);
+  for (index_t b : dirty_blocks) {
+    if (b < 0 || b >= nb)
+      throw std::out_of_range("ModelSnapshot::rebuild: bad block id");
+    clean[static_cast<std::size_t>(b)] = 0;
+  }
+  // A previous snapshot with a different block count cannot seed a reuse
+  // (the partition changed under us); fall back to a full build.
+  const ModelSnapshot* prev =
+      previous.num_blocks() == nb ? &previous : nullptr;
+  return build_impl(reduced_blocks, input_model, previous.options(), pool,
+                    version, prev, prev ? &clean : nullptr);
+}
+
+std::shared_ptr<const ModelSnapshot> ModelSnapshot::build_impl(
+    const std::vector<BlockReduced>& reduced_blocks,
+    const ReducedModel& input_model, const ServingOptions& opts,
+    ThreadPool* pool, std::uint64_t version, const ModelSnapshot* previous,
+    const std::vector<char>* clean) {
   Timer timer;
   auto snap = std::shared_ptr<ModelSnapshot>(new ModelSnapshot());
+  // Own a copy of the model: publishers (IncrementalReducer) mutate theirs
+  // in place on the next update, and the snapshot must stay immutable.
+  // This O(nodes + edges) copy is the remaining per-publish cost that does
+  // not scale with the dirty set; sharing the model copy-on-write like the
+  // block artifacts is an open ROADMAP item.
   snap->model_ = input_model;
   snap->version_ = version;
+  snap->opts_ = opts;
   const ReducedModel& model = snap->model_;
   const Graph& rg = model.network.graph;
   const index_t n = rg.num_nodes();
@@ -68,17 +203,17 @@ std::shared_ptr<const ModelSnapshot> ModelSnapshot::build(
   }
 
   // Boundary = reduced nodes incident to an inter-block edge; everything
-  // else is interior to its block. Weighted degrees feed the Laplacian
-  // diagonals of the principal sub-systems below.
+  // else is interior to its block. Cut (inter-block) edges are collected
+  // here: their weights are global state that feeds the S diagonal and
+  // off-diagonals below, never a block artifact.
   std::vector<char> boundary_flag(static_cast<std::size_t>(n), 0);
-  std::vector<real_t> wdeg(static_cast<std::size_t>(n), 0.0);
+  std::vector<Edge> cut_edges;
   for (const Edge& e : rg.edges()) {
-    wdeg[static_cast<std::size_t>(e.u)] += e.weight;
-    wdeg[static_cast<std::size_t>(e.v)] += e.weight;
     if (snap->block_of_reduced_[static_cast<std::size_t>(e.u)] !=
         snap->block_of_reduced_[static_cast<std::size_t>(e.v)]) {
       boundary_flag[static_cast<std::size_t>(e.u)] = 1;
       boundary_flag[static_cast<std::size_t>(e.v)] = 1;
+      cut_edges.push_back(e);
     }
   }
   snap->boundary_index_.assign(static_cast<std::size_t>(n), -1);
@@ -90,129 +225,115 @@ std::shared_ptr<const ModelSnapshot> ModelSnapshot::build(
       snap->boundary_nodes_.push_back(v);
     }
 
-  snap->blocks_.resize(static_cast<std::size_t>(nb_blocks));
+  // Per-block local classification (interior/boundary slots in ascending
+  // local-id order — the same order global reduced ids follow inside a
+  // block, so slot enumeration is stable across snapshots).
+  std::vector<std::vector<index_t>> interior_locals(
+      static_cast<std::size_t>(nb_blocks));
+  std::vector<std::vector<index_t>> boundary_locals(
+      static_cast<std::size_t>(nb_blocks));
   for (index_t b = 0; b < nb_blocks; ++b) {
-    BlockSystem& bs = snap->blocks_[static_cast<std::size_t>(b)];
-    for (index_t g : model.block_kept[static_cast<std::size_t>(b)])
-      if (!boundary_flag[static_cast<std::size_t>(g)]) {
-        snap->interior_index_[static_cast<std::size_t>(g)] =
-            static_cast<index_t>(bs.interior.size());
-        bs.interior.push_back(g);
-      }
-  }
-
-  // Bucket intra-block edges per block (cut edges go straight to S).
-  std::vector<std::vector<Edge>> block_edges(
-      static_cast<std::size_t>(nb_blocks));
-  std::vector<Edge> boundary_edges;  // both endpoints boundary (any blocks)
-  for (const Edge& e : rg.edges()) {
-    const bool bu = boundary_flag[static_cast<std::size_t>(e.u)] != 0;
-    const bool bv = boundary_flag[static_cast<std::size_t>(e.v)] != 0;
-    if (bu && bv) {
-      boundary_edges.push_back(e);
-      continue;
+    const auto& kept = model.block_kept[static_cast<std::size_t>(b)];
+    for (std::size_t m = 0; m < kept.size(); ++m) {
+      if (boundary_flag[static_cast<std::size_t>(kept[m])])
+        boundary_locals[static_cast<std::size_t>(b)].push_back(
+            static_cast<index_t>(m));
+      else
+        interior_locals[static_cast<std::size_t>(b)].push_back(
+            static_cast<index_t>(m));
     }
-    block_edges[static_cast<std::size_t>(
-                    snap->block_of_reduced_[static_cast<std::size_t>(e.u)])]
-        .push_back(e);
   }
 
-  // Per-block systems build independently into their own slots (factor,
-  // couplings, Schur-correction triplets, engine), so the construction can
-  // fan out across the pool and still be identical at any thread count —
-  // the boundary system is assembled serially in block order below.
-  std::vector<std::vector<Triplet>> corrections(
-      static_cast<std::size_t>(nb_blocks));
+  // Per-block artifacts: reuse (alias) the previous snapshot's artifact
+  // for clean blocks whose classification is unchanged, build the rest in
+  // parallel into disjoint slots — identical at any thread count. The
+  // classification check is defensive: under the rebuild contract a clean
+  // block's interior/boundary split cannot change (its kept set and its
+  // incident cut edges are untouched), so a mismatch means the caller's
+  // dirty set was wrong and the block is refactored from scratch.
+  snap->blocks_.resize(static_cast<std::size_t>(nb_blocks));
+  index_t reused = 0;
+  for (index_t b = 0; b < nb_blocks; ++b) {
+    if (!previous || !clean || !(*clean)[static_cast<std::size_t>(b)])
+      continue;
+    const auto& prev_art =
+        previous->blocks_[static_cast<std::size_t>(b)].artifact;
+    if (prev_art &&
+        prev_art->interior_locals ==
+            interior_locals[static_cast<std::size_t>(b)] &&
+        prev_art->boundary_locals ==
+            boundary_locals[static_cast<std::size_t>(b)]) {
+      snap->blocks_[static_cast<std::size_t>(b)].artifact = prev_art;
+      ++reused;
+    }
+  }
+  snap->reused_blocks_ = reused;
   parallel_for(pool, 0, nb_blocks, 1, [&](index_t lo, index_t hi) {
     for (index_t b = lo; b < hi; ++b) {
       BlockSystem& bs = snap->blocks_[static_cast<std::size_t>(b)];
-      const auto ni = static_cast<index_t>(bs.interior.size());
-      if (opts.build_block_engines)
-        bs.engine = make_block_engine(
-            reduced_blocks[static_cast<std::size_t>(b)].sparse_graph, opts);
-      if (ni == 0) continue;
-
-      // A_II: principal submatrix of G on the block's interior nodes. The
-      // diagonal carries the node's full weighted degree (edges to boundary
-      // neighbors included) plus its shunt; interior-interior edges add the
-      // off-diagonals; interior-boundary edges become A_IB couplings.
-      TripletMatrix t(ni, ni);
-      for (index_t l = 0; l < ni; ++l) {
-        const index_t g = bs.interior[static_cast<std::size_t>(l)];
-        t.add(l, l,
-              wdeg[static_cast<std::size_t>(g)] +
-                  model.network.shunts[static_cast<std::size_t>(g)]);
-      }
-      for (const Edge& e : block_edges[static_cast<std::size_t>(b)]) {
-        const index_t iu = snap->interior_index_[static_cast<std::size_t>(e.u)];
-        const index_t iv = snap->interior_index_[static_cast<std::size_t>(e.v)];
-        if (iu >= 0 && iv >= 0) {
-          t.add_symmetric(iu, iv, -e.weight);
-        } else if (iu >= 0) {
-          bs.couplings.push_back(
-              {iu, snap->boundary_index_[static_cast<std::size_t>(e.v)],
-               e.weight});
-        } else {
-          bs.couplings.push_back(
-              {iv, snap->boundary_index_[static_cast<std::size_t>(e.u)],
-               e.weight});
-        }
-      }
-      bs.factor = cholesky(CscMatrix::from_triplets(t));
-
-      // This block's contribution to the interface Schur complement:
-      // -A_BI (A_II)^-1 A_IB over the boundary nodes it couples to. The
-      // couplings are bucketed by boundary column once, so assembling the
-      // |coupled| x |coupled| correction touches each coupling entry once
-      // per column/row instead of rescanning the whole list.
-      std::vector<index_t> coupled;
-      for (const Coupling& c : bs.couplings) coupled.push_back(c.boundary);
-      std::sort(coupled.begin(), coupled.end());
-      coupled.erase(std::unique(coupled.begin(), coupled.end()),
-                    coupled.end());
-      std::vector<std::vector<std::pair<index_t, real_t>>> by_boundary(
-          coupled.size());
-      for (const Coupling& c : bs.couplings) {
-        const auto lj = static_cast<std::size_t>(
-            std::lower_bound(coupled.begin(), coupled.end(), c.boundary) -
-            coupled.begin());
-        by_boundary[lj].emplace_back(c.interior, c.weight);
-      }
-      std::vector<real_t> col(static_cast<std::size_t>(ni), 0.0);
-      for (std::size_t lj = 0; lj < coupled.size(); ++lj) {
-        std::fill(col.begin(), col.end(), 0.0);
-        for (const auto& [i, w] : by_boundary[lj])
-          col[static_cast<std::size_t>(i)] -= w;
-        const std::vector<real_t> y = bs.factor.solve(col);
-        for (std::size_t lk = 0; lk < coupled.size(); ++lk) {
-          real_t val = 0.0;
-          for (const auto& [i, w] : by_boundary[lk])
-            val += w * y[static_cast<std::size_t>(i)];
-          if (val != 0.0)
-            corrections[static_cast<std::size_t>(b)].push_back(
-                {coupled[lk], coupled[lj], val});
-        }
-      }
+      if (!bs.artifact)
+        bs.artifact = build_block_artifact(
+            reduced_blocks[static_cast<std::size_t>(b)],
+            std::move(interior_locals[static_cast<std::size_t>(b)]),
+            std::move(boundary_locals[static_cast<std::size_t>(b)]), opts);
     }
   });
 
+  // Per-snapshot translation tables: interior slots into the global
+  // interior index map, boundary slots into global boundary indices.
+  for (index_t b = 0; b < nb_blocks; ++b) {
+    BlockSystem& bs = snap->blocks_[static_cast<std::size_t>(b)];
+    const auto& kept = model.block_kept[static_cast<std::size_t>(b)];
+    for (std::size_t s = 0; s < bs.artifact->interior_locals.size(); ++s)
+      snap->interior_index_[static_cast<std::size_t>(
+          kept[static_cast<std::size_t>(
+              bs.artifact->interior_locals[s])])] = static_cast<index_t>(s);
+    bs.boundary_global.reserve(bs.artifact->boundary_locals.size());
+    for (const index_t l : bs.artifact->boundary_locals)
+      bs.boundary_global.push_back(
+          snap->boundary_index_[static_cast<std::size_t>(
+              kept[static_cast<std::size_t>(l)])]);
+  }
+
   // Stitched boundary system S = A_BB + per-block corrections, assembled
-  // serially in fixed (boundary, block) order.
+  // serially in fixed order: diagonals in boundary order (intra-block
+  // weighted degree + shunt, then cut-edge weights in model edge order),
+  // per-block boundary edges and corrections in (block, artifact) order,
+  // cut-edge off-diagonals in model edge order.
   const auto nbd = static_cast<index_t>(snap->boundary_nodes_.size());
   if (nbd > 0) {
+    std::vector<real_t> cut_wdeg(static_cast<std::size_t>(nbd), 0.0);
+    for (const Edge& e : cut_edges) {
+      cut_wdeg[static_cast<std::size_t>(
+          snap->boundary_index_[static_cast<std::size_t>(e.u)])] += e.weight;
+      cut_wdeg[static_cast<std::size_t>(
+          snap->boundary_index_[static_cast<std::size_t>(e.v)])] += e.weight;
+    }
     TripletMatrix s(nbd, nbd);
     for (index_t j = 0; j < nbd; ++j) {
       const index_t g = snap->boundary_nodes_[static_cast<std::size_t>(j)];
+      const BlockSystem& bs = snap->blocks_[static_cast<std::size_t>(
+          snap->block_of_reduced_[static_cast<std::size_t>(g)])];
       s.add(j, j,
-            wdeg[static_cast<std::size_t>(g)] +
-                model.network.shunts[static_cast<std::size_t>(g)]);
+            bs.artifact->intra_wdeg[static_cast<std::size_t>(
+                snap->block_local_[static_cast<std::size_t>(g)])] +
+                model.network.shunts[static_cast<std::size_t>(g)] +
+                cut_wdeg[static_cast<std::size_t>(j)]);
     }
-    for (const Edge& e : boundary_edges)
+    for (const BlockSystem& bs : snap->blocks_)
+      for (const BlockArtifact::BoundaryEdge& e :
+           bs.artifact->boundary_edges)
+        s.add_symmetric(bs.boundary_global[static_cast<std::size_t>(e.u)],
+                        bs.boundary_global[static_cast<std::size_t>(e.v)],
+                        -e.weight);
+    for (const Edge& e : cut_edges)
       s.add_symmetric(snap->boundary_index_[static_cast<std::size_t>(e.u)],
                       snap->boundary_index_[static_cast<std::size_t>(e.v)],
                       -e.weight);
-    for (const auto& block_corr : corrections)
-      for (const Triplet& c : block_corr) s.add(c.row, c.col, c.value);
+    for (const BlockSystem& bs : snap->blocks_)
+      for (const BlockArtifact::Correction& c : bs.artifact->corrections)
+        s.add(bs.boundary_global[static_cast<std::size_t>(c.row)],
+              bs.boundary_global[static_cast<std::size_t>(c.col)], c.value);
     snap->boundary_factor_ = cholesky(CscMatrix::from_triplets(s));
   }
 
@@ -258,7 +379,7 @@ void ModelSnapshot::solve_sparse(const index_t* rhs_nodes,
               block_of_reduced_[static_cast<std::size_t>(rhs_nodes[r2])] == b);
     if (done) continue;
     const BlockSystem& bs = blocks_[static_cast<std::size_t>(b)];
-    ws.block_rhs.assign(bs.interior.size(), 0.0);
+    ws.block_rhs.assign(bs.artifact->interior_locals.size(), 0.0);
     for (int r2 = r; r2 < nrhs; ++r2) {
       const index_t g2 = rhs_nodes[r2];
       if (boundary_index_[static_cast<std::size_t>(g2)] < 0 &&
@@ -266,9 +387,10 @@ void ModelSnapshot::solve_sparse(const index_t* rhs_nodes,
         ws.block_rhs[static_cast<std::size_t>(
             interior_index_[static_cast<std::size_t>(g2)])] += rhs_values[r2];
     }
-    const std::vector<real_t> t = bs.factor.solve(ws.block_rhs);
-    for (const Coupling& c : bs.couplings)
-      ws.boundary_rhs[static_cast<std::size_t>(c.boundary)] +=
+    const std::vector<real_t> t = bs.artifact->factor.solve(ws.block_rhs);
+    for (const BlockArtifact::Coupling& c : bs.artifact->couplings)
+      ws.boundary_rhs[static_cast<std::size_t>(
+          bs.boundary_global[static_cast<std::size_t>(c.boundary)])] +=
           c.weight * t[static_cast<std::size_t>(c.interior)];
   }
 
@@ -291,7 +413,7 @@ void ModelSnapshot::solve_sparse(const index_t* rhs_nodes,
     const index_t b = block_of_reduced_[static_cast<std::size_t>(g)];
     if (b != solved_block) {
       const BlockSystem& bs = blocks_[static_cast<std::size_t>(b)];
-      ws.block_rhs.assign(bs.interior.size(), 0.0);
+      ws.block_rhs.assign(bs.artifact->interior_locals.size(), 0.0);
       for (int r = 0; r < nrhs; ++r) {
         const index_t g2 = rhs_nodes[r];
         if (boundary_index_[static_cast<std::size_t>(g2)] < 0 &&
@@ -299,10 +421,11 @@ void ModelSnapshot::solve_sparse(const index_t* rhs_nodes,
           ws.block_rhs[static_cast<std::size_t>(
               interior_index_[static_cast<std::size_t>(g2)])] += rhs_values[r];
       }
-      for (const Coupling& c : bs.couplings)
+      for (const BlockArtifact::Coupling& c : bs.artifact->couplings)
         ws.block_rhs[static_cast<std::size_t>(c.interior)] +=
-            c.weight * bx[static_cast<std::size_t>(c.boundary)];
-      ws.block_solution = bs.factor.solve(ws.block_rhs);
+            c.weight * bx[static_cast<std::size_t>(bs.boundary_global[
+                static_cast<std::size_t>(c.boundary)])];
+      ws.block_solution = bs.artifact->factor.solve(ws.block_rhs);
       solved_block = b;
     }
     out[t] = ws.block_solution[static_cast<std::size_t>(

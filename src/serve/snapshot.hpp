@@ -1,5 +1,5 @@
 /// \file
-/// Immutable serving snapshot of a reduced model (DESIGN.md §4).
+/// Immutable serving snapshot of a reduced model (DESIGN.md §4, §4.1).
 ///
 /// A ModelSnapshot is built once from the reduction pipeline's artifacts
 /// and then never mutated: every member is resident, read-only state
@@ -17,6 +17,13 @@
 ///
 /// A query touches only the owning block(s) of its endpoints and S, never
 /// another block's factors.
+///
+/// The per-block state lives in BlockArtifact objects expressed entirely
+/// in *block-local* indices and held through shared_ptr: successive
+/// snapshots of an incrementally-updated model share the artifacts of
+/// clean blocks (copy-on-write — see ModelSnapshot::rebuild and
+/// DESIGN.md §4.1), so a publish after a k-block update refactors only
+/// the k dirty blocks and the boundary system.
 #pragma once
 
 #include <memory>
@@ -40,8 +47,16 @@ struct ServingOptions {
   /// single-model reference the sharded path is validated against).
   /// Production sharded serving can turn this off to roughly halve the
   /// snapshot build cost and resident memory; kMonolithic queries on such
-  /// a snapshot throw.
+  /// a snapshot throw. The monolithic factor is global state and is rebuilt
+  /// by every publish, so churn-heavy serving should disable it.
   bool build_monolithic_factor = true;
+  /// With a ModelStore attached, IncrementalReducer publishes updates as
+  /// dirty-only snapshot rebuilds (ModelSnapshot::rebuild: clean blocks
+  /// share the previous snapshot's artifacts). Disable to force a full
+  /// rebuild per publish — the answers are bit-identical either way
+  /// (DESIGN.md §4.1 determinism argument); this knob exists for A/B
+  /// timing and as an escape hatch.
+  bool incremental_publish = true;
   /// Backend of the per-block engines (kApproxChol or kExact; a
   /// kRandomProjection request falls back to kApproxChol, whose build cost
   /// profile fits resident serving state better than k PCG solves).
@@ -49,6 +64,52 @@ struct ServingOptions {
   /// Alg. 3 parameters of the per-block engines.
   real_t engine_droptol = 1e-3;
   real_t engine_epsilon = 1e-3;
+};
+
+/// Resident serving state of one partition block, expressed entirely in
+/// block-local indices so it never references another block or a global
+/// (snapshot-wide) numbering. This is what makes the artifact *shareable*:
+/// a block untouched by an incremental update contributes bit-identical
+/// local state to the next snapshot, so ModelSnapshot::rebuild aliases the
+/// previous snapshot's shared_ptr instead of refactoring (DESIGN.md §4.1).
+///
+/// Index conventions: a *local id* is the block's merged node id (position
+/// m in ReducedModel::block_kept[b]); an *interior slot* indexes
+/// interior_locals; a *boundary slot* indexes boundary_locals.
+struct BlockArtifact {
+  /// A_IB entry: interior node (interior slot) coupled to one of the
+  /// block's own boundary nodes (boundary slot) by an edge of weight
+  /// `weight` (the matrix entry is -weight).
+  struct Coupling {
+    index_t interior = 0;  ///< interior slot of the interior endpoint
+    index_t boundary = 0;  ///< boundary slot of the boundary endpoint
+    real_t weight = 0.0;   ///< edge conductance
+  };
+  /// One triplet of this block's interface-Schur correction
+  /// -A_BI (A_II)^-1 A_IB, in boundary slots.
+  struct Correction {
+    index_t row = 0;     ///< boundary slot (row)
+    index_t col = 0;     ///< boundary slot (column)
+    real_t value = 0.0;  ///< correction value (added into S)
+  };
+  /// Intra-block edge between two of the block's boundary nodes — part of
+  /// A_BB, assembled into S by the snapshot.
+  struct BoundaryEdge {
+    index_t u = 0;       ///< boundary slot of one endpoint
+    index_t v = 0;       ///< boundary slot of the other endpoint
+    real_t weight = 0.0; ///< edge conductance
+  };
+
+  std::vector<index_t> interior_locals;  ///< interior slot -> local id
+  std::vector<index_t> boundary_locals;  ///< boundary slot -> local id
+  /// Local id -> weighted degree over the block's *own* edges (cut-edge
+  /// weights are global state and are added by the snapshot's S assembly).
+  std::vector<real_t> intra_wdeg;
+  CholFactor factor;  ///< Cholesky of A_II (n == 0 if no interior)
+  std::vector<Coupling> couplings;
+  std::vector<Correction> corrections;
+  std::vector<BoundaryEdge> boundary_edges;
+  std::unique_ptr<EffResEngine> engine;  ///< block-local ER (may be null)
 };
 
 /// Read-only serving state for one published model version. Every method is
@@ -81,11 +142,33 @@ class ModelSnapshot {
       const ReductionArtifacts& artifacts, const ServingOptions& opts = {},
       ThreadPool* pool = nullptr, std::uint64_t version = 0);
 
+  /// Dirty-only rebuild: construct the snapshot of the updated model while
+  /// *reusing* (aliasing) the previous snapshot's BlockArtifact of every
+  /// block not listed in `dirty_blocks` — only the dirty blocks and the
+  /// interface-Schur boundary factor (plus the monolithic factor, when
+  /// enabled) are refactored. Serving options are inherited from
+  /// `previous` so the shared artifacts stay homogeneous.
+  ///
+  /// Caller contract (same as IncrementalReducer::update): `blocks`/`model`
+  /// must differ from the inputs of `previous` only in the listed dirty
+  /// blocks. The result is then bit-identical to a full build(blocks,
+  /// model, ...) — see DESIGN.md §4.1 for the argument. A block whose
+  /// interior/boundary classification changed is rebuilt even when not
+  /// listed dirty (defensive; classification of clean blocks is invariant
+  /// under the update contract).
+  static std::shared_ptr<const ModelSnapshot> rebuild(
+      const ModelSnapshot& previous, const std::vector<BlockReduced>& blocks,
+      const ReducedModel& model, const std::vector<index_t>& dirty_blocks,
+      ThreadPool* pool = nullptr, std::uint64_t version = 0);
+
   /// The stitched model the answers refer to.
   [[nodiscard]] const ReducedModel& model() const { return model_; }
 
   /// Publisher-assigned version (IncrementalReducer: its revision count).
   [[nodiscard]] std::uint64_t version() const { return version_; }
+
+  /// The options this snapshot was built with (rebuild inherits them).
+  [[nodiscard]] const ServingOptions& options() const { return opts_; }
 
   [[nodiscard]] index_t num_blocks() const {
     return static_cast<index_t>(blocks_.size());
@@ -95,6 +178,14 @@ class ModelSnapshot {
     return static_cast<index_t>(boundary_nodes_.size());
   }
   [[nodiscard]] double build_seconds() const { return build_seconds_; }
+
+  /// Blocks whose artifact was aliased from the previous snapshot (always 0
+  /// for a full build).
+  [[nodiscard]] index_t reused_blocks() const { return reused_blocks_; }
+  /// Blocks whose artifact was (re)factored by this build.
+  [[nodiscard]] index_t rebuilt_blocks() const {
+    return num_blocks() - reused_blocks_;
+  }
 
   /// Original node id -> reduced id, or -1 if the node was eliminated (or
   /// out of range).
@@ -112,7 +203,7 @@ class ModelSnapshot {
   /// Resident block-local ER engine, or null when the block has none
   /// (engines disabled, or the block is empty / edgeless).
   [[nodiscard]] const EffResEngine* block_engine(index_t block) const {
-    return blocks_[static_cast<std::size_t>(block)].engine.get();
+    return blocks_[static_cast<std::size_t>(block)].artifact->engine.get();
   }
   /// Reduced id -> local node id inside its block's engine graph.
   [[nodiscard]] index_t block_local_id(index_t reduced) const {
@@ -144,22 +235,21 @@ class ModelSnapshot {
  private:
   ModelSnapshot() = default;
 
-  /// A_IB entry: interior node (block-local index) coupled to a boundary
-  /// node (global boundary index) by an edge of weight `weight` (the matrix
-  /// entry is -weight).
-  struct Coupling {
-    index_t interior = 0;
-    index_t boundary = 0;
-    real_t weight = 0.0;
+  /// Per-snapshot view of one block: the (possibly shared) local artifact
+  /// plus this snapshot's translation of the block's boundary slots into
+  /// global boundary indices (cheap integer state, rebuilt per snapshot).
+  struct BlockSystem {
+    std::shared_ptr<const BlockArtifact> artifact;
+    std::vector<index_t> boundary_global;  ///< boundary slot -> global idx
   };
 
-  /// Resident per-block state.
-  struct BlockSystem {
-    std::vector<index_t> interior;  ///< interior local id -> reduced id
-    CholFactor factor;              ///< Cholesky of A_II (n == 0 if none)
-    std::vector<Coupling> couplings;
-    std::unique_ptr<EffResEngine> engine;  ///< block-local ER (may be null)
-  };
+  /// Shared implementation of build/rebuild: `previous`/`clean` select
+  /// artifact reuse (both null for a full build; clean[b] != 0 marks a
+  /// block whose previous artifact may be aliased).
+  static std::shared_ptr<const ModelSnapshot> build_impl(
+      const std::vector<BlockReduced>& blocks, const ReducedModel& model,
+      const ServingOptions& opts, ThreadPool* pool, std::uint64_t version,
+      const ModelSnapshot* previous, const std::vector<char>* clean);
 
   /// Solve G x = rhs (rhs has nrhs sparse entries) and write x at the
   /// `ntargets` target reduced nodes. The domain-decomposition driver
@@ -170,7 +260,9 @@ class ModelSnapshot {
 
   ReducedModel model_;
   std::uint64_t version_ = 0;
+  ServingOptions opts_;
   double build_seconds_ = 0.0;
+  index_t reused_blocks_ = 0;
 
   std::vector<index_t> block_of_reduced_;  // reduced -> block
   std::vector<index_t> boundary_index_;    // reduced -> boundary idx or -1

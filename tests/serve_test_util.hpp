@@ -1,0 +1,71 @@
+// Shared fixtures of the serving test suites (test_serving.cpp,
+// test_async_updater.cpp): a small gridded ConductanceNetwork with random
+// ports/pad shunts, and mixed response/resistance query batches over its
+// surviving nodes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "reduction/pipeline.hpp"
+#include "serve/query_frontend.hpp"
+#include "util/rng.hpp"
+
+namespace er {
+
+struct ServeCase {
+  ConductanceNetwork net;
+  std::vector<char> ports;
+};
+
+/// nx-by-ny uniform grid with `nports` random ports, the first four of
+/// which get pad shunts (so the stitched system is SPD).
+inline ServeCase make_case(index_t nx, index_t ny, index_t nports,
+                           std::uint64_t seed) {
+  ServeCase c;
+  c.net.graph = grid_2d(nx, ny, WeightKind::kUniform, seed);
+  const index_t n = nx * ny;
+  c.net.shunts.assign(static_cast<std::size_t>(n), 0.0);
+  c.ports.assign(static_cast<std::size_t>(n), 0);
+  Rng rng(seed + 1);
+  index_t placed = 0;
+  while (placed < nports) {
+    const index_t v = rng.uniform_int(n);
+    if (c.ports[static_cast<std::size_t>(v)]) continue;
+    c.ports[static_cast<std::size_t>(v)] = 1;
+    if (placed < 4) c.net.shunts[static_cast<std::size_t>(v)] = 50.0;
+    ++placed;
+  }
+  return c;
+}
+
+/// Original node ids that survive the reduction.
+inline std::vector<index_t> kept_originals(const ReducedModel& model) {
+  std::vector<index_t> kept;
+  for (std::size_t v = 0; v < model.node_map.size(); ++v)
+    if (model.node_map[v] >= 0) kept.push_back(static_cast<index_t>(v));
+  return kept;
+}
+
+/// Mixed batch over surviving original nodes: alternating response /
+/// resistance queries on random pairs (naturally mixing intra- and
+/// cross-block routing).
+inline std::vector<PortQuery> mixed_batch(const std::vector<index_t>& nodes,
+                                          std::size_t count,
+                                          std::uint64_t seed) {
+  std::vector<PortQuery> batch;
+  batch.reserve(count);
+  Rng rng(seed);
+  const auto n = static_cast<index_t>(nodes.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    PortQuery query;
+    query.kind = i % 2 == 0 ? QueryKind::kResistance : QueryKind::kResponse;
+    query.p = nodes[static_cast<std::size_t>(rng.uniform_int(n))];
+    query.q = nodes[static_cast<std::size_t>(rng.uniform_int(n))];
+    batch.push_back(query);
+  }
+  return batch;
+}
+
+}  // namespace er

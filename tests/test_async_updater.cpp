@@ -1,0 +1,425 @@
+// Async incremental re-reduction tests (DESIGN.md §4.1). Three contracts:
+//
+//   (a) streaming concurrent modification batches against concurrent query
+//       batches keeps every pinned version internally bit-consistent (all
+//       answers of a version identical however often it is queried),
+//   (b) a dirty-only snapshot rebuild (ModelSnapshot::rebuild /
+//       IncrementalReducer's incremental publish) is bitwise identical to
+//       a full rebuild of the same model, at 1/2/4/8 threads,
+//   (c) coalesced batches converge to the same final model as applying the
+//       same modifications sequentially.
+//
+// The concurrent tests run under TSan in CI (see .github/workflows/ci.yml).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "pg/incremental.hpp"
+#include "reduction/pipeline.hpp"
+#include "serve/async_updater.hpp"
+#include "serve/model_store.hpp"
+#include "serve/query_frontend.hpp"
+#include "serve/snapshot.hpp"
+#include "serve_test_util.hpp"
+
+namespace er {
+namespace {
+
+/// The AsyncUpdater <-> IncrementalReducer wiring used throughout: the
+/// worker applies the batch through the reducer (whose attached store
+/// publishes the snapshot) and reports the resulting revision.
+AsyncUpdater::UpdateFn bind_reducer(IncrementalReducer& reducer) {
+  return [&reducer](const ConductanceNetwork& net,
+                    const std::vector<index_t>& dirty) {
+    reducer.update(net, dirty);
+    return reducer.revision();
+  };
+}
+
+// ---------------------------------------------------------------------------
+// (b) dirty-only rebuild == full rebuild, bitwise, across thread counts.
+// ---------------------------------------------------------------------------
+
+TEST(ModelSnapshotRebuild, DirtyOnlyMatchesFullRebuildBitwise) {
+  const ServeCase c = make_case(22, 22, 56, 211);
+  ReductionOptions opts;
+  opts.num_blocks = 8;
+  const auto batch_nodes = [&] {
+    IncrementalReducer probe(c.net, c.ports, opts);
+    return kept_originals(probe.model());
+  }();
+  const auto batch = mixed_batch(batch_nodes, 300, 23);
+
+  std::vector<std::vector<real_t>> per_thread_answers;
+  for (int threads : {1, 2, 4, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ReductionOptions topts = opts;
+    topts.parallel.num_threads = threads;
+    IncrementalReducer reducer(c.net, c.ports, topts);
+    ThreadPool pool(threads);
+    ThreadPool* p = threads > 1 ? &pool : nullptr;
+
+    auto prev = ModelSnapshot::build(reducer.blocks(), reducer.model(), {},
+                                     p, reducer.revision());
+    EXPECT_EQ(prev->reused_blocks(), 0);
+    EXPECT_EQ(prev->rebuilt_blocks(), prev->num_blocks());
+
+    ConductanceNetwork current = c.net;
+    std::vector<real_t> final_answers;
+    for (int u = 1; u <= 3; ++u) {
+      const GridModification mod = random_modification(
+          reducer.structure().num_blocks, 0.25, 1.3,
+          static_cast<std::uint64_t>(300 + u));
+      current = apply_modification(current, reducer.structure(), mod);
+      reducer.update(current, mod.dirty_blocks);
+
+      const auto full = ModelSnapshot::build(
+          reducer.blocks(), reducer.model(), {}, p, reducer.revision());
+      const auto incr = ModelSnapshot::rebuild(
+          *prev, reducer.blocks(), reducer.model(), mod.dirty_blocks, p,
+          reducer.revision());
+      ASSERT_GT(incr->reused_blocks(), 0);
+      EXPECT_EQ(incr->reused_blocks() + incr->rebuilt_blocks(),
+                incr->num_blocks());
+      EXPECT_EQ(full->num_boundary_nodes(), incr->num_boundary_nodes());
+
+      // Bitwise equality on both exact routes (the monolithic factor is
+      // rebuilt either way; the sharded one mixes reused + fresh factors).
+      for (RouteMode mode : {RouteMode::kSharded, RouteMode::kMonolithic}) {
+        const auto want = QueryFrontEnd::answer_on(*full, batch, p, mode);
+        const auto got = QueryFrontEnd::answer_on(*incr, batch, p, mode);
+        ASSERT_EQ(want.size(), got.size());
+        for (std::size_t i = 0; i < want.size(); ++i)
+          ASSERT_EQ(want[i], got[i])
+              << to_string(mode) << " query " << i << " update " << u;
+      }
+      prev = incr;
+      if (u == 3) final_answers = QueryFrontEnd::answer_on(*prev, batch);
+    }
+    per_thread_answers.push_back(std::move(final_answers));
+  }
+  // The whole chain is also thread-count independent.
+  for (std::size_t t = 1; t < per_thread_answers.size(); ++t) {
+    ASSERT_EQ(per_thread_answers[0].size(), per_thread_answers[t].size());
+    for (std::size_t i = 0; i < per_thread_answers[0].size(); ++i)
+      ASSERT_EQ(per_thread_answers[0][i], per_thread_answers[t][i])
+          << "thread sweep " << t << " query " << i;
+  }
+}
+
+TEST(ModelSnapshotRebuild, IncrementalPublishMatchesFullPublish) {
+  // The store-attached reducer publishes dirty-only rebuilds; a twin with
+  // incremental_publish disabled must publish bitwise-identical snapshots.
+  const ServeCase c = make_case(20, 20, 48, 223);
+  ReductionOptions opts;
+  opts.num_blocks = 8;
+  ModelStore store_incr, store_full;
+  IncrementalReducer incr(c.net, c.ports, opts);
+  IncrementalReducer full(c.net, c.ports, opts);
+  ServingOptions sopts;
+  ServingOptions full_opts;
+  full_opts.incremental_publish = false;
+  incr.attach_store(&store_incr, sopts);
+  full.attach_store(&store_full, full_opts);
+
+  const auto batch = mixed_batch(kept_originals(incr.model()), 200, 31);
+  ConductanceNetwork current = c.net;
+  for (int u = 1; u <= 3; ++u) {
+    const GridModification mod = random_modification(
+        incr.structure().num_blocks, 0.2, 1.4,
+        static_cast<std::uint64_t>(500 + u));
+    current = apply_modification(current, incr.structure(), mod);
+    incr.update(current, mod.dirty_blocks);
+    full.update(current, mod.dirty_blocks);
+
+    const SnapshotPtr si = store_incr.acquire();
+    const SnapshotPtr sf = store_full.acquire();
+    EXPECT_EQ(si->version(), sf->version());
+    EXPECT_GT(si->reused_blocks(), 0);
+    EXPECT_EQ(sf->reused_blocks(), 0);
+    const auto want = QueryFrontEnd::answer_on(*sf, batch);
+    const auto got = QueryFrontEnd::answer_on(*si, batch);
+    for (std::size_t i = 0; i < want.size(); ++i)
+      ASSERT_EQ(want[i], got[i]) << "update " << u << " query " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// (c) coalesced batches converge to the sequential result.
+// ---------------------------------------------------------------------------
+
+TEST(AsyncUpdater, CoalescedBatchesConvergeToSequentialModel) {
+  const ServeCase c = make_case(18, 18, 40, 227);
+  ReductionOptions opts;
+  opts.num_blocks = 6;
+  ModelStore store;
+  IncrementalReducer reducer(c.net, c.ports, opts);
+  reducer.attach_store(&store);
+  IncrementalReducer twin(c.net, c.ports, opts);
+
+  AsyncUpdater updater(bind_reducer(reducer));
+  updater.pause();  // force every submission into one coalesced batch
+
+  ConductanceNetwork current = c.net;
+  constexpr int kMods = 4;
+  for (int u = 1; u <= kMods; ++u) {
+    const GridModification mod = random_modification(
+        reducer.structure().num_blocks, 0.3, 1.2,
+        static_cast<std::uint64_t>(700 + u));
+    current = apply_modification(current, twin.structure(), mod);
+    updater.submit(current, mod.dirty_blocks);
+    twin.update(current, mod.dirty_blocks);  // sequential reference
+  }
+  {
+    const AsyncUpdater::Stats s = updater.stats();
+    EXPECT_EQ(s.submitted, static_cast<std::uint64_t>(kMods));
+    EXPECT_EQ(s.pending, static_cast<std::uint64_t>(kMods));
+    EXPECT_EQ(s.coalesced, static_cast<std::uint64_t>(kMods - 1));
+    EXPECT_EQ(s.batches, 0u);
+  }
+  updater.flush();
+  const AsyncUpdater::Stats s = updater.stats();
+  EXPECT_EQ(s.batches, 1u);  // one coalesced update applied everything
+  EXPECT_EQ(s.applied, static_cast<std::uint64_t>(kMods));
+  EXPECT_EQ(s.pending, 0u);
+  EXPECT_GT(s.last_publish_latency_seconds, 0.0);
+  EXPECT_EQ(store.publish_count(), 2u);  // attach + one coalesced publish
+
+  // The coalesced model equals the sequential one bit-for-bit — per block
+  // (the §4.1 invariant copy-on-write sharing rests on) and as a whole —
+  // and the published snapshot answers match a full build of the twin's.
+  ASSERT_EQ(reducer.blocks().size(), twin.blocks().size());
+  for (std::size_t b = 0; b < twin.blocks().size(); ++b)
+    EXPECT_TRUE(blocks_identical(reducer.blocks()[b], twin.blocks()[b]))
+        << "block " << b;
+  EXPECT_TRUE(models_identical(reducer.model(), twin.model()));
+  const auto batch = mixed_batch(kept_originals(twin.model()), 200, 41);
+  const SnapshotPtr published = store.acquire();
+  EXPECT_EQ(updater.mods_reflected(published->version()),
+            static_cast<std::uint64_t>(kMods));
+  const auto want = QueryFrontEnd::answer_on(
+      *ModelSnapshot::build(twin.blocks(), twin.model()), batch);
+  const auto got = QueryFrontEnd::answer_on(*published, batch);
+  for (std::size_t i = 0; i < want.size(); ++i)
+    ASSERT_EQ(want[i], got[i]) << "query " << i;
+}
+
+TEST(AsyncUpdater, FlushDrainAndErrorContracts) {
+  const ServeCase c = make_case(12, 12, 16, 229);
+  ReductionOptions opts;
+  opts.num_blocks = 4;
+  ModelStore store;
+  IncrementalReducer reducer(c.net, c.ports, opts);
+  reducer.attach_store(&store);
+
+  {
+    // flush() with nothing submitted returns immediately; drain() makes
+    // further submissions throw.
+    AsyncUpdater updater(bind_reducer(reducer));
+    updater.flush();
+    EXPECT_EQ(updater.stats().batches, 0u);
+    // flush on an idle updater still implies resume: a subsequent submit
+    // is applied without an explicit resume().
+    updater.pause();
+    updater.flush();
+    updater.submit(c.net, {0});
+    updater.flush();
+    EXPECT_EQ(updater.stats().batches, 1u);
+    updater.drain();
+    EXPECT_THROW(updater.submit(c.net, {0}), std::logic_error);
+  }
+  {
+    // A worker exception (bad block id) latches: flush rethrows, and so
+    // does every later submit/flush; the lost batch lands in Stats::failed
+    // so submitted = applied + failed + pending stays exact.
+    AsyncUpdater updater(bind_reducer(reducer));
+    updater.submit(c.net, {reducer.structure().num_blocks + 7});
+    EXPECT_THROW(updater.flush(), std::out_of_range);
+    EXPECT_THROW(updater.submit(c.net, {0}), std::out_of_range);
+    EXPECT_THROW(updater.flush(), std::out_of_range);
+    const AsyncUpdater::Stats s = updater.stats();
+    EXPECT_EQ(s.submitted, 1u);
+    EXPECT_EQ(s.failed, 1u);
+    EXPECT_EQ(s.applied, 0u);
+    EXPECT_EQ(s.pending, 0u);
+  }
+}
+
+TEST(ModelSnapshotRebuild, FailedUpdateDisarmsDirtyOnlyRebuild) {
+  // A throwing update() must not leave the previous published snapshot
+  // armed as a dirty-only reuse source: the next successful publish falls
+  // back to a full build (reused_blocks == 0) and stays correct.
+  const ServeCase c = make_case(16, 16, 24, 239);
+  ReductionOptions opts;
+  opts.num_blocks = 4;
+  ModelStore store;
+  IncrementalReducer reducer(c.net, c.ports, opts);
+  reducer.attach_store(&store);
+
+  EXPECT_THROW(reducer.update(c.net, {reducer.structure().num_blocks + 1}),
+               std::out_of_range);
+
+  const GridModification mod =
+      random_modification(reducer.structure().num_blocks, 0.5, 1.3, 251);
+  const ConductanceNetwork modified =
+      apply_modification(c.net, reducer.structure(), mod);
+  reducer.update(modified, mod.dirty_blocks);
+  const SnapshotPtr snap = store.acquire();
+  EXPECT_EQ(snap->reused_blocks(), 0);  // full-build fallback
+
+  // And the fallback publish re-arms reuse: the next update is dirty-only
+  // again and still bitwise equal to a from-scratch build.
+  const GridModification mod2 =
+      random_modification(reducer.structure().num_blocks, 0.25, 1.1, 257);
+  const ConductanceNetwork modified2 =
+      apply_modification(modified, reducer.structure(), mod2);
+  reducer.update(modified2, mod2.dirty_blocks);
+  const SnapshotPtr snap2 = store.acquire();
+  EXPECT_GT(snap2->reused_blocks(), 0);
+  const auto batch = mixed_batch(kept_originals(reducer.model()), 150, 61);
+  const auto want = QueryFrontEnd::answer_on(
+      *ModelSnapshot::build(reducer.blocks(), reducer.model()), batch);
+  const auto got = QueryFrontEnd::answer_on(*snap2, batch);
+  for (std::size_t i = 0; i < want.size(); ++i)
+    ASSERT_EQ(want[i], got[i]) << "query " << i;
+}
+
+TEST(AsyncUpdater, FlushOverridesConcurrentPause) {
+  // flush() must terminate even when pause() races it: the flush predicate
+  // re-clears the pause on every wake, so a concurrently-paused updater
+  // can't strand the pending batch and hang the flush (or the destructor).
+  const ServeCase c = make_case(14, 14, 20, 241);
+  ReductionOptions opts;
+  opts.num_blocks = 4;
+  ModelStore store;
+  IncrementalReducer reducer(c.net, c.ports, opts);
+  reducer.attach_store(&store);
+  AsyncUpdater updater(bind_reducer(reducer));
+
+  ConductanceNetwork current = c.net;
+  for (int u = 1; u <= 3; ++u) {
+    const GridModification mod = random_modification(
+        reducer.structure().num_blocks, 0.5, 1.1,
+        static_cast<std::uint64_t>(800 + u));
+    current = apply_modification(current, reducer.structure(), mod);
+    updater.submit(current, mod.dirty_blocks);
+  }
+  std::thread flusher([&] { updater.flush(); });
+  // Hammer pause() while the flush waits; the flush must still finish.
+  for (int i = 0; i < 50; ++i) {
+    updater.pause();
+    std::this_thread::yield();
+  }
+  flusher.join();
+  const AsyncUpdater::Stats s = updater.stats();
+  EXPECT_EQ(s.applied, 3u);
+  EXPECT_EQ(s.pending, 0u);
+  EXPECT_FALSE(s.update_in_flight);
+}
+
+// ---------------------------------------------------------------------------
+// (a) concurrent modification stream vs. concurrent query stream (TSan).
+// ---------------------------------------------------------------------------
+
+TEST(AsyncUpdater, ConcurrentStreamsKeepPinnedVersionsBitConsistent) {
+  const ServeCase c = make_case(20, 20, 48, 233);
+  ReductionOptions opts;
+  opts.num_blocks = 8;
+  opts.parallel.num_threads = 2;
+  ModelStore store;
+  IncrementalReducer reducer(c.net, c.ports, opts);
+  reducer.attach_store(&store);
+  const QueryFrontEnd frontend(&store);
+  const auto batch = mixed_batch(kept_originals(reducer.model()), 48, 53);
+
+  // Pre-compute the modification stream (reducer.structure() must not be
+  // read while the worker updates).
+  constexpr int kMods = 5;
+  const index_t num_blocks = reducer.structure().num_blocks;
+  std::vector<ConductanceNetwork> nets;
+  std::vector<GridModification> mods;
+  {
+    ConductanceNetwork current = c.net;
+    for (int u = 1; u <= kMods; ++u) {
+      const GridModification mod = random_modification(
+          num_blocks, 0.25, 1.25, static_cast<std::uint64_t>(900 + u));
+      current = apply_modification(current, reducer.structure(), mod);
+      nets.push_back(current);
+      mods.push_back(mod);
+    }
+  }
+
+  AsyncUpdater updater(bind_reducer(reducer));
+  std::atomic<int> mismatches{0};
+  std::atomic<std::uint64_t> submitted_at_pin_violations{0};
+  std::mutex ref_mutex;
+  std::map<std::uint64_t, std::vector<real_t>> first_seen;
+
+  constexpr int kReaders = 3;
+  constexpr int kBatchesPerReader = 10;
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r)
+    readers.emplace_back([&] {
+      for (int i = 0; i < kBatchesPerReader; ++i) {
+        const std::uint64_t submitted_before = updater.stats().submitted;
+        BatchStats stats;
+        const auto got =
+            frontend.answer(batch, nullptr, RouteMode::kSharded, &stats);
+        // Internal bit-consistency: every batch answered at version v must
+        // equal the first batch answered at v.
+        {
+          std::lock_guard<std::mutex> lock(ref_mutex);
+          auto [it, inserted] =
+              first_seen.emplace(stats.snapshot_version, got);
+          if (!inserted && it->second != got) ++mismatches;
+        }
+        // Staleness sanity: a pinned version never reflects more
+        // modifications than were submitted before the pin... but the
+        // worker may publish *between* the stats() read and the acquire,
+        // so compare against the post-answer submitted count instead.
+        const std::uint64_t reflected =
+            updater.mods_reflected(stats.snapshot_version);
+        const std::uint64_t submitted_after = updater.stats().submitted;
+        if (reflected > submitted_after || submitted_before > submitted_after)
+          ++submitted_at_pin_violations;
+      }
+    });
+
+  for (int u = 0; u < kMods; ++u)
+    updater.submit(nets[static_cast<std::size_t>(u)],
+                   mods[static_cast<std::size_t>(u)].dirty_blocks);
+  updater.flush();
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(submitted_at_pin_violations.load(), 0u);
+  const AsyncUpdater::Stats s = updater.stats();
+  EXPECT_EQ(s.applied, static_cast<std::uint64_t>(kMods));
+  EXPECT_GE(s.batches, 1u);
+  EXPECT_LE(s.batches, static_cast<std::uint64_t>(kMods));
+  EXPECT_EQ(s.batches + s.coalesced, s.applied);
+
+  // After the stream settles, the final model equals a sequential replay,
+  // and the published snapshot is bitwise a full rebuild of it.
+  IncrementalReducer twin(c.net, c.ports, opts);
+  for (int u = 0; u < kMods; ++u)
+    twin.update(nets[static_cast<std::size_t>(u)],
+                mods[static_cast<std::size_t>(u)].dirty_blocks);
+  EXPECT_TRUE(models_identical(reducer.model(), twin.model()));
+  const SnapshotPtr published = store.acquire();
+  const auto want = QueryFrontEnd::answer_on(
+      *ModelSnapshot::build(twin.blocks(), twin.model()), batch);
+  const auto got = QueryFrontEnd::answer_on(*published, batch);
+  for (std::size_t i = 0; i < want.size(); ++i)
+    ASSERT_EQ(want[i], got[i]) << "query " << i;
+}
+
+}  // namespace
+}  // namespace er

@@ -13,67 +13,16 @@
 #include <thread>
 #include <vector>
 
-#include "graph/generators.hpp"
 #include "pg/analysis.hpp"
 #include "pg/incremental.hpp"
 #include "reduction/pipeline.hpp"
 #include "serve/model_store.hpp"
 #include "serve/query_frontend.hpp"
 #include "serve/snapshot.hpp"
-#include "util/rng.hpp"
+#include "serve_test_util.hpp"
 
 namespace er {
 namespace {
-
-struct ServeCase {
-  ConductanceNetwork net;
-  std::vector<char> ports;
-};
-
-ServeCase make_case(index_t nx, index_t ny, index_t nports,
-                    std::uint64_t seed) {
-  ServeCase c;
-  c.net.graph = grid_2d(nx, ny, WeightKind::kUniform, seed);
-  const index_t n = nx * ny;
-  c.net.shunts.assign(static_cast<std::size_t>(n), 0.0);
-  c.ports.assign(static_cast<std::size_t>(n), 0);
-  Rng rng(seed + 1);
-  index_t placed = 0;
-  while (placed < nports) {
-    const index_t v = rng.uniform_int(n);
-    if (c.ports[static_cast<std::size_t>(v)]) continue;
-    c.ports[static_cast<std::size_t>(v)] = 1;
-    if (placed < 4) c.net.shunts[static_cast<std::size_t>(v)] = 50.0;
-    ++placed;
-  }
-  return c;
-}
-
-std::vector<index_t> kept_originals(const ReducedModel& model) {
-  std::vector<index_t> kept;
-  for (std::size_t v = 0; v < model.node_map.size(); ++v)
-    if (model.node_map[v] >= 0) kept.push_back(static_cast<index_t>(v));
-  return kept;
-}
-
-/// Mixed batch over surviving original nodes: alternating response /
-/// resistance queries on random pairs (naturally mixing intra- and
-/// cross-block routing).
-std::vector<PortQuery> mixed_batch(const std::vector<index_t>& nodes,
-                                   std::size_t count, std::uint64_t seed) {
-  std::vector<PortQuery> batch;
-  batch.reserve(count);
-  Rng rng(seed);
-  const auto n = static_cast<index_t>(nodes.size());
-  for (std::size_t i = 0; i < count; ++i) {
-    PortQuery query;
-    query.kind = i % 2 == 0 ? QueryKind::kResistance : QueryKind::kResponse;
-    query.p = nodes[static_cast<std::size_t>(rng.uniform_int(n))];
-    query.q = nodes[static_cast<std::size_t>(rng.uniform_int(n))];
-    batch.push_back(query);
-  }
-  return batch;
-}
 
 TEST(ModelSnapshot, ShardedMatchesMonolithic) {
   const ServeCase c = make_case(24, 24, 64, 71);

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_serving.json file against the documented schema.
+
+CI runs this after the churn smoke invocation so a schema change in
+bench_serving breaks the pipeline instead of downstream readers of the
+JSON trajectories (bench/README.md documents every field).
+
+usage: check_bench_schema.py BENCH_serving.json {churn|standard}
+"""
+import json
+import sys
+
+COMMON_FIELDS = {
+    "bench", "case", "mode", "threads", "queries",
+    "reduced_nodes", "boundary_nodes", "blocks",
+}
+
+# Fields every row of the given mode must carry (bench/README.md).
+MODE_FIELDS = {
+    "churn": COMMON_FIELDS | {
+        "mods_submitted", "update_batches", "mods_coalesced",
+        "publish_latency_mean_seconds", "publish_latency_max_seconds",
+        "staleness_mean_mods", "staleness_max_mods",
+        "staleness_mean_versions", "staleness_max_versions",
+        "queries_per_second", "churn_wall_seconds",
+        "reused_block_fraction", "incremental_publish_seconds",
+        "full_snapshot_build_seconds", "identical",
+    },
+    "standard": COMMON_FIELDS | {
+        "snapshot_build_seconds", "wall_seconds", "queries_per_second",
+        "speedup", "identical", "cross_block_queries", "engine_answered",
+        "max_rel_vs_monolithic",
+    },
+}
+
+
+def main() -> int:
+    if len(sys.argv) != 3 or sys.argv[2] not in MODE_FIELDS:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    path, mode = sys.argv[1], sys.argv[2]
+    required = MODE_FIELDS[mode]
+    with open(path, encoding="utf-8") as f:
+        rows = json.load(f)
+    if not isinstance(rows, list) or not rows:
+        print(f"{path}: expected a non-empty JSON array", file=sys.stderr)
+        return 1
+    ok = True
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            print(f"{path}[{i}]: expected an object, got {type(row).__name__}",
+                  file=sys.stderr)
+            ok = False
+            continue
+        missing = required - row.keys()
+        if missing:
+            print(f"{path}[{i}]: missing fields {sorted(missing)}",
+                  file=sys.stderr)
+            ok = False
+        if mode == "churn" and row.get("identical") is not True:
+            print(f"{path}[{i}]: churn row not bit-identical",
+                  file=sys.stderr)
+            ok = False
+    if ok:
+        print(f"{path}: {len(rows)} rows OK ({mode} schema)")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
