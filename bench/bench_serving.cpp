@@ -73,7 +73,8 @@ int run_churn(const bench::BenchOptions& bopts) {
   for (int t = 2; t <= bopts.threads; t *= 2) thread_counts.push_back(t);
 
   TablePrinter table({"Case", "Threads", "Mods", "Batches", "PubLat(ms)",
-                      "MaxStale", "kQPS", "Reused", "Identical"});
+                      "MaxStale", "Blocked", "CopiedKB", "kQPS", "Reused",
+                      "Identical"});
   bench::BenchJson json;
   bool all_ok = true;
 
@@ -119,11 +120,19 @@ int run_churn(const bench::BenchOptions& bopts) {
 
       std::unique_ptr<ThreadPool> qpool;
       if (threads > 1) qpool = std::make_unique<ThreadPool>(threads);
-      AsyncUpdater updater([&reducer](const ConductanceNetwork& m,
-                                      const std::vector<index_t>& dirty) {
-        reducer.update(m, dirty);
-        return reducer.revision();
-      });
+      // Production back-pressure configuration: the edit stream may run at
+      // most kStalenessBound modifications ahead of the store; a submit at
+      // the bound blocks (fail_fast=false) until the worker catches up.
+      constexpr std::uint64_t kStalenessBound = 6;
+      AsyncUpdater::Options uopts;
+      uopts.max_staleness_mods = kStalenessBound;
+      AsyncUpdater updater(
+          [&reducer](const ConductanceNetwork& m,
+                     const std::vector<index_t>& dirty) {
+            reducer.update(m, dirty);
+            return reducer.revision();
+          },
+          uopts);
 
       // Churn phase: submit one modification, answer one batch, repeat —
       // queries overlap the background update+publish cycles.
@@ -151,7 +160,10 @@ int run_churn(const bench::BenchOptions& bopts) {
         stale_max = std::max(stale_max, stale);
         // Model versions the pinned snapshot trails the newest publish by
         // (sampled at batch end, so publishes racing the batch count).
-        const std::uint64_t latest = store.current_version();
+        // current_version() is optional since the 0-ambiguity fix; the
+        // attach-time publish guarantees a value here.
+        const std::uint64_t latest =
+            store.current_version().value_or(bstats.snapshot_version);
         const std::uint64_t vstale = latest > bstats.snapshot_version
                                          ? latest - bstats.snapshot_version
                                          : 0;
@@ -186,6 +198,17 @@ int run_churn(const bench::BenchOptions& bopts) {
                      name.c_str(), threads);
         all_ok = false;
       }
+      // The default serving configuration publishes zero-copy: the
+      // snapshot aliases the reducer's frozen model, so no publish may
+      // ever deep-copy model bytes.
+      if (reducer.publish_model_bytes_copied() != 0) {
+        std::fprintf(stderr,
+                     "ERROR: %s threads=%d publish copied %zu model bytes "
+                     "on the zero-copy path\n",
+                     name.c_str(), threads,
+                     reducer.publish_model_bytes_copied());
+        all_ok = false;
+      }
 
       const double qps =
           query_seconds > 0.0
@@ -217,6 +240,13 @@ int run_churn(const bench::BenchOptions& bopts) {
                      TablePrinter::fmt_int(static_cast<int>(ustats.batches)),
                      TablePrinter::fmt(publish_latency_mean * 1000.0, 2),
                      TablePrinter::fmt_int(static_cast<int>(stale_max)),
+                     TablePrinter::fmt_int(
+                         static_cast<int>(ustats.blocked_submits)),
+                     TablePrinter::fmt(
+                         static_cast<double>(
+                             reducer.publish_model_bytes_copied()) /
+                             1024.0,
+                         1),
                      TablePrinter::fmt(qps / 1000.0, 1),
                      TablePrinter::fmt(reused_fraction, 2),
                      identical ? "yes" : "NO"});
@@ -247,6 +277,24 @@ int run_churn(const bench::BenchOptions& bopts) {
           .set("reused_block_fraction", reused_fraction)
           .set("incremental_publish_seconds", reducer.publish_seconds())
           .set("full_snapshot_build_seconds", full_build_seconds)
+          // Zero-copy publish accounting: model bytes the last publish
+          // deep-copied (0 on the shared-model path) vs. the bytes of
+          // serving state it materialized (scales with the dirty set) vs.
+          // the whole model's footprint (what the pre-zero-copy publishes
+          // used to copy every time).
+          .set("publish_model_bytes_copied",
+               static_cast<long long>(reducer.publish_model_bytes_copied()))
+          .set("publish_bytes_materialized",
+               static_cast<long long>(reducer.publish_bytes_materialized()))
+          .set("model_footprint_bytes",
+               static_cast<long long>(
+                   model_footprint_bytes(final_snap->model())))
+          // Back-pressure figures (bound = staleness_bound_mods).
+          .set("staleness_bound_mods", kStalenessBound)
+          .set("blocked_submits", ustats.blocked_submits)
+          .set("rejected_submits", ustats.rejected)
+          .set("max_observed_staleness_mods",
+               ustats.max_observed_staleness_mods)
           .set("identical", identical);
     }
   }
@@ -296,7 +344,7 @@ int main(int argc, char** argv) {
     store.publish(ModelSnapshot::build(art));
     const QueryFrontEnd frontend(&store);
     const SnapshotPtr snap = store.acquire();
-    const auto batch = make_batch(art.model, kBatchSize, 2027);
+    const auto batch = make_batch(*art.model, kBatchSize, 2027);
 
     // Serial single-model reference: the whole batch through the monolithic
     // factor on one thread. Doubles as the (monolithic, 1 thread) row so

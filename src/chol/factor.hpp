@@ -48,6 +48,14 @@ struct CholFactor {
   /// Solve A x = b in original coordinates (applies perm / inv_perm).
   [[nodiscard]] std::vector<real_t> solve(const std::vector<real_t>& b) const;
 
+  /// Approximate resident size in bytes (CSC arrays + permutations) — the
+  /// unit of the serving layer's per-publish build-cost accounting.
+  [[nodiscard]] std::size_t footprint_bytes() const {
+    return col_ptr.size() * sizeof(offset_t) +
+           row_ind.size() * sizeof(index_t) + values.size() * sizeof(real_t) +
+           (perm.size() + inv_perm.size()) * sizeof(index_t);
+  }
+
   /// Row-sorted CSC copy of L (tests and diagnostics).
   [[nodiscard]] CscMatrix to_csc() const;
 

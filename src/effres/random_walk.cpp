@@ -3,19 +3,24 @@
 #include <stdexcept>
 
 #include "graph/components.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace er {
 
 RandomWalkEffRes::RandomWalkEffRes(const Graph& g,
                                    const RandomWalkOptions& opts)
-    : g_(&g), opts_(opts), total_weight_(g.total_weight()), rng_(opts.seed) {
+    : g_(&g), opts_(opts), total_weight_(g.total_weight()) {
   if (!is_connected(g))
     throw std::invalid_argument("RandomWalkEffRes: graph must be connected");
   if (opts.walks == 0)
     throw std::invalid_argument("RandomWalkEffRes: walks must be > 0");
+  // Force the lazy CSR adjacency now: hitting_steps reads it from
+  // concurrent query threads, which must never race on the cache build.
+  (void)g.adjacency_ptr();
 }
 
-std::size_t RandomWalkEffRes::hitting_steps(index_t from, index_t to) const {
+std::size_t RandomWalkEffRes::hitting_steps(index_t from, index_t to,
+                                            Rng& rng) const {
   const auto& ptr = g_->adjacency_ptr();
   const auto& nbr = g_->neighbors();
   const auto& wts = g_->adjacency_weights();
@@ -29,7 +34,7 @@ std::size_t RandomWalkEffRes::hitting_steps(index_t from, index_t to) const {
     real_t total = 0.0;
     for (offset_t k = begin; k < end; ++k)
       total += wts[static_cast<std::size_t>(k)];
-    real_t pick = rng_.uniform() * total;
+    real_t pick = rng.uniform() * total;
     offset_t chosen = end - 1;
     for (offset_t k = begin; k < end; ++k) {
       pick -= wts[static_cast<std::size_t>(k)];
@@ -44,7 +49,7 @@ std::size_t RandomWalkEffRes::hitting_steps(index_t from, index_t to) const {
   return steps;
 }
 
-real_t RandomWalkEffRes::resistance(index_t p, index_t q) const {
+real_t RandomWalkEffRes::estimate(index_t p, index_t q, Rng& rng) const {
   if (p < 0 || p >= g_->num_nodes() || q < 0 || q >= g_->num_nodes())
     throw std::out_of_range("RandomWalkEffRes: node out of range");
   if (p == q) return 0.0;
@@ -53,23 +58,43 @@ real_t RandomWalkEffRes::resistance(index_t p, index_t q) const {
   // C(p,q) = 2 W R(p,q) holds with steps counted this way.
   std::size_t total_steps = 0;
   for (std::size_t w = 0; w < opts_.walks; ++w) {
-    total_steps += hitting_steps(p, q);
-    total_steps += hitting_steps(q, p);
+    total_steps += hitting_steps(p, q, rng);
+    total_steps += hitting_steps(q, p, rng);
   }
   const real_t commute =
       static_cast<real_t>(total_steps) / static_cast<real_t>(opts_.walks);
   return commute / (2.0 * total_weight_);
 }
 
+real_t RandomWalkEffRes::resistance(index_t p, index_t q) const {
+  // A batch of one: stream index 0, so repeated calls (and batch slot 0)
+  // reproduce the same sample — stateless, hence thread-safe.
+  Rng rng(mix_seed(opts_.seed, 0));
+  return estimate(p, q, rng);
+}
+
 void RandomWalkEffRes::resistances_into(
     const std::vector<ResistanceQuery>& queries, std::vector<real_t>& out,
     ThreadPool* pool) const {
-  // Deliberately serial: each query advances the shared rng_ stream.
-  (void)pool;
   if (out.size() < queries.size())
     throw std::invalid_argument("resistances_into: output under-sized");
-  for (std::size_t i = 0; i < queries.size(); ++i)
-    out[i] = resistance(queries[i].first, queries[i].second);
+  // Per-query-index RNG streams (mix_seed(seed, i)) and per-slot writes:
+  // the batch is identical at any thread count, and repeated pairs within
+  // one batch still draw independent samples (what a Monte-Carlo averaging
+  // caller wants). Grain 1, not kBatchQueryGrain: one query costs `walks`
+  // full round trips — orders of magnitude more than the solves the shared
+  // grain is tuned for — so even small batches should spread over the pool.
+  parallel_for(pool, 0, static_cast<index_t>(queries.size()),
+               /*grain=*/1, [&](index_t lo, index_t hi) {
+                 for (index_t i = lo; i < hi; ++i) {
+                   Rng rng(mix_seed(opts_.seed,
+                                    static_cast<std::uint64_t>(i)));
+                   out[static_cast<std::size_t>(i)] =
+                       estimate(queries[static_cast<std::size_t>(i)].first,
+                                queries[static_cast<std::size_t>(i)].second,
+                                rng);
+                 }
+               });
 }
 
 }  // namespace er

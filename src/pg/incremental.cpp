@@ -74,11 +74,21 @@ IncrementalReducer::IncrementalReducer(const ConductanceNetwork& net,
                        net, is_port_, structure_, b, opts_, pool_.get());
                });
   const double reduce_seconds = phase.seconds();
-  model_ = stitch_blocks(net, structure_, blocks_, pool_.get());
+  ReducedModel stitched = stitch_blocks(net, structure_, blocks_, pool_.get());
   initial_seconds_ = t.seconds();
-  model_.stats.partition_seconds = partition_seconds;
-  model_.stats.reduce_seconds = reduce_seconds;
-  model_.stats.total_seconds = initial_seconds_;
+  stitched.stats.partition_seconds = partition_seconds;
+  stitched.stats.reduce_seconds = reduce_seconds;
+  stitched.stats.total_seconds = initial_seconds_;
+  set_model(std::move(stitched));
+}
+
+void IncrementalReducer::set_model(ReducedModel&& next) {
+  // Freeze the version: once behind the shared handle it is never written
+  // again (the next update builds a fresh allocation), so snapshots alias
+  // it. Warm the graph's lazy CSR cache first — building it later would
+  // mutate `mutable` state under concurrent readers.
+  (void)next.network.graph.adjacency_ptr();
+  model_ = std::make_shared<const ReducedModel>(std::move(next));
 }
 
 const ReducedModel& IncrementalReducer::update(
@@ -92,6 +102,13 @@ const ReducedModel& IncrementalReducer::update(
   // alias artifacts of blocks that update already rewrote). Restored once
   // the mutations succeed, just in time for this update's publish.
   SnapshotPtr reuse_source = std::move(last_published_);
+  // Same disarm dance for the copy-on-write stitch source: if this update
+  // throws after blocks_ was partially rewritten and the caller recovers
+  // with another update, the model must be re-stitched from blocks_ alone —
+  // carrying slices over from a version that predates the failed rewrite
+  // would mix stale node slices with fresh edge slices.
+  const bool can_cow_stitch = model_matches_blocks_;
+  model_matches_blocks_ = false;
   Timer phase;
   // Refresh cached block-internal edge weights from the modified network.
   BlockStructure st = structure_;
@@ -127,18 +144,28 @@ const ReducedModel& IncrementalReducer::update(
                  }
                });
   const double reduce_seconds = phase.seconds();
-  model_ = stitch_blocks(modified, structure_, blocks_, pool_.get());
+  // Build the *next* model version copy-on-write: the current version stays
+  // frozen (published snapshots alias it), clean blocks' node-side slices
+  // carry over, and only the dirty slices are rewritten
+  // (stitch_blocks_update falls back to a full stitch if the layout moved).
+  ReducedModel next =
+      model_ && can_cow_stitch
+          ? stitch_blocks_update(modified, structure_, blocks_, *model_,
+                                 dirty, pool_.get())
+          : stitch_blocks(modified, structure_, blocks_, pool_.get());
   update_seconds_ = t.seconds();
   // The structure refresh plays the partition stage's role in an update.
-  model_.stats.partition_seconds = structure_seconds;
-  model_.stats.reduce_seconds = reduce_seconds;
-  model_.stats.total_seconds = update_seconds_;
+  next.stats.partition_seconds = structure_seconds;
+  next.stats.reduce_seconds = reduce_seconds;
+  next.stats.total_seconds = update_seconds_;
+  set_model(std::move(next));
+  model_matches_blocks_ = true;
   // Counted unconditionally so a model revision never reuses a version
   // number, even across detach_store / attach_store cycles.
   ++revision_;
   last_published_ = std::move(reuse_source);
   if (store_) publish_current(&dirty);
-  return model_;
+  return *model_;
 }
 
 void IncrementalReducer::attach_store(ModelStore* store,
@@ -161,12 +188,24 @@ void IncrementalReducer::publish_current(const std::vector<index_t>* dirty) {
   // (DESIGN.md §4.1).
   SnapshotPtr snap;
   try {
-    if (dirty && last_published_ && serving_opts_.incremental_publish)
-      snap = ModelSnapshot::rebuild(*last_published_, blocks_, model_,
-                                    *dirty, pool_.get(), revision_);
-    else
-      snap = ModelSnapshot::build(blocks_, model_, serving_opts_,
-                                  pool_.get(), revision_);
+    // share_model (default) hands the snapshot the frozen version's shared
+    // handle — zero model bytes copied; the opt-out passes the model by
+    // reference so the snapshot deep-copies it (A/B cost measurement).
+    if (dirty && last_published_ && serving_opts_.incremental_publish) {
+      if (serving_opts_.share_model)
+        snap = ModelSnapshot::rebuild(*last_published_, blocks_, model_,
+                                      *dirty, pool_.get(), revision_);
+      else
+        snap = ModelSnapshot::rebuild(*last_published_, blocks_, *model_,
+                                      *dirty, pool_.get(), revision_);
+    } else {
+      if (serving_opts_.share_model)
+        snap = ModelSnapshot::build(blocks_, model_, serving_opts_,
+                                    pool_.get(), revision_);
+      else
+        snap = ModelSnapshot::build(blocks_, *model_, serving_opts_,
+                                    pool_.get(), revision_);
+    }
     store_->publish(snap);
   } catch (...) {
     // A failed build/publish leaves last_published_ behind the reducer's
@@ -176,6 +215,8 @@ void IncrementalReducer::publish_current(const std::vector<index_t>* dirty) {
     last_published_.reset();
     throw;
   }
+  publish_model_bytes_copied_ = snap->model_bytes_copied();
+  publish_bytes_materialized_ = snap->bytes_materialized();
   last_published_ = std::move(snap);
   publish_seconds_ = t.seconds();
 }

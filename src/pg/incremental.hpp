@@ -54,8 +54,16 @@ class IncrementalReducer {
                      const std::vector<char>& is_port,
                      const ReductionOptions& opts);
 
-  /// Full initial reduction (also primes the cache).
-  const ReducedModel& model() const { return model_; }
+  /// The current stitched model version (the full initial reduction until
+  /// the first update).
+  const ReducedModel& model() const { return *model_; }
+  /// Shared handle of the current model version. Every version is frozen
+  /// at the end of the constructor/update() that built it and never
+  /// mutated afterwards — update() builds the *next* version copy-on-write
+  /// into a fresh allocation (stitch_blocks_update) — so snapshots and any
+  /// other holder alias it safely for as long as they keep the pointer
+  /// (the zero-copy publish of DESIGN.md §4.1).
+  ModelPtr shared_model() const { return model_; }
   const BlockStructure& structure() const { return structure_; }
   /// Cached per-block reductions (the serving snapshot inputs).
   const std::vector<BlockReduced>& blocks() const { return blocks_; }
@@ -108,6 +116,19 @@ class IncrementalReducer {
   /// store is attached).
   [[nodiscard]] double publish_seconds() const { return publish_seconds_; }
 
+  // Publish-cost accounting of the most recent publish (0 until one
+  // happens): how many model bytes the snapshot deep-copied — 0 on the
+  // default zero-copy path, model_footprint_bytes(model()) with
+  // ServingOptions::share_model = false — and how many bytes of serving
+  // state it materialized in total (rebuilt block artifacts + global
+  // factors + any model copy; see ModelSnapshot::bytes_materialized).
+  [[nodiscard]] std::size_t publish_model_bytes_copied() const {
+    return publish_model_bytes_copied_;
+  }
+  [[nodiscard]] std::size_t publish_bytes_materialized() const {
+    return publish_bytes_materialized_;
+  }
+
  private:
   /// Build + publish the snapshot of the current model. `dirty` (the
   /// deduplicated dirty set of the update that triggered the publish)
@@ -120,9 +141,20 @@ class IncrementalReducer {
   /// Kept across updates so repeated incremental re-reductions reuse the
   /// same workers (created only when opts.parallel asks for > 1 thread).
   std::unique_ptr<ThreadPool> pool_;
+  /// Freeze `next` as the new current model version (warming the graph's
+  /// lazy CSR cache first so concurrent readers of the shared version never
+  /// race on it).
+  void set_model(ReducedModel&& next);
+
   BlockStructure structure_;
   std::vector<BlockReduced> blocks_;
-  ReducedModel model_;
+  /// Current model version, shared with (aliased by) published snapshots.
+  ModelPtr model_;
+  /// Whether model_ was stitched from the current blocks_ state — false
+  /// inside update()'s mutation window, so a *failed* update disarms the
+  /// copy-on-write stitch of the next one (blocks_ may be partially
+  /// rewritten; the recovery update full-stitches from blocks_ alone).
+  bool model_matches_blocks_ = true;
   ModelStore* store_ = nullptr;
   ServingOptions serving_opts_;
   /// Most recent published snapshot — the artifact-reuse source of the next
@@ -132,6 +164,8 @@ class IncrementalReducer {
   double initial_seconds_ = 0.0;
   double update_seconds_ = 0.0;
   double publish_seconds_ = 0.0;
+  std::size_t publish_model_bytes_copied_ = 0;
+  std::size_t publish_bytes_materialized_ = 0;
 };
 
 }  // namespace er

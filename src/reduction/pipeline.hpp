@@ -18,6 +18,7 @@
 /// (DESIGN.md §4).
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "parallel/thread_pool.hpp"
@@ -76,6 +77,11 @@ struct ReductionStats {
   double schur_cpu_seconds = 0.0;     ///< step 2 aggregate over blocks
   double er_cpu_seconds = 0.0;        ///< step 3 aggregate over blocks
   double sparsify_cpu_seconds = 0.0;  ///< step 4 aggregate over blocks
+  /// Blocks whose node-side slices (node_map / representative / shunt
+  /// entries) were carried over from the previous model version instead of
+  /// being rewritten — nonzero only on the copy-on-write incremental stitch
+  /// path (stitch_blocks_update); a full stitch reports 0.
+  index_t stitch_reused_blocks = 0;
   index_t blocks = 0;                 ///< partition width
   index_t original_nodes = 0;         ///< input |V|
   index_t reduced_nodes = 0;          ///< stitched model |V|
@@ -119,15 +125,26 @@ struct ReducedModel {
   ReductionStats stats;
 };
 
+/// Shared ownership handle of one immutable stitched model version. The
+/// pipeline produces every stitched model behind one of these so the
+/// serving layer can alias it (zero-copy publish, DESIGN.md §4.1) instead
+/// of deep-copying O(nodes+edges) state per publish: once wrapped, a
+/// version is never mutated — the reducer builds the *next* version into a
+/// fresh allocation and old versions die by refcount when the last
+/// snapshot (or other pin) drops them.
+using ModelPtr = std::shared_ptr<const ReducedModel>;
+
 /// Everything Alg. 1 produces, with the per-block intermediates retained
 /// instead of discarded after the stitch. The serving layer (`serve/`,
 /// DESIGN.md §4) turns these into a resident, immutable ModelSnapshot:
 /// `structure` routes queries to blocks, `blocks` seeds the per-block
-/// engines, and `model` is the stitched network the answers refer to.
+/// engines, and `model` is the stitched network the answers refer to —
+/// held through ModelPtr so a snapshot built from these artifacts aliases
+/// the model instead of copying it.
 struct ReductionArtifacts {
   BlockStructure structure;
   std::vector<BlockReduced> blocks;  ///< per-block reductions, indexed by block
-  ReducedModel model;
+  ModelPtr model;
 };
 
 /// Step 1: partition the network and classify nodes/edges. `pool`
@@ -159,6 +176,34 @@ ReducedModel stitch_blocks(const ConductanceNetwork& input,
                            const BlockStructure& structure,
                            const std::vector<BlockReduced>& blocks,
                            ThreadPool* pool = nullptr);
+
+/// Copy-on-write re-stitch after an incremental update: build the next
+/// model version from `previous` (the version the last stitch produced)
+/// by carrying over the node-side slices — node_map entries,
+/// representative / shunt ranges, block_kept — of every block not listed
+/// in `dirty_blocks` and rewriting only the dirty slices, which the PR 2
+/// prefix-sum layout keeps disjoint per block. The edge array and the
+/// coalesced reduced graph are rebuilt (parallel-edge coalescing and the
+/// cut-edge tail are global), so the saving is the node-side scatter, not
+/// the graph assembly. Falls back to a full stitch_blocks whenever the
+/// layout moved (any dirty block's merged_count changed, shifting every
+/// later block's node base). Output is bit-identical to
+/// stitch_blocks(input, structure, blocks, pool) either way;
+/// stats.stitch_reused_blocks reports how many blocks were carried over.
+/// `previous` is read-only — safe to call with a version other snapshots
+/// still alias. `dirty_blocks` must be sorted, deduplicated, and in range.
+ReducedModel stitch_blocks_update(const ConductanceNetwork& input,
+                                  const BlockStructure& structure,
+                                  const std::vector<BlockReduced>& blocks,
+                                  const ReducedModel& previous,
+                                  const std::vector<index_t>& dirty_blocks,
+                                  ThreadPool* pool = nullptr);
+
+/// Approximate resident size of a stitched model in bytes (graph CSR +
+/// edge list, shunts, node/block maps). The unit the serving layer's
+/// publish-cost accounting reports: a deep-copy publish copies this many
+/// bytes, a zero-copy publish aliases them (DESIGN.md §4.1).
+std::size_t model_footprint_bytes(const ReducedModel& model);
 
 /// Run the whole of Alg. 1. `is_port[v]` marks nodes that must survive
 /// reduction (voltage/current source attachments).

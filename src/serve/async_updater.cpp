@@ -15,9 +15,16 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 
 }  // namespace
 
-AsyncUpdater::AsyncUpdater(UpdateFn apply) : apply_(std::move(apply)) {
+AsyncUpdater::AsyncUpdater(UpdateFn apply)
+    : AsyncUpdater(std::move(apply), Options{}) {}
+
+AsyncUpdater::AsyncUpdater(UpdateFn apply, Options options)
+    : apply_(std::move(apply)), options_(options) {
   if (!apply_)
     throw std::invalid_argument("AsyncUpdater: null update function");
+  if (options_.version_log_cap < 2)
+    throw std::invalid_argument(
+        "AsyncUpdater: version_log_cap must be >= 2");
   worker_ = std::thread([this] { worker_loop(); });
 }
 
@@ -30,16 +37,39 @@ AsyncUpdater::~AsyncUpdater() {
   }
 }
 
-void AsyncUpdater::submit(ConductanceNetwork network,
+bool AsyncUpdater::submit(ConductanceNetwork network,
                           std::vector<index_t> dirty_blocks) {
   std::sort(dirty_blocks.begin(), dirty_blocks.end());
   dirty_blocks.erase(std::unique(dirty_blocks.begin(), dirty_blocks.end()),
                      dirty_blocks.end());
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
   if (error_) std::rethrow_exception(error_);
   if (stop_)
     throw std::logic_error("AsyncUpdater::submit: updater was drained");
+  // Back-pressure: accepting this modification must not leave more than
+  // max_staleness_mods accepted-but-unpublished (the store would trail the
+  // edit stream beyond the bound). Fail fast or wait for the worker —
+  // cv_idle_ is notified at every batch completion — depending on policy.
+  if (options_.max_staleness_mods > 0 &&
+      unpublished_mods_locked() + 1 > options_.max_staleness_mods) {
+    if (options_.fail_fast) {
+      ++stats_.rejected;
+      return false;
+    }
+    ++stats_.blocked_submits;
+    const auto t0 = std::chrono::steady_clock::now();
+    cv_idle_.wait(lock, [this] {
+      return error_ != nullptr || stop_ ||
+             unpublished_mods_locked() + 1 <= options_.max_staleness_mods;
+    });
+    stats_.total_blocked_seconds += seconds_since(t0);
+    if (error_) std::rethrow_exception(error_);
+    if (stop_)
+      throw std::logic_error("AsyncUpdater::submit: updater was drained");
+  }
   ++stats_.submitted;
+  stats_.max_observed_staleness_mods =
+      std::max(stats_.max_observed_staleness_mods, unpublished_mods_locked());
   if (pending_) {
     // Coalesce: the newer network is the more recent cumulative state, so
     // it replaces the pending one; the dirty sets union; the latency
@@ -61,6 +91,7 @@ void AsyncUpdater::submit(ConductanceNetwork network,
     pending_->mods = 1;
   }
   cv_worker_.notify_one();
+  return true;
 }
 
 void AsyncUpdater::flush() {
@@ -184,10 +215,9 @@ void AsyncUpdater::worker_loop() {
     stats_.total_publish_latency_seconds += latency;
     version_log_.emplace_back(version, stats_.applied);
     // Bound the log: fold the older half into the prune marker once it
-    // outgrows the cap (kVersionLogCap batches of retention is far beyond
-    // any realistically pinned snapshot's age).
-    constexpr std::size_t kVersionLogCap = 256;
-    if (version_log_.size() > kVersionLogCap) {
+    // outgrows the cap (Options::version_log_cap batches of retention —
+    // the default is far beyond any realistically pinned snapshot's age).
+    if (version_log_.size() > options_.version_log_cap) {
       const auto half =
           static_cast<std::ptrdiff_t>(version_log_.size() / 2);
       pruned_ = version_log_[static_cast<std::size_t>(half - 1)];

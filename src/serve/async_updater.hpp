@@ -15,9 +15,17 @@
 /// an update is in flight (or while the updater is paused) merges into the
 /// pending slot — the newest network state replaces the older one and the
 /// dirty sets union — so the worker always applies the most recent state
-/// in one update instead of replaying a backlog. This is what bounds
-/// staleness under churn: the store is at most one update behind the last
+/// in one update instead of replaying a backlog. This bounds the *batch*
+/// backlog under churn: the store is at most one update behind the last
 /// submitted state once the worker catches up.
+///
+/// Bounded staleness (back-pressure): coalescing alone does not stop the
+/// edit stream from racing arbitrarily many *modifications* ahead of the
+/// store (a pending slot absorbs any number of them). Options::
+/// max_staleness_mods caps how many submitted-but-unpublished
+/// modifications may exist: once the store trails by that many, submit()
+/// either blocks until the worker catches up (default) or fails fast
+/// (Options::fail_fast), returning false without accepting the edit.
 ///
 /// Layering: this lives in `serve/` and deliberately knows nothing about
 /// `pg/` — the update function closes over whatever model source the
@@ -53,6 +61,27 @@ class AsyncUpdater {
       const ConductanceNetwork& network,
       const std::vector<index_t>& dirty_blocks)>;
 
+  /// Construction-time knobs.
+  struct Options {
+    /// Back-pressure bound: the maximum number of accepted-but-unpublished
+    /// modifications (pending slot + the batch in flight). 0 = unbounded
+    /// (the pre-existing behavior). With a bound of N, a submit() that
+    /// would leave the store more than N modifications behind blocks until
+    /// the worker catches up — or is rejected when fail_fast is set.
+    /// Caveat: with the worker paused, a blocking submit() waits until
+    /// resume()/flush() lifts the gate.
+    std::uint64_t max_staleness_mods = 0;
+    /// At the bound, submit() returns false immediately instead of
+    /// blocking (the caller decides whether to drop, retry, or slow the
+    /// edit source). Rejected modifications are counted in
+    /// Stats::rejected and are *not* part of Stats::submitted.
+    bool fail_fast = false;
+    /// Retention of the mods_reflected() version log, in batches. The
+    /// default is far beyond any realistically pinned snapshot's age;
+    /// tests shrink it to exercise the prune boundary.
+    std::size_t version_log_cap = 256;
+  };
+
   /// Counters and latency figures of the update stream so far. Snapshot
   /// semantics: one stats() call is internally consistent.
   struct Stats {
@@ -79,11 +108,27 @@ class AsyncUpdater {
     double max_publish_latency_seconds = 0.0;
     /// Sum of per-batch publish latencies (mean = total / batches).
     double total_publish_latency_seconds = 0.0;
+    // Back-pressure figures (all 0 while Options::max_staleness_mods = 0).
+    /// submit() calls that reached the staleness bound and had to wait.
+    std::uint64_t blocked_submits = 0;
+    /// Time submitters spent blocked at the bound, summed.
+    double total_blocked_seconds = 0.0;
+    /// Modifications turned away by fail_fast at the bound (disjoint from
+    /// `submitted` — a rejected modification was never accepted).
+    std::uint64_t rejected = 0;
+    /// Largest accepted-but-unpublished modification count ever observed
+    /// at a submit (the high-water mark the bound clips; tracked even
+    /// when unbounded).
+    std::uint64_t max_observed_staleness_mods = 0;
   };
 
   /// Starts the worker thread. `apply` outlives the updater's last batch
   /// (i.e. the updater must be destroyed/drained before the model source).
   explicit AsyncUpdater(UpdateFn apply);
+  /// As above, with explicit knobs (two overloads rather than a default
+  /// argument because a nested aggregate's member initializers are not
+  /// usable as a default inside its enclosing class).
+  AsyncUpdater(UpdateFn apply, Options options);
 
   /// Drains (applies every pending modification) and stops the worker.
   /// Worker errors are swallowed here; call drain() explicitly to observe
@@ -96,11 +141,16 @@ class AsyncUpdater {
   /// Enqueue one modification: `network` is the full modified state and
   /// `dirty_blocks` the blocks it changed *relative to the previously
   /// submitted state* (the same contract as IncrementalReducer::update —
-  /// submissions describe a cumulative edit stream). Returns immediately;
-  /// if a batch is already pending the modification coalesces into it.
-  /// Throws std::logic_error after drain(); rethrows the worker's error if
-  /// a previous batch failed.
-  void submit(ConductanceNetwork network, std::vector<index_t> dirty_blocks);
+  /// submissions describe a cumulative edit stream). If a batch is already
+  /// pending the modification coalesces into it. Returns true when the
+  /// modification was accepted. With Options::max_staleness_mods set,
+  /// accepting it may first block until the store catches up — or, with
+  /// fail_fast, the call returns false immediately (the modification was
+  /// NOT taken; the caller still owns the edit). Unbounded updaters always
+  /// return true without waiting. Throws std::logic_error after drain();
+  /// rethrows the worker's error if a previous batch failed (including
+  /// while blocked at the bound).
+  bool submit(ConductanceNetwork network, std::vector<index_t> dirty_blocks);
 
   /// Block until every modification submitted so far has been applied and
   /// published. Implies resume(): a paused updater is resumed and stays
@@ -152,7 +202,14 @@ class AsyncUpdater {
 
   void worker_loop();
 
+  /// Accepted-but-unpublished modifications (pending + in flight), under
+  /// the lock — the quantity Options::max_staleness_mods bounds.
+  [[nodiscard]] std::uint64_t unpublished_mods_locked() const {
+    return stats_.submitted - stats_.applied - stats_.failed;
+  }
+
   UpdateFn apply_;
+  Options options_;
   mutable std::mutex mutex_;
   std::condition_variable cv_worker_;  // wakes the worker
   std::condition_variable cv_idle_;    // wakes flush()/drain() waiters
@@ -164,10 +221,11 @@ class AsyncUpdater {
   Stats stats_;
   /// (published version, cumulative modifications applied through it) per
   /// batch, in publish order (strictly increasing versions) — the
-  /// mods_reflected() lookup table. Bounded: when it outgrows its cap the
-  /// older half folds into pruned_ (the newest dropped entry), so memory
-  /// stays O(1) over a long-lived update stream and lookups for versions
-  /// older than the retention window degrade to the pruned marker.
+  /// mods_reflected() lookup table. Bounded: when it outgrows
+  /// Options::version_log_cap the older half folds into pruned_ (the
+  /// newest dropped entry), so memory stays O(1) over a long-lived update
+  /// stream and lookups for versions older than the retention window
+  /// degrade to the pruned marker.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> version_log_;
   std::optional<std::pair<std::uint64_t, std::uint64_t>> pruned_;
   std::once_flag join_once_;  // serializes the worker join across drains

@@ -5,16 +5,28 @@
 
 namespace er {
 
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
 void ModelStore::publish(SnapshotPtr snapshot) {
   if (!snapshot)
     throw std::invalid_argument("ModelStore::publish: null snapshot");
+  const auto now = std::chrono::steady_clock::now();
   // Swap under the lock, destroy outside it: if this publish drops the last
   // reference to the displaced snapshot, its (large) teardown must not
   // stall concurrent acquire() calls — the critical section stays a
-  // pointer swap.
+  // pointer swap plus O(1) log bookkeeping.
   SnapshotPtr displaced;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    publish_log_.emplace_back(snapshot->version(), now);
+    if (publish_log_.size() > kPublishLogCap) publish_log_.pop_front();
     displaced = std::move(current_);
     current_ = std::move(snapshot);
     ++publish_count_;
@@ -31,9 +43,30 @@ std::uint64_t ModelStore::publish_count() const {
   return publish_count_;
 }
 
-std::uint64_t ModelStore::current_version() const {
+bool ModelStore::has_published() const {
+  // Pure convenience name over the optional probe (one lock, in there).
+  return current_version().has_value();
+}
+
+std::optional<std::uint64_t> ModelStore::current_version() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return current_ ? current_->version() : 0;
+  if (!current_) return std::nullopt;
+  return current_->version();
+}
+
+std::optional<double> ModelStore::current_age_seconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!current_ || publish_log_.empty()) return std::nullopt;
+  return seconds_since(publish_log_.back().second);
+}
+
+std::optional<double> ModelStore::version_age_seconds(
+    std::uint64_t version) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Newest-first so a republished version reports its latest instant.
+  for (auto it = publish_log_.rbegin(); it != publish_log_.rend(); ++it)
+    if (it->first == version) return seconds_since(it->second);
+  return std::nullopt;
 }
 
 }  // namespace er

@@ -9,14 +9,17 @@
 /// never invalidates in-flight queries, it only changes what the *next*
 /// acquire returns. Old snapshots are freed by shared_ptr refcounting once
 /// the last reader drops them; with copy-on-write rebuilds (DESIGN.md
-/// §4.1) successive snapshots share their clean blocks' artifacts, so a
-/// displaced snapshot's teardown releases only the per-version state no
-/// newer snapshot aliases.
+/// §4.1) successive snapshots share their clean blocks' artifacts and the
+/// stitched model itself, so a displaced snapshot's teardown releases only
+/// the per-version state no newer snapshot aliases.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 
 #include "serve/snapshot.hpp"
 
@@ -26,10 +29,12 @@ using SnapshotPtr = std::shared_ptr<const ModelSnapshot>;
 
 /// Thread-safe holder of the current snapshot. All methods may be called
 /// concurrently from any thread; the store never blocks on query work (the
-/// critical section is a pointer swap).
+/// critical section is a pointer swap plus O(1) bookkeeping).
 class ModelStore {
  public:
   /// Atomically replace the current snapshot. Null snapshots are rejected.
+  /// The publish instant is recorded per version (bounded log) for the
+  /// age probes below.
   void publish(SnapshotPtr snapshot);
 
   /// The currently-published snapshot (null before the first publish).
@@ -40,18 +45,45 @@ class ModelStore {
   /// Number of publish() calls so far.
   [[nodiscard]] std::uint64_t publish_count() const;
 
-  /// Version of the currently-published snapshot — the cheap monitoring
-  /// probe for staleness: a reader that pinned version v runs
-  /// current_version() - v model versions behind. Note 0 is ambiguous on
-  /// its own: it is returned both before the first publish and while the
-  /// initial model is current (IncrementalReducer revisions start at 0);
-  /// use publish_count() to distinguish an empty store.
-  [[nodiscard]] std::uint64_t current_version() const;
+  /// True once anything was published. The cheap guard in front of the
+  /// probes below for writers that must distinguish "no model yet" from
+  /// "serving version 0".
+  [[nodiscard]] bool has_published() const;
+
+  /// Version of the currently-published snapshot, or nullopt before the
+  /// first publish — the cheap monitoring probe for staleness: a reader
+  /// that pinned version v runs *current_version() - v model versions
+  /// behind. (The optional removes the old 0-ambiguity: version 0 is a
+  /// legitimate published state — IncrementalReducer revisions start at
+  /// 0 — and is now distinguishable from an empty store.)
+  [[nodiscard]] std::optional<std::uint64_t> current_version() const;
+
+  /// Seconds since the current snapshot was published, or nullopt before
+  /// the first publish — "how long since queries last saw fresh state".
+  [[nodiscard]] std::optional<double> current_age_seconds() const;
+
+  /// Seconds since the given version was published, while it remains in
+  /// the bounded publish log (the most recent kPublishLogCap publishes);
+  /// nullopt when the version was never published here or has aged out.
+  /// Lets a reader translate a pinned snapshot's version into wall-clock
+  /// staleness without touching the updater.
+  [[nodiscard]] std::optional<double> version_age_seconds(
+      std::uint64_t version) const;
 
  private:
+  /// Publish-instant retention: far beyond any realistically pinned
+  /// snapshot's age, still O(1) memory over a long-lived store.
+  static constexpr std::size_t kPublishLogCap = 256;
+
   mutable std::mutex mutex_;
   SnapshotPtr current_;
   std::uint64_t publish_count_ = 0;
+  /// (version, publish instant) per publish, newest last; bounded by
+  /// kPublishLogCap. Versions need not be monotone for generic writers —
+  /// lookups scan newest-first so a republished version reports its most
+  /// recent instant.
+  std::deque<std::pair<std::uint64_t, std::chrono::steady_clock::time_point>>
+      publish_log_;
 };
 
 }  // namespace er

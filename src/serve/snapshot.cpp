@@ -131,6 +131,32 @@ std::shared_ptr<const BlockArtifact> build_block_artifact(
   return art;
 }
 
+/// Validated clean-block mask of a dirty-only rebuild: clean[b] == 0 for
+/// the listed dirty blocks. Shared by both rebuild overloads so the two
+/// publish paths cannot diverge on dirty-set validation.
+std::vector<char> clean_mask(index_t nb,
+                             const std::vector<index_t>& dirty_blocks) {
+  std::vector<char> clean(static_cast<std::size_t>(nb), 1);
+  for (index_t b : dirty_blocks) {
+    if (b < 0 || b >= nb)
+      throw std::out_of_range("ModelSnapshot::rebuild: bad block id");
+    clean[static_cast<std::size_t>(b)] = 0;
+  }
+  return clean;
+}
+
+/// Approximate resident bytes of one block's serving state (factor + the
+/// coupling/correction/classification arrays). Engines are opaque and
+/// excluded — see ModelSnapshot::bytes_materialized().
+std::size_t artifact_footprint_bytes(const BlockArtifact& a) {
+  return (a.interior_locals.size() + a.boundary_locals.size()) *
+             sizeof(index_t) +
+         a.intra_wdeg.size() * sizeof(real_t) + a.factor.footprint_bytes() +
+         a.couplings.size() * sizeof(BlockArtifact::Coupling) +
+         a.corrections.size() * sizeof(BlockArtifact::Correction) +
+         a.boundary_edges.size() * sizeof(BlockArtifact::BoundaryEdge);
+}
+
 }  // namespace
 
 std::shared_ptr<const ModelSnapshot> ModelSnapshot::build(
@@ -140,11 +166,43 @@ std::shared_ptr<const ModelSnapshot> ModelSnapshot::build(
 }
 
 std::shared_ptr<const ModelSnapshot> ModelSnapshot::build(
+    const std::vector<BlockReduced>& reduced_blocks, ModelPtr input_model,
+    const ServingOptions& opts, ThreadPool* pool, std::uint64_t version) {
+  if (!input_model)
+    throw std::invalid_argument("ModelSnapshot::build: null model");
+  return build_impl(reduced_blocks, std::move(input_model), opts, pool,
+                    version, nullptr, nullptr, /*model_bytes_copied=*/0);
+}
+
+std::shared_ptr<const ModelSnapshot> ModelSnapshot::build(
     const std::vector<BlockReduced>& reduced_blocks,
     const ReducedModel& input_model, const ServingOptions& opts,
     ThreadPool* pool, std::uint64_t version) {
-  return build_impl(reduced_blocks, input_model, opts, pool, version,
-                    nullptr, nullptr);
+  // Deep-copy path: freeze a private copy so the caller may keep mutating
+  // its model. The copy is the O(nodes + edges) per-publish cost the
+  // shared-ownership overload exists to avoid.
+  return build_impl(reduced_blocks,
+                    std::make_shared<const ReducedModel>(input_model), opts,
+                    pool, version, nullptr, nullptr,
+                    model_footprint_bytes(input_model));
+}
+
+std::shared_ptr<const ModelSnapshot> ModelSnapshot::rebuild(
+    const ModelSnapshot& previous,
+    const std::vector<BlockReduced>& reduced_blocks, ModelPtr input_model,
+    const std::vector<index_t>& dirty_blocks, ThreadPool* pool,
+    std::uint64_t version) {
+  if (!input_model)
+    throw std::invalid_argument("ModelSnapshot::rebuild: null model");
+  const auto nb = static_cast<index_t>(input_model->block_kept.size());
+  const std::vector<char> clean = clean_mask(nb, dirty_blocks);
+  // A previous snapshot with a different block count cannot seed a reuse
+  // (the partition changed under us); fall back to a full build.
+  const ModelSnapshot* prev =
+      previous.num_blocks() == nb ? &previous : nullptr;
+  return build_impl(reduced_blocks, std::move(input_model),
+                    previous.options(), pool, version, prev,
+                    prev ? &clean : nullptr, /*model_bytes_copied=*/0);
 }
 
 std::shared_ptr<const ModelSnapshot> ModelSnapshot::rebuild(
@@ -153,37 +211,34 @@ std::shared_ptr<const ModelSnapshot> ModelSnapshot::rebuild(
     const ReducedModel& input_model,
     const std::vector<index_t>& dirty_blocks, ThreadPool* pool,
     std::uint64_t version) {
-  const auto nb = static_cast<index_t>(input_model.block_kept.size());
-  std::vector<char> clean(static_cast<std::size_t>(nb), 1);
-  for (index_t b : dirty_blocks) {
-    if (b < 0 || b >= nb)
-      throw std::out_of_range("ModelSnapshot::rebuild: bad block id");
-    clean[static_cast<std::size_t>(b)] = 0;
-  }
-  // A previous snapshot with a different block count cannot seed a reuse
-  // (the partition changed under us); fall back to a full build.
+  auto copy = std::make_shared<const ReducedModel>(input_model);
+  const auto nb = static_cast<index_t>(copy->block_kept.size());
+  const std::vector<char> clean = clean_mask(nb, dirty_blocks);
   const ModelSnapshot* prev =
       previous.num_blocks() == nb ? &previous : nullptr;
-  return build_impl(reduced_blocks, input_model, previous.options(), pool,
-                    version, prev, prev ? &clean : nullptr);
+  return build_impl(reduced_blocks, std::move(copy), previous.options(),
+                    pool, version, prev, prev ? &clean : nullptr,
+                    model_footprint_bytes(input_model));
 }
 
 std::shared_ptr<const ModelSnapshot> ModelSnapshot::build_impl(
-    const std::vector<BlockReduced>& reduced_blocks,
-    const ReducedModel& input_model, const ServingOptions& opts,
-    ThreadPool* pool, std::uint64_t version, const ModelSnapshot* previous,
-    const std::vector<char>* clean) {
+    const std::vector<BlockReduced>& reduced_blocks, ModelPtr input_model,
+    const ServingOptions& opts, ThreadPool* pool, std::uint64_t version,
+    const ModelSnapshot* previous, const std::vector<char>* clean,
+    std::size_t model_bytes_copied) {
   Timer timer;
   auto snap = std::shared_ptr<ModelSnapshot>(new ModelSnapshot());
-  // Own a copy of the model: publishers (IncrementalReducer) mutate theirs
-  // in place on the next update, and the snapshot must stay immutable.
-  // This O(nodes + edges) copy is the remaining per-publish cost that does
-  // not scale with the dirty set; sharing the model copy-on-write like the
-  // block artifacts is an open ROADMAP item.
-  snap->model_ = input_model;
+  // Alias the frozen model version: the producer (reduce_network_artifacts
+  // / IncrementalReducer) builds each version into a fresh allocation and
+  // never mutates it afterwards, so the snapshot pins it instead of
+  // copying O(nodes + edges) state per publish (DESIGN.md §4.1). The
+  // deep-copy overloads pass a private copy here and account for it in
+  // model_bytes_copied.
+  snap->model_ = std::move(input_model);
   snap->version_ = version;
   snap->opts_ = opts;
-  const ReducedModel& model = snap->model_;
+  snap->model_bytes_copied_ = model_bytes_copied;
+  const ReducedModel& model = *snap->model_;
   const Graph& rg = model.network.graph;
   const index_t n = rg.num_nodes();
   const auto nb_blocks = static_cast<index_t>(model.block_kept.size());
@@ -252,6 +307,7 @@ std::shared_ptr<const ModelSnapshot> ModelSnapshot::build_impl(
   // incident cut edges are untouched), so a mismatch means the caller's
   // dirty set was wrong and the block is refactored from scratch.
   snap->blocks_.resize(static_cast<std::size_t>(nb_blocks));
+  std::vector<char> aliased(static_cast<std::size_t>(nb_blocks), 0);
   index_t reused = 0;
   for (index_t b = 0; b < nb_blocks; ++b) {
     if (!previous || !clean || !(*clean)[static_cast<std::size_t>(b)])
@@ -264,6 +320,7 @@ std::shared_ptr<const ModelSnapshot> ModelSnapshot::build_impl(
         prev_art->boundary_locals ==
             boundary_locals[static_cast<std::size_t>(b)]) {
       snap->blocks_[static_cast<std::size_t>(b)].artifact = prev_art;
+      aliased[static_cast<std::size_t>(b)] = 1;
       ++reused;
     }
   }
@@ -341,15 +398,30 @@ std::shared_ptr<const ModelSnapshot> ModelSnapshot::build_impl(
     snap->global_factor_ = cholesky(model.network.system_matrix());
     snap->has_monolithic_factor_ = true;
   }
+
+  // Publish-cost accounting: everything this build created, as opposed to
+  // aliased from the model or the previous snapshot. With a shared model
+  // and a dirty-only rebuild this scales with the dirty set (plus the
+  // always-global boundary / optional monolithic factors).
+  std::size_t materialized = model_bytes_copied;
+  for (index_t b = 0; b < nb_blocks; ++b)
+    if (!aliased[static_cast<std::size_t>(b)])
+      materialized += artifact_footprint_bytes(
+          *snap->blocks_[static_cast<std::size_t>(b)].artifact);
+  materialized += snap->boundary_factor_.footprint_bytes();
+  if (snap->has_monolithic_factor_)
+    materialized += snap->global_factor_.footprint_bytes();
+  snap->bytes_materialized_ = materialized;
+
   snap->build_seconds_ = timer.seconds();
   return snap;
 }
 
 index_t ModelSnapshot::reduced_id(index_t original) const {
   if (original < 0 ||
-      static_cast<std::size_t>(original) >= model_.node_map.size())
+      static_cast<std::size_t>(original) >= model_->node_map.size())
     return -1;
-  return model_.node_map[static_cast<std::size_t>(original)];
+  return model_->node_map[static_cast<std::size_t>(original)];
 }
 
 void ModelSnapshot::solve_sparse(const index_t* rhs_nodes,

@@ -23,7 +23,10 @@
 /// snapshots of an incrementally-updated model share the artifacts of
 /// clean blocks (copy-on-write — see ModelSnapshot::rebuild and
 /// DESIGN.md §4.1), so a publish after a k-block update refactors only
-/// the k dirty blocks and the boundary system.
+/// the k dirty blocks and the boundary system. The stitched model itself
+/// follows the same rule: the snapshot aliases the producer's frozen
+/// ModelPtr version (zero-copy publish) rather than owning a copy —
+/// model_bytes_copied() is 0 on that path.
 #pragma once
 
 #include <memory>
@@ -57,6 +60,13 @@ struct ServingOptions {
   /// (DESIGN.md §4.1 determinism argument); this knob exists for A/B
   /// timing and as an escape hatch.
   bool incremental_publish = true;
+  /// With a ModelStore attached, IncrementalReducer hands each snapshot the
+  /// stitched model through shared ownership (ModelPtr): the snapshot
+  /// aliases the reducer's frozen model version and a publish copies zero
+  /// model bytes (DESIGN.md §4.1). Disable to force the legacy deep-copy
+  /// publish (the snapshot owns a private model copy) — answers are
+  /// bit-identical either way; the knob exists for A/B cost measurement.
+  bool share_model = true;
   /// Backend of the per-block engines (kApproxChol or kExact; a
   /// kRandomProjection request falls back to kApproxChol, whose build cost
   /// profile fits resident serving state better than k PCG solves).
@@ -126,18 +136,31 @@ class ModelSnapshot {
     std::vector<real_t> mono_rhs;         ///< monolithic-path rhs
   };
 
-  /// Build a snapshot from the per-block reductions and the stitched model
-  /// (`blocks` indexed like model.block_kept). `pool` (optional)
-  /// parallelizes the per-block factor/engine construction; the snapshot
-  /// contents are identical at any thread count (per-block slot writes, S
-  /// assembled serially in block order). Throws std::runtime_error if the
-  /// stitched system is not SPD (a connected component without any shunt).
+  /// Build a snapshot that *aliases* a frozen stitched model version
+  /// (`blocks` indexed like model->block_kept): the zero-copy path — no
+  /// model bytes are copied, the snapshot just pins `model`. The model must
+  /// never be mutated after this call (the pipeline's ModelPtr producers
+  /// guarantee that by construction). `pool` (optional) parallelizes the
+  /// per-block factor/engine construction; the snapshot contents are
+  /// identical at any thread count (per-block slot writes, S assembled
+  /// serially in block order). Throws std::runtime_error if the stitched
+  /// system is not SPD (a connected component without any shunt).
+  static std::shared_ptr<const ModelSnapshot> build(
+      const std::vector<BlockReduced>& blocks, ModelPtr model,
+      const ServingOptions& opts = {}, ThreadPool* pool = nullptr,
+      std::uint64_t version = 0);
+
+  /// Deep-copy overload: the snapshot owns a private copy of `model`
+  /// (model_bytes_copied() reports its size). Kept for callers whose model
+  /// is a mutable local — the shared-ownership overload above is the
+  /// serving path.
   static std::shared_ptr<const ModelSnapshot> build(
       const std::vector<BlockReduced>& blocks, const ReducedModel& model,
       const ServingOptions& opts = {}, ThreadPool* pool = nullptr,
       std::uint64_t version = 0);
 
-  /// Convenience overload over the whole artifacts bundle.
+  /// Convenience overload over the whole artifacts bundle (aliases
+  /// artifacts.model — zero-copy).
   static std::shared_ptr<const ModelSnapshot> build(
       const ReductionArtifacts& artifacts, const ServingOptions& opts = {},
       ThreadPool* pool = nullptr, std::uint64_t version = 0);
@@ -158,11 +181,22 @@ class ModelSnapshot {
   /// under the update contract).
   static std::shared_ptr<const ModelSnapshot> rebuild(
       const ModelSnapshot& previous, const std::vector<BlockReduced>& blocks,
+      ModelPtr model, const std::vector<index_t>& dirty_blocks,
+      ThreadPool* pool = nullptr, std::uint64_t version = 0);
+
+  /// Deep-copy rebuild overload (see the build deep-copy overload).
+  static std::shared_ptr<const ModelSnapshot> rebuild(
+      const ModelSnapshot& previous, const std::vector<BlockReduced>& blocks,
       const ReducedModel& model, const std::vector<index_t>& dirty_blocks,
       ThreadPool* pool = nullptr, std::uint64_t version = 0);
 
   /// The stitched model the answers refer to.
-  [[nodiscard]] const ReducedModel& model() const { return model_; }
+  [[nodiscard]] const ReducedModel& model() const { return *model_; }
+
+  /// Shared handle of the stitched model — the same object the producer
+  /// froze when this snapshot was built zero-copy (&*shared_model() ==
+  /// &model()); holding it pins the model version beyond the snapshot.
+  [[nodiscard]] ModelPtr shared_model() const { return model_; }
 
   /// Publisher-assigned version (IncrementalReducer: its revision count).
   [[nodiscard]] std::uint64_t version() const { return version_; }
@@ -185,6 +219,24 @@ class ModelSnapshot {
   /// Blocks whose artifact was (re)factored by this build.
   [[nodiscard]] index_t rebuilt_blocks() const {
     return num_blocks() - reused_blocks_;
+  }
+
+  // Publish-cost accounting (DESIGN.md §4.1): what this build materialized
+  // vs. aliased. The churn bench reports these per publish.
+
+  /// Bytes of stitched-model state this snapshot deep-copied: 0 on the
+  /// shared-ownership (zero-copy) path, model_footprint_bytes(model()) on
+  /// the deep-copy path.
+  [[nodiscard]] std::size_t model_bytes_copied() const {
+    return model_bytes_copied_;
+  }
+  /// Bytes of new serving state this build created: rebuilt BlockArtifacts
+  /// (aliased ones count 0) + the boundary factor + the monolithic factor
+  /// when enabled + any model copy. This is the per-publish cost that
+  /// scales with the dirty set once the model is shared. Resident engines
+  /// are opaque (no footprint API) and excluded.
+  [[nodiscard]] std::size_t bytes_materialized() const {
+    return bytes_materialized_;
   }
 
   /// Original node id -> reduced id, or -1 if the node was eliminated (or
@@ -245,11 +297,13 @@ class ModelSnapshot {
 
   /// Shared implementation of build/rebuild: `previous`/`clean` select
   /// artifact reuse (both null for a full build; clean[b] != 0 marks a
-  /// block whose previous artifact may be aliased).
+  /// block whose previous artifact may be aliased). `model_bytes_copied`
+  /// records how the model handle was produced (0 = aliased).
   static std::shared_ptr<const ModelSnapshot> build_impl(
-      const std::vector<BlockReduced>& blocks, const ReducedModel& model,
+      const std::vector<BlockReduced>& blocks, ModelPtr model,
       const ServingOptions& opts, ThreadPool* pool, std::uint64_t version,
-      const ModelSnapshot* previous, const std::vector<char>* clean);
+      const ModelSnapshot* previous, const std::vector<char>* clean,
+      std::size_t model_bytes_copied);
 
   /// Solve G x = rhs (rhs has nrhs sparse entries) and write x at the
   /// `ntargets` target reduced nodes. The domain-decomposition driver
@@ -258,11 +312,13 @@ class ModelSnapshot {
                     int nrhs, const index_t* targets, real_t* out,
                     int ntargets, Workspace& ws) const;
 
-  ReducedModel model_;
+  ModelPtr model_;
   std::uint64_t version_ = 0;
   ServingOptions opts_;
   double build_seconds_ = 0.0;
   index_t reused_blocks_ = 0;
+  std::size_t model_bytes_copied_ = 0;
+  std::size_t bytes_materialized_ = 0;
 
   std::vector<index_t> block_of_reduced_;  // reduced -> block
   std::vector<index_t> boundary_index_;    // reduced -> boundary idx or -1

@@ -272,9 +272,13 @@ TEST(ModelSnapshotRebuild, FailedUpdateDisarmsDirtyOnlyRebuild) {
   reducer.update(modified, mod.dirty_blocks);
   const SnapshotPtr snap = store.acquire();
   EXPECT_EQ(snap->reused_blocks(), 0);  // full-build fallback
+  // The failed update also disarmed the copy-on-write stitch: the
+  // recovery update re-stitched the model from the block cache alone.
+  EXPECT_EQ(reducer.model().stats.stitch_reused_blocks, 0);
 
   // And the fallback publish re-arms reuse: the next update is dirty-only
-  // again and still bitwise equal to a from-scratch build.
+  // again (snapshot artifacts and model node slices) and still bitwise
+  // equal to a from-scratch build.
   const GridModification mod2 =
       random_modification(reducer.structure().num_blocks, 0.25, 1.1, 257);
   const ConductanceNetwork modified2 =
@@ -282,6 +286,7 @@ TEST(ModelSnapshotRebuild, FailedUpdateDisarmsDirtyOnlyRebuild) {
   reducer.update(modified2, mod2.dirty_blocks);
   const SnapshotPtr snap2 = store.acquire();
   EXPECT_GT(snap2->reused_blocks(), 0);
+  EXPECT_GT(reducer.model().stats.stitch_reused_blocks, 0);
   const auto batch = mixed_batch(kept_originals(reducer.model()), 150, 61);
   const auto want = QueryFrontEnd::answer_on(
       *ModelSnapshot::build(reducer.blocks(), reducer.model()), batch);
@@ -321,6 +326,222 @@ TEST(AsyncUpdater, FlushOverridesConcurrentPause) {
   EXPECT_EQ(s.applied, 3u);
   EXPECT_EQ(s.pending, 0u);
   EXPECT_FALSE(s.update_in_flight);
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy publishes: the snapshot aliases the reducer's frozen model
+// (DESIGN.md §4.1) and the shared path is bitwise equal to the deep-copy
+// path at any thread count.
+// ---------------------------------------------------------------------------
+
+TEST(ModelSnapshotRebuild, ZeroCopyMatchesDeepCopyPublishBitwise) {
+  const ServeCase c = make_case(20, 20, 48, 269);
+  for (int threads : {1, 2, 4, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ReductionOptions opts;
+    opts.num_blocks = 8;
+    opts.parallel.num_threads = threads;
+    ModelStore store_shared, store_deep;
+    IncrementalReducer shared_r(c.net, c.ports, opts);
+    IncrementalReducer deep_r(c.net, c.ports, opts);
+    ServingOptions so_shared;  // share_model = true (the default)
+    ServingOptions so_deep;
+    so_deep.share_model = false;
+    shared_r.attach_store(&store_shared, so_shared);
+    deep_r.attach_store(&store_deep, so_deep);
+
+    // The shared publish copies zero model bytes and aliases the reducer's
+    // version; the deep-copy publish owns a private copy of the same size
+    // as the model footprint.
+    EXPECT_EQ(store_shared.acquire()->model_bytes_copied(), 0u);
+    EXPECT_EQ(store_shared.acquire()->shared_model().get(),
+              shared_r.shared_model().get());
+    EXPECT_EQ(store_deep.acquire()->model_bytes_copied(),
+              model_footprint_bytes(deep_r.model()));
+    EXPECT_NE(store_deep.acquire()->shared_model().get(),
+              deep_r.shared_model().get());
+
+    const auto batch = mixed_batch(kept_originals(shared_r.model()), 200, 71);
+    ConductanceNetwork current = c.net;
+    for (int u = 1; u <= 3; ++u) {
+      const GridModification mod = random_modification(
+          shared_r.structure().num_blocks, 0.25, 1.3,
+          static_cast<std::uint64_t>(600 + u));
+      current = apply_modification(current, shared_r.structure(), mod);
+      shared_r.update(current, mod.dirty_blocks);
+      deep_r.update(current, mod.dirty_blocks);
+
+      const SnapshotPtr ss = store_shared.acquire();
+      const SnapshotPtr sd = store_deep.acquire();
+      EXPECT_EQ(ss->model_bytes_copied(), 0u);
+      EXPECT_GT(sd->model_bytes_copied(), 0u);
+      EXPECT_LT(ss->bytes_materialized(), sd->bytes_materialized());
+      const auto want = QueryFrontEnd::answer_on(*sd, batch);
+      const auto got = QueryFrontEnd::answer_on(*ss, batch);
+      ASSERT_EQ(want.size(), got.size());
+      for (std::size_t i = 0; i < want.size(); ++i)
+        ASSERT_EQ(want[i], got[i]) << "update " << u << " query " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bounded staleness back-pressure (Options::max_staleness_mods).
+// ---------------------------------------------------------------------------
+
+TEST(AsyncUpdater, MaxStalenessBlocksSubmitUntilWorkerCatchesUp) {
+  const ServeCase c = make_case(12, 12, 16, 263);
+  ReductionOptions opts;
+  opts.num_blocks = 4;
+  ModelStore store;
+  IncrementalReducer reducer(c.net, c.ports, opts);
+  reducer.attach_store(&store);
+  AsyncUpdater::Options uo;
+  uo.max_staleness_mods = 2;
+  AsyncUpdater updater(bind_reducer(reducer), uo);
+
+  // Fill the staleness budget while the worker is gated.
+  updater.pause();
+  EXPECT_TRUE(updater.submit(c.net, {0}));
+  EXPECT_TRUE(updater.submit(c.net, {1}));
+
+  // The third submit must block: accepting it would put the edit stream 3
+  // modifications ahead of the store.
+  std::atomic<bool> accepted{false};
+  std::thread blocked([&] {
+    EXPECT_TRUE(updater.submit(c.net, {2}));
+    accepted = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(accepted.load());
+  {
+    const AsyncUpdater::Stats s = updater.stats();
+    EXPECT_EQ(s.submitted, 2u);
+    EXPECT_EQ(s.blocked_submits, 1u);
+    EXPECT_EQ(s.max_observed_staleness_mods, 2u);
+  }
+
+  // Resuming lets the worker drain the coalesced batch; the blocked submit
+  // unblocks as soon as the store has caught up.
+  updater.resume();
+  blocked.join();
+  EXPECT_TRUE(accepted.load());
+  updater.flush();
+  const AsyncUpdater::Stats s = updater.stats();
+  EXPECT_EQ(s.submitted, 3u);
+  EXPECT_EQ(s.applied, 3u);
+  EXPECT_EQ(s.pending, 0u);
+  EXPECT_EQ(s.blocked_submits, 1u);
+  EXPECT_EQ(s.rejected, 0u);
+  EXPECT_GT(s.total_blocked_seconds, 0.0);
+  EXPECT_LE(s.max_observed_staleness_mods, uo.max_staleness_mods);
+}
+
+TEST(AsyncUpdater, MaxStalenessFailFastRejectsAtTheBound) {
+  const ServeCase c = make_case(12, 12, 16, 267);
+  ReductionOptions opts;
+  opts.num_blocks = 4;
+  ModelStore store;
+  IncrementalReducer reducer(c.net, c.ports, opts);
+  reducer.attach_store(&store);
+  AsyncUpdater::Options uo;
+  uo.max_staleness_mods = 2;
+  uo.fail_fast = true;
+  AsyncUpdater updater(bind_reducer(reducer), uo);
+
+  updater.pause();
+  EXPECT_TRUE(updater.submit(c.net, {0}));
+  EXPECT_TRUE(updater.submit(c.net, {1}));
+  // At the bound: the edit is turned away, never accepted.
+  EXPECT_FALSE(updater.submit(c.net, {2}));
+  EXPECT_FALSE(updater.submit(c.net, {3}));
+  {
+    const AsyncUpdater::Stats s = updater.stats();
+    EXPECT_EQ(s.submitted, 2u);
+    EXPECT_EQ(s.pending, 2u);
+    EXPECT_EQ(s.rejected, 2u);
+    EXPECT_EQ(s.blocked_submits, 0u);
+  }
+
+  updater.flush();  // implies resume; applies the two accepted mods
+  {
+    const AsyncUpdater::Stats s = updater.stats();
+    EXPECT_EQ(s.applied, 2u);
+    EXPECT_EQ(s.rejected, 2u);
+  }
+  // Budget freed: the next submit is accepted again.
+  EXPECT_TRUE(updater.submit(c.net, {2}));
+  updater.flush();
+  EXPECT_EQ(updater.stats().applied, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// mods_reflected across the version-log prune boundary, and flush() after
+// a latched worker error.
+// ---------------------------------------------------------------------------
+
+TEST(AsyncUpdater, ModsReflectedSurvivesVersionLogPrune) {
+  // Trivial model source: versions advance by 2 per batch (gaps exercise
+  // the partition_point floor semantics). version_log_cap = 8 makes the
+  // prune reachable in 20 batches; flush() per submit pins one batch per
+  // modification (no coalescing).
+  AsyncUpdater::Options uo;
+  uo.version_log_cap = 8;
+  std::uint64_t version = 0;
+  AsyncUpdater updater(
+      [&version](const ConductanceNetwork&,
+                 const std::vector<index_t>&) { return version += 2; },
+      uo);
+  const ConductanceNetwork empty_net;
+  constexpr std::uint64_t kBatches = 20;
+  for (std::uint64_t i = 1; i <= kBatches; ++i) {
+    updater.submit(empty_net, {});
+    updater.flush();
+  }
+  ASSERT_EQ(updater.stats().batches, kBatches);
+
+  // Prune trace with cap 8 (fold the older half each time the log reaches
+  // 9 entries): prunes after batches 9, 13 and 17 leave the retained log
+  // at versions 26..40 (cumulative mods 13..20) and the prune marker at
+  // (version 24, 12 mods) — the newest dropped entry.
+  EXPECT_EQ(updater.mods_reflected(40), kBatches);       // newest
+  EXPECT_EQ(updater.mods_reflected(41), kBatches);       // beyond newest
+  EXPECT_EQ(updater.mods_reflected(26), 13u);            // oldest retained
+  EXPECT_EQ(updater.mods_reflected(27), 13u);            // gap floors down
+  EXPECT_EQ(updater.mods_reflected(24), 12u);            // exact boundary
+  EXPECT_EQ(updater.mods_reflected(25), 12u);            // marker half
+  // Older than the marker: conservative lower bound 0, never an
+  // over-statement.
+  EXPECT_EQ(updater.mods_reflected(23), 0u);
+  EXPECT_EQ(updater.mods_reflected(2), 0u);
+  EXPECT_EQ(updater.mods_reflected(0), 0u);
+  // Monotone in the version, across the whole pruned + retained range.
+  std::uint64_t prev = 0;
+  for (std::uint64_t v = 0; v <= 44; ++v) {
+    const std::uint64_t r = updater.mods_reflected(v);
+    EXPECT_GE(r, prev) << "version " << v;
+    prev = r;
+  }
+}
+
+TEST(AsyncUpdater, FlushAfterLatchedErrorKeepsRethrowing) {
+  AsyncUpdater updater([](const ConductanceNetwork&,
+                          const std::vector<index_t>&) -> std::uint64_t {
+    throw std::runtime_error("worker boom");
+  });
+  const ConductanceNetwork empty_net;
+  updater.submit(empty_net, {});
+  // The error latches: every flush observes it, not just the first, and
+  // drain() surfaces it too (while still retiring the worker).
+  EXPECT_THROW(updater.flush(), std::runtime_error);
+  EXPECT_THROW(updater.flush(), std::runtime_error);
+  EXPECT_THROW(updater.drain(), std::runtime_error);
+  const AsyncUpdater::Stats s = updater.stats();
+  EXPECT_EQ(s.submitted, 1u);
+  EXPECT_EQ(s.failed, 1u);
+  EXPECT_EQ(s.applied, 0u);
+  EXPECT_EQ(s.pending, 0u);
+  // The destructor swallows the latched error (no terminate).
 }
 
 // ---------------------------------------------------------------------------

@@ -33,7 +33,7 @@ TEST(ModelSnapshot, ShardedMatchesMonolithic) {
   const auto snap = ModelSnapshot::build(art);
   ASSERT_GT(snap->num_boundary_nodes(), 0);
 
-  const auto batch = mixed_batch(kept_originals(art.model), 400, 3);
+  const auto batch = mixed_batch(kept_originals(*art.model), 400, 3);
   BatchStats sharded_stats, mono_stats;
   const auto sharded = QueryFrontEnd::answer_on(*snap, batch, nullptr,
                                                 RouteMode::kSharded,
@@ -60,15 +60,15 @@ TEST(ModelSnapshot, ResponseMatchesDcSolve) {
 
   // Z(p, q) is column p of G^{-1}: inject a unit current at reduced p and
   // read the DC voltage drops.
-  const index_t p_orig = kept_originals(art.model).front();
+  const index_t p_orig = kept_originals(*art.model).front();
   const index_t p_red = snap->reduced_id(p_orig);
   std::vector<real_t> injection(
-      static_cast<std::size_t>(art.model.network.num_nodes()), 0.0);
+      static_cast<std::size_t>(art.model->network.num_nodes()), 0.0);
   injection[static_cast<std::size_t>(p_red)] = 1.0;
-  const DcSolution dc = solve_dc(art.model.network, injection);
+  const DcSolution dc = solve_dc(art.model->network, injection);
 
   ModelSnapshot::Workspace ws;
-  for (index_t q = 0; q < art.model.network.num_nodes(); q += 7) {
+  for (index_t q = 0; q < art.model->network.num_nodes(); q += 7) {
     const real_t z = snap->response(p_red, q, ws);
     EXPECT_NEAR(z, dc.drops[static_cast<std::size_t>(q)],
                 1e-8 * (1.0 + std::abs(z)))
@@ -76,7 +76,7 @@ TEST(ModelSnapshot, ResponseMatchesDcSolve) {
   }
 
   // Internal consistency: R(p,q) = Z(p,p) - Z(p,q) - Z(q,p) + Z(q,q).
-  const index_t q_red = snap->reduced_id(kept_originals(art.model).back());
+  const index_t q_red = snap->reduced_id(kept_originals(*art.model).back());
   const real_t r = snap->resistance(p_red, q_red, ws);
   const real_t via_z = snap->response(p_red, p_red, ws) -
                        snap->response(p_red, q_red, ws) -
@@ -92,7 +92,7 @@ TEST(QueryFrontEnd, BitIdenticalAcrossThreadCounts) {
   const ReductionArtifacts art =
       reduce_network_artifacts(c.net, c.ports, opts);
   const auto snap = ModelSnapshot::build(art);
-  const auto batch = mixed_batch(kept_originals(art.model), 1500, 5);
+  const auto batch = mixed_batch(kept_originals(*art.model), 1500, 5);
 
   for (RouteMode mode : {RouteMode::kSharded, RouteMode::kMonolithic,
                          RouteMode::kLocalApprox}) {
@@ -125,7 +125,7 @@ TEST(ModelSnapshot, MonolithicFactorIsOptional) {
   EXPECT_TRUE(full->has_monolithic_factor());
   EXPECT_FALSE(lean->has_monolithic_factor());
 
-  const auto batch = mixed_batch(kept_originals(art.model), 100, 19);
+  const auto batch = mixed_batch(kept_originals(*art.model), 100, 19);
   const auto want = QueryFrontEnd::answer_on(*full, batch);
   const auto got = QueryFrontEnd::answer_on(*lean, batch);
   ASSERT_EQ(want.size(), got.size());
@@ -145,13 +145,13 @@ TEST(QueryFrontEnd, InvalidQueriesAnswerNaN) {
   const auto snap = ModelSnapshot::build(art);
 
   index_t eliminated = -1;
-  for (std::size_t v = 0; v < art.model.node_map.size(); ++v)
-    if (art.model.node_map[v] < 0) {
+  for (std::size_t v = 0; v < art.model->node_map.size(); ++v)
+    if (art.model->node_map[v] < 0) {
       eliminated = static_cast<index_t>(v);
       break;
     }
   ASSERT_GE(eliminated, 0);
-  const index_t valid = kept_originals(art.model).front();
+  const index_t valid = kept_originals(*art.model).front();
 
   const std::vector<PortQuery> batch{
       {QueryKind::kResistance, eliminated, valid},
@@ -178,7 +178,7 @@ TEST(QueryFrontEnd, LocalApproxRoutesThroughBlockEngines) {
   const ReductionArtifacts art =
       reduce_network_artifacts(c.net, c.ports, opts);
   const auto snap = ModelSnapshot::build(art);
-  const auto batch = mixed_batch(kept_originals(art.model), 600, 7);
+  const auto batch = mixed_batch(kept_originals(*art.model), 600, 7);
 
   BatchStats stats;
   const auto out = QueryFrontEnd::answer_on(*snap, batch, nullptr,
@@ -230,6 +230,88 @@ TEST(ModelStore, PublishPinsInFlightSnapshots) {
   BatchStats stats;
   (void)frontend.answer(batch, nullptr, RouteMode::kSharded, &stats);
   EXPECT_EQ(stats.snapshot_version, 1u);
+}
+
+TEST(ModelStore, VersionAndAgeProbesDisambiguateEmptyStore) {
+  // current_version() is optional: version 0 (IncrementalReducer's first
+  // revision) is a legitimate published state, distinguishable from an
+  // empty store; the publish log surfaces per-version ages.
+  const ServeCase c = make_case(14, 14, 20, 103);
+  ReductionOptions opts;
+  opts.num_blocks = 4;
+  ModelStore store;
+  EXPECT_FALSE(store.has_published());
+  EXPECT_FALSE(store.current_version().has_value());
+  EXPECT_FALSE(store.current_age_seconds().has_value());
+  EXPECT_FALSE(store.version_age_seconds(0).has_value());
+
+  IncrementalReducer reducer(c.net, c.ports, opts);
+  reducer.attach_store(&store);
+  EXPECT_TRUE(store.has_published());
+  ASSERT_TRUE(store.current_version().has_value());
+  EXPECT_EQ(*store.current_version(), 0u);  // serving v0, store not empty
+  ASSERT_TRUE(store.current_age_seconds().has_value());
+  EXPECT_GE(*store.current_age_seconds(), 0.0);
+  EXPECT_TRUE(store.version_age_seconds(0).has_value());
+  EXPECT_FALSE(store.version_age_seconds(7).has_value());  // never published
+
+  const GridModification mod =
+      random_modification(reducer.structure().num_blocks, 0.25, 1.4, 107);
+  const ConductanceNetwork modified =
+      apply_modification(c.net, reducer.structure(), mod);
+  reducer.update(modified, mod.dirty_blocks);
+  ASSERT_TRUE(store.current_version().has_value());
+  EXPECT_EQ(*store.current_version(), 1u);
+  // Both versions remain in the bounded publish log; the older one is at
+  // least as old as the current one.
+  const auto age0 = store.version_age_seconds(0);
+  const auto age1 = store.version_age_seconds(1);
+  ASSERT_TRUE(age0.has_value());
+  ASSERT_TRUE(age1.has_value());
+  EXPECT_GE(*age0, *age1);
+  EXPECT_GE(*age1, 0.0);
+}
+
+TEST(ModelStore, ZeroCopyPublishAliasesTheReducersModel) {
+  // The zero-copy tentpole (DESIGN.md §4.1): a publish hands the snapshot
+  // the reducer's frozen model version by shared_ptr — no model bytes are
+  // copied, the snapshot's model *is* the reducer's — and an update builds
+  // the next version into a fresh allocation, leaving pinned snapshots
+  // untouched.
+  const ServeCase c = make_case(16, 16, 24, 109);
+  ReductionOptions opts;
+  opts.num_blocks = 4;
+  ModelStore store;
+  IncrementalReducer reducer(c.net, c.ports, opts);
+  reducer.attach_store(&store);
+
+  const SnapshotPtr s0 = store.acquire();
+  EXPECT_EQ(&s0->model(), &reducer.model());
+  EXPECT_EQ(s0->shared_model().get(), reducer.shared_model().get());
+  EXPECT_EQ(s0->model_bytes_copied(), 0u);
+  EXPECT_GT(model_footprint_bytes(s0->model()), 0u);
+
+  const auto batch = mixed_batch(kept_originals(reducer.model()), 150, 113);
+  const auto before = QueryFrontEnd::answer_on(*s0, batch);
+  const ModelPtr pinned_model = s0->shared_model();
+
+  const GridModification mod =
+      random_modification(reducer.structure().num_blocks, 0.5, 1.3, 127);
+  const ConductanceNetwork modified =
+      apply_modification(c.net, reducer.structure(), mod);
+  reducer.update(modified, mod.dirty_blocks);
+
+  // The new publish aliases the *new* version; the old version lives on
+  // for the pinned snapshot, bit-for-bit.
+  const SnapshotPtr s1 = store.acquire();
+  EXPECT_EQ(&s1->model(), &reducer.model());
+  EXPECT_EQ(s1->model_bytes_copied(), 0u);
+  EXPECT_NE(s1->shared_model().get(), s0->shared_model().get());
+  EXPECT_EQ(s0->shared_model().get(), pinned_model.get());
+  const auto after = QueryFrontEnd::answer_on(*s0, batch);
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i)
+    ASSERT_EQ(before[i], after[i]) << "query " << i;
 }
 
 // The acceptance test for concurrent serving (runs under TSan in CI):

@@ -24,7 +24,14 @@ MODE_FIELDS = {
         "staleness_mean_versions", "staleness_max_versions",
         "queries_per_second", "churn_wall_seconds",
         "reused_block_fraction", "incremental_publish_seconds",
-        "full_snapshot_build_seconds", "identical",
+        "full_snapshot_build_seconds",
+        # Zero-copy publish accounting (PR 5).
+        "publish_model_bytes_copied", "publish_bytes_materialized",
+        "model_footprint_bytes",
+        # Bounded-staleness back-pressure (PR 5).
+        "staleness_bound_mods", "blocked_submits", "rejected_submits",
+        "max_observed_staleness_mods",
+        "identical",
     },
     "standard": COMMON_FIELDS | {
         "snapshot_build_seconds", "wall_seconds", "queries_per_second",
@@ -59,6 +66,11 @@ def main() -> int:
             ok = False
         if mode == "churn" and row.get("identical") is not True:
             print(f"{path}[{i}]: churn row not bit-identical",
+                  file=sys.stderr)
+            ok = False
+        if mode == "churn" and row.get("publish_model_bytes_copied") != 0:
+            print(f"{path}[{i}]: zero-copy publish copied model bytes "
+                  f"({row.get('publish_model_bytes_copied')})",
                   file=sys.stderr)
             ok = False
     if ok:
