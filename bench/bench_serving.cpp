@@ -18,17 +18,24 @@
 // synchronous twin reducer that applied the same modification stream
 // sequentially and built its snapshot from scratch.
 //
-// Emits BENCH_serving.json (schema: bench/README.md).
+// Emits BENCH_serving.json (schema: bench/README.md). Both modes also
+// report per-query latency percentiles (and, under churn, publish-latency
+// percentiles) extracted from the observability registry (DESIGN.md §6),
+// cross-checked against the legacy Stats accessors, and can dump the whole
+// registry as Prometheus text exposition via --metrics.
 //
-//   bench_serving [--threads N] [--json PATH] [--churn]
+//   bench_serving [--threads N] [--json PATH] [--metrics PATH] [--churn]
 //
 // N is the *maximum* thread count swept (default 8).
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "pg/incremental.hpp"
 #include "serve/async_updater.hpp"
 #include "serve/model_store.hpp"
@@ -41,6 +48,38 @@
 using namespace er;
 
 namespace {
+
+/// Fold the global registry (reducer + default-registry components) into
+/// the per-iteration dump and write it as Prometheus text exposition.
+/// Returns the exit-code contribution (0 ok, 1 fail); no-op on empty path.
+int write_metrics_dump(obs::MetricsSnapshot dump,
+                       const bench::BenchOptions& bopts) {
+  if (bopts.metrics_path.empty()) return 0;
+  dump.merge(obs::MetricsRegistry::global().snapshot());
+  std::ofstream out(bopts.metrics_path);
+  if (out) out << obs::to_prometheus(dump);
+  if (!out) {
+    std::fprintf(stderr, "failed to write %s\n", bopts.metrics_path.c_str());
+    return 1;
+  }
+  std::printf("Metrics written to %s\n", bopts.metrics_path.c_str());
+  return 0;
+}
+
+/// Set `query_latency_p50/p95/p99_us` on a JSON row from the iteration's
+/// `er_query_latency_seconds{mode=...}` histogram (zeros when absent).
+void set_query_latency_fields(bench::BenchJson::Row& row,
+                              const obs::MetricsSnapshot& snap,
+                              RouteMode mode) {
+  const obs::MetricSnapshot* h =
+      snap.find("er_query_latency_seconds", {{"mode", to_string(mode)}});
+  const auto us = [h](double q) {
+    return h ? h->histogram.quantile(q) * 1e6 : 0.0;
+  };
+  row.set("query_latency_p50_us", us(0.50))
+      .set("query_latency_p95_us", us(0.95))
+      .set("query_latency_p99_us", us(0.99));
+}
 
 std::vector<PortQuery> make_batch(const ReducedModel& model,
                                   std::size_t count, std::uint64_t seed) {
@@ -76,6 +115,7 @@ int run_churn(const bench::BenchOptions& bopts) {
                       "MaxStale", "Blocked", "CopiedKB", "kQPS", "Reused",
                       "Identical"});
   bench::BenchJson json;
+  obs::MetricsSnapshot metrics_dump;
   bool all_ok = true;
 
   for (const auto& [name, pg] : bench::table2_suite()) {
@@ -89,14 +129,20 @@ int run_churn(const bench::BenchOptions& bopts) {
       ropts.sparsify_quality = 1.0;
       ropts.parallel.num_threads = threads;
 
-      ModelStore store;
+      // Per-iteration registry: serving-side series (store / front-end /
+      // query pool / updater) start from zero for this (case, threads)
+      // pair, so histogram counts can be cross-checked against the legacy
+      // Stats accessors exactly. The reducer records into the global
+      // registry (folded into the dump at the end).
+      obs::MetricsRegistry reg;
+      ModelStore store(&reg);
       IncrementalReducer reducer(net, pg.port_mask(), ropts);
       ServingOptions sopts;
       // Production churn configuration: no whole-system factor per publish.
       sopts.build_monolithic_factor = false;
       reducer.attach_store(&store, sopts);
       const double full_build_seconds = store.acquire()->build_seconds();
-      const QueryFrontEnd frontend(&store);
+      const QueryFrontEnd frontend(&store, &reg);
       const auto batch = make_batch(reducer.model(), kChurnBatch, 2029);
       // The worker mutates reducer.structure() during updates; capture the
       // routing info the submitter needs up front.
@@ -119,13 +165,14 @@ int run_churn(const bench::BenchOptions& bopts) {
       }
 
       std::unique_ptr<ThreadPool> qpool;
-      if (threads > 1) qpool = std::make_unique<ThreadPool>(threads);
+      if (threads > 1) qpool = std::make_unique<ThreadPool>(threads, &reg);
       // Production back-pressure configuration: the edit stream may run at
       // most kStalenessBound modifications ahead of the store; a submit at
       // the bound blocks (fail_fast=false) until the worker catches up.
       constexpr std::uint64_t kStalenessBound = 6;
       AsyncUpdater::Options uopts;
       uopts.max_staleness_mods = kStalenessBound;
+      uopts.registry = &reg;
       AsyncUpdater updater(
           [&reducer](const ConductanceNetwork& m,
                      const std::vector<index_t>& dirty) {
@@ -175,6 +222,59 @@ int run_churn(const bench::BenchOptions& bopts) {
       const double churn_seconds = churn_timer.seconds();
       const AsyncUpdater::Stats ustats = updater.stats();
       const SnapshotPtr final_snap = store.acquire();
+
+      // Registry cross-checks against the legacy accessors: the metrics
+      // layer must tell the same story as Stats/BatchStats, or one of the
+      // two bookkeeping paths is lying.
+      const obs::MetricsSnapshot reg_snap = reg.snapshot();
+      const obs::MetricSnapshot* query_hist = reg_snap.find(
+          "er_query_latency_seconds", {{"mode", "sharded"}});
+      const obs::MetricSnapshot* publish_hist =
+          reg_snap.find("er_updater_publish_latency_seconds");
+      const obs::MetricSnapshot* stale_gauge =
+          reg_snap.find("er_updater_staleness_mods");
+      const obs::MetricSnapshot* stale_high =
+          reg_snap.find("er_updater_staleness_mods_high_water");
+      if (!query_hist || query_hist->histogram.count != queries_answered) {
+        std::fprintf(stderr,
+                     "ERROR: %s threads=%d er_query_latency_seconds count "
+                     "%llu != %zu queries answered\n",
+                     name.c_str(), threads,
+                     query_hist ? static_cast<unsigned long long>(
+                                      query_hist->histogram.count)
+                                : 0ULL,
+                     queries_answered);
+        all_ok = false;
+      }
+      if (!publish_hist ||
+          publish_hist->histogram.count != ustats.batches) {
+        std::fprintf(stderr,
+                     "ERROR: %s threads=%d er_updater_publish_latency_"
+                     "seconds count != Stats::batches (%llu)\n",
+                     name.c_str(), threads,
+                     static_cast<unsigned long long>(ustats.batches));
+        all_ok = false;
+      }
+      if (!stale_gauge || stale_gauge->gauge != 0) {
+        std::fprintf(stderr,
+                     "ERROR: %s threads=%d er_updater_staleness_mods != 0 "
+                     "after flush\n",
+                     name.c_str(), threads);
+        all_ok = false;
+      }
+      if (!stale_high ||
+          static_cast<std::uint64_t>(stale_high->gauge) !=
+              ustats.max_observed_staleness_mods) {
+        std::fprintf(stderr,
+                     "ERROR: %s threads=%d staleness high-water gauge != "
+                     "Stats::max_observed_staleness_mods\n",
+                     name.c_str(), threads);
+        all_ok = false;
+      }
+      const auto publish_ms = [publish_hist](double q) {
+        return publish_hist ? publish_hist->histogram.quantile(q) * 1e3
+                            : 0.0;
+      };
 
       // Validation: a synchronous twin applies the same stream one update
       // at a time; the async final model must match it bit-for-bit, and
@@ -268,6 +368,9 @@ int run_churn(const bench::BenchOptions& bopts) {
           .set("publish_latency_mean_seconds", publish_latency_mean)
           .set("publish_latency_max_seconds",
                ustats.max_publish_latency_seconds)
+          .set("publish_latency_p50_ms", publish_ms(0.50))
+          .set("publish_latency_p95_ms", publish_ms(0.95))
+          .set("publish_latency_p99_ms", publish_ms(0.99))
           .set("staleness_mean_mods", stale_mean)
           .set("staleness_max_mods", stale_max)
           .set("staleness_mean_versions", vstale_mean)
@@ -296,6 +399,8 @@ int run_churn(const bench::BenchOptions& bopts) {
           .set("max_observed_staleness_mods",
                ustats.max_observed_staleness_mods)
           .set("identical", identical);
+      set_query_latency_fields(row, reg_snap, RouteMode::kSharded);
+      metrics_dump.merge(reg_snap);
     }
   }
 
@@ -305,11 +410,12 @@ int run_churn(const bench::BenchOptions& bopts) {
               kChurnMods, kChurnBatch);
   table.print();
   const int json_status = bench::write_json_or_report(json, bopts);
+  const int metrics_status = write_metrics_dump(metrics_dump, bopts);
   if (!all_ok) {
     std::fprintf(stderr, "ERROR: churn serving diverged\n");
     return 1;
   }
-  return json_status;
+  return json_status != 0 ? json_status : metrics_status;
 }
 
 }  // namespace
@@ -327,6 +433,7 @@ int main(int argc, char** argv) {
   TablePrinter table({"Case", "|V_red|", "Boundary", "Mode", "Threads",
                       "Batch(s)", "kQPS", "Speedup", "Identical"});
   bench::BenchJson json;
+  obs::MetricsSnapshot metrics_dump;
   bool all_ok = true;
 
   for (const auto& [name, pg] : bench::table2_suite()) {
@@ -342,19 +449,23 @@ int main(int argc, char** argv) {
 
     ModelStore store;
     store.publish(ModelSnapshot::build(art));
-    const QueryFrontEnd frontend(&store);
     const SnapshotPtr snap = store.acquire();
     const auto batch = make_batch(*art.model, kBatchSize, 2027);
 
     // Serial single-model reference: the whole batch through the monolithic
     // factor on one thread. Doubles as the (monolithic, 1 thread) row so
-    // that configuration isn't computed twice.
+    // that configuration isn't computed twice. Each measured row gets its
+    // own registry, so its latency histogram covers exactly one batch.
+    obs::MetricsRegistry reference_reg;
     BatchStats reference_stats;
     Timer reference_timer;
-    const auto reference = frontend.answer(batch, nullptr,
-                                           RouteMode::kMonolithic,
-                                           &reference_stats);
+    const auto reference =
+        QueryFrontEnd(&store, &reference_reg)
+            .answer(batch, nullptr, RouteMode::kMonolithic,
+                    &reference_stats);
     const double reference_seconds = reference_timer.seconds();
+    const obs::MetricsSnapshot reference_snap = reference_reg.snapshot();
+    metrics_dump.merge(reference_snap);
 
     for (RouteMode mode : {RouteMode::kSharded, RouteMode::kMonolithic,
                            RouteMode::kLocalApprox}) {
@@ -365,16 +476,37 @@ int main(int argc, char** argv) {
         BatchStats stats;
         std::vector<real_t> answers;
         double seconds = 0.0;
+        obs::MetricsSnapshot row_snap;
         if (mode == RouteMode::kMonolithic && threads == 1) {
           answers = reference;
           stats = reference_stats;
           seconds = reference_seconds;
+          row_snap = reference_snap;
         } else {
+          // Registry declared before the pool: the pool's destructor
+          // still updates its thread gauge.
+          obs::MetricsRegistry row_reg;
           std::unique_ptr<ThreadPool> pool;
-          if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+          if (threads > 1)
+            pool = std::make_unique<ThreadPool>(threads, &row_reg);
           Timer t;
-          answers = frontend.answer(batch, pool.get(), mode, &stats);
+          answers = QueryFrontEnd(&store, &row_reg)
+                        .answer(batch, pool.get(), mode, &stats);
           seconds = t.seconds();
+          pool.reset();
+          row_snap = row_reg.snapshot();
+          metrics_dump.merge(row_snap);
+        }
+        // Per-query latency coverage: every query of the batch must have
+        // recorded exactly one sample on this route mode.
+        const obs::MetricSnapshot* row_hist = row_snap.find(
+            "er_query_latency_seconds", {{"mode", to_string(mode)}});
+        if (!row_hist || row_hist->histogram.count != batch.size()) {
+          std::fprintf(stderr,
+                       "ERROR: %s/%s threads=%d er_query_latency_seconds "
+                       "count != %zu batch queries\n",
+                       name.c_str(), to_string(mode), threads, batch.size());
+          all_ok = false;
         }
 
         bool identical = true;
@@ -431,6 +563,7 @@ int main(int argc, char** argv) {
             .set("cross_block_queries", stats.cross_block)
             .set("engine_answered", stats.engine_answered)
             .set("max_rel_vs_monolithic", max_rel_vs_reference);
+        set_query_latency_fields(row, row_snap, mode);
       }
     }
   }
@@ -441,9 +574,10 @@ int main(int argc, char** argv) {
               kBatchSize);
   table.print();
   const int json_status = bench::write_json_or_report(json, bopts);
+  const int metrics_status = write_metrics_dump(metrics_dump, bopts);
   if (!all_ok) {
     std::fprintf(stderr, "ERROR: serving answers diverged\n");
     return 1;
   }
-  return json_status;
+  return json_status != 0 ? json_status : metrics_status;
 }

@@ -39,6 +39,11 @@ struct BenchOptions {
   /// publish latency / staleness / QPS-under-churn instead of the static
   /// route-mode sweep.
   bool churn = false;
+  /// Prometheus text-exposition dump of the run's metrics registries
+  /// (bench_serving only; set via --metrics PATH, empty disables). The
+  /// per-iteration registries are folded into one run-level snapshot with
+  /// MetricsSnapshot::merge before export.
+  std::string metrics_path;
 };
 
 /// Strict non-negative integer parse; exits with usage on garbage so a
@@ -72,16 +77,23 @@ inline BenchOptions parse_bench_args(int argc, char** argv,
       o.json_path = argv[++i];
     } else if (a.rfind("--json=", 0) == 0) {
       o.json_path = a.substr(7);
+    } else if (a == "--metrics" && i + 1 < argc) {
+      o.metrics_path = argv[++i];
+    } else if (a.rfind("--metrics=", 0) == 0) {
+      o.metrics_path = a.substr(10);
     } else if (allow_churn && a == "--churn") {
       o.churn = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--threads N] [--json PATH]%s\n"
-                   "  --threads N   worker threads (0 = hardware)\n"
-                   "  --json PATH   machine-readable output ('' disables)\n%s",
+                   "usage: %s [--threads N] [--json PATH] "
+                   "[--metrics PATH]%s\n"
+                   "  --threads N    worker threads (0 = hardware)\n"
+                   "  --json PATH    machine-readable output ('' disables)\n"
+                   "  --metrics PATH Prometheus text dump of run metrics "
+                   "('' disables)\n%s",
                    argv[0], allow_churn ? " [--churn]" : "",
                    allow_churn
-                       ? "  --churn       mixed update+query mode "
+                       ? "  --churn        mixed update+query mode "
                          "(publish latency / staleness / QPS)\n"
                        : "");
       std::exit(a == "--help" ? 0 : 2);

@@ -1,0 +1,138 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace er::obs {
+
+namespace {
+
+std::string fmt_double(double v) {
+  if (!std::isfinite(v)) return "null";  // keeps the JSON exporter valid
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// Prometheus label escaping: backslash, double quote, newline.
+std::string escaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string label_block(const Labels& labels, const char* extra_key = nullptr,
+                        const std::string& extra_value = "") {
+  if (labels.empty() && !extra_key) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k + "=\"" + escaped(v) + "\"";
+  }
+  if (extra_key) {
+    if (!first) out += ",";
+    out += std::string(extra_key) + "=\"" + escaped(extra_value) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  const std::string* last_family = nullptr;
+  for (const MetricSnapshot& m : snapshot.entries) {
+    // Entries are sorted by name, so a family's HELP/TYPE header goes in
+    // front of its first labeled series only.
+    if (!last_family || *last_family != m.name) {
+      if (!m.help.empty())
+        out += "# HELP " + m.name + " " + m.help + "\n";
+      out += "# TYPE " + m.name + " " + std::string(to_string(m.kind)) + "\n";
+      last_family = &m.name;
+    }
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        out += m.name + label_block(m.labels) + " " +
+               std::to_string(m.counter) + "\n";
+        break;
+      case MetricKind::kGauge:
+        out += m.name + label_block(m.labels) + " " +
+               std::to_string(m.gauge) + "\n";
+        break;
+      case MetricKind::kHistogram: {
+        const HistogramSnapshot& h = m.histogram;
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+          cumulative += h.buckets[i];
+          out += m.name + "_bucket" +
+                 label_block(m.labels, "le", fmt_double(h.bounds[i])) + " " +
+                 std::to_string(cumulative) + "\n";
+        }
+        cumulative += h.buckets.back();
+        out += m.name + "_bucket" + label_block(m.labels, "le", "+Inf") +
+               " " + std::to_string(cumulative) + "\n";
+        out += m.name + "_sum" + label_block(m.labels) + " " +
+               fmt_double(h.sum) + "\n";
+        out += m.name + "_count" + label_block(m.labels) + " " +
+               std::to_string(h.count) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string to_bench_json(const MetricsSnapshot& snapshot) {
+  std::string out = "{";
+  bool first = true;
+  auto emit = [&out, &first](const std::string& key,
+                             const std::string& value) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + key + "\": " + value;
+  };
+  for (const MetricSnapshot& m : snapshot.entries) {
+    std::string key = m.name;
+    if (!m.labels.empty()) {
+      key += "{";
+      for (std::size_t i = 0; i < m.labels.size(); ++i) {
+        if (i) key += ",";
+        key += m.labels[i].first + "=" + m.labels[i].second;
+      }
+      key += "}";
+    }
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        emit(key, std::to_string(m.counter));
+        break;
+      case MetricKind::kGauge:
+        emit(key, std::to_string(m.gauge));
+        break;
+      case MetricKind::kHistogram: {
+        const HistogramSnapshot& h = m.histogram;
+        emit(key + "_count", std::to_string(h.count));
+        emit(key + "_sum", fmt_double(h.sum));
+        emit(key + "_max", fmt_double(h.max));
+        emit(key + "_p50", fmt_double(h.quantile(0.50)));
+        emit(key + "_p95", fmt_double(h.quantile(0.95)));
+        emit(key + "_p99", fmt_double(h.quantile(0.99)));
+        break;
+      }
+    }
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace er::obs

@@ -1,0 +1,242 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <tuple>
+
+namespace er::obs {
+
+namespace {
+
+void atomic_add_double(std::atomic<double>& a, double d) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed,
+                                  std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max_double(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (cur < v && !a.compare_exchange_weak(cur, v,
+                                             std::memory_order_relaxed,
+                                             std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the requested sample, 1-based: ceil(q * count), clamped so
+  // q = 0 still names the first sample.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::uint64_t in_bucket = buckets[i];
+    if (in_bucket == 0) continue;
+    if (seen + in_bucket < rank) {
+      seen += in_bucket;
+      continue;
+    }
+    if (i == bounds.size()) return max;  // overflow bucket
+    // Interpolate by the rank's position inside this bucket. Latency
+    // buckets start at 0 conceptually; a leading negative bound would
+    // make `lo` that bound instead.
+    const double lo = i == 0 ? std::min(0.0, bounds[0]) : bounds[i - 1];
+    const double hi = bounds[i];
+    const double frac = static_cast<double>(rank - seen) /
+                        static_cast<double>(in_bucket);
+    return lo + (hi - lo) * frac;
+  }
+  return max;  // unreachable with consistent count/buckets
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)) {
+  if (bounds_.empty())
+    throw std::invalid_argument("Histogram: empty bucket bounds");
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    if (!(bounds_[i - 1] < bounds_[i]))
+      throw std::invalid_argument(
+          "Histogram: bounds must be strictly increasing");
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    buckets_[i].store(0, std::memory_order_relaxed);
+}
+
+void Histogram::record(double v) noexcept {
+  // Bucket i covers (bounds[i-1], bounds[i]]: the first bound >= v, or
+  // the overflow slot past the end.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto i = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_, v);
+  atomic_max_double(max_, v);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.bounds = bounds_;
+  s.buckets.resize(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  // A record() racing the snapshot can bump count_ after the bucket
+  // reads; clamp so count never understates the bucket totals (exporters
+  // rely on count == sum of buckets).
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : s.buckets) bucket_total += b;
+  s.count = bucket_total;
+  return s;
+}
+
+std::vector<double> Histogram::latency_seconds_buckets() {
+  std::vector<double> bounds;
+  bounds.reserve(27);
+  double b = 1e-6;
+  for (int k = 0; k <= 26; ++k, b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+const char* to_string(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+const MetricSnapshot* MetricsSnapshot::find(const std::string& name,
+                                            const Labels& labels) const {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  for (const MetricSnapshot& e : entries)
+    if (e.name == name && e.labels == sorted) return &e;
+  return nullptr;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const MetricSnapshot& o : other.entries) {
+    auto it = std::find_if(entries.begin(), entries.end(),
+                           [&o](const MetricSnapshot& e) {
+                             return e.name == o.name && e.labels == o.labels;
+                           });
+    if (it == entries.end()) {
+      // Insert keeping (name, labels) order so exports stay deterministic.
+      auto pos = std::find_if(
+          entries.begin(), entries.end(), [&o](const MetricSnapshot& e) {
+            return std::tie(e.name, e.labels) > std::tie(o.name, o.labels);
+          });
+      entries.insert(pos, o);
+      continue;
+    }
+    if (it->kind != o.kind) continue;  // mismatched kinds never merge
+    switch (o.kind) {
+      case MetricKind::kCounter:
+        it->counter += o.counter;
+        break;
+      case MetricKind::kGauge:
+        it->gauge = std::max(it->gauge, o.gauge);
+        break;
+      case MetricKind::kHistogram: {
+        HistogramSnapshot& h = it->histogram;
+        if (h.bounds != o.histogram.bounds) break;  // incompatible bounds
+        for (std::size_t i = 0; i < h.buckets.size(); ++i)
+          h.buckets[i] += o.histogram.buckets[i];
+        h.count += o.histogram.count;
+        h.sum += o.histogram.sum;
+        h.max = std::max(h.max, o.histogram.max);
+        break;
+      }
+    }
+  }
+}
+
+MetricsRegistry::Entry& MetricsRegistry::entry(const std::string& name,
+                                               Labels& labels,
+                                               MetricKind kind,
+                                               const std::string& help) {
+  std::sort(labels.begin(), labels.end());
+  Entry& e = metrics_[Key{name, labels}];
+  const bool fresh = !e.counter && !e.gauge && !e.histogram;
+  if (!fresh && e.kind != kind)
+    throw std::logic_error("MetricsRegistry: '" + name + "' already " +
+                           "registered as " + to_string(e.kind) +
+                           ", requested as " + to_string(kind));
+  if (fresh) {
+    e.kind = kind;
+    e.help = help;
+  }
+  return e;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, Labels labels,
+                                  const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = entry(name, labels, MetricKind::kCounter, help);
+  if (!e.counter) e.counter = std::make_unique<Counter>();
+  return *e.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, Labels labels,
+                              const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = entry(name, labels, MetricKind::kGauge, help);
+  if (!e.gauge) e.gauge = std::make_unique<Gauge>();
+  return *e.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, Labels labels,
+                                      const std::string& help,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = entry(name, labels, MetricKind::kHistogram, help);
+  if (!e.histogram) e.histogram = std::make_unique<Histogram>(std::move(bounds));
+  return *e.histogram;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot s;
+  s.entries.reserve(metrics_.size());
+  for (const auto& [key, e] : metrics_) {
+    MetricSnapshot m;
+    m.name = key.first;
+    m.labels = key.second;
+    m.help = e.help;
+    m.kind = e.kind;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        m.counter = e.counter->value();
+        break;
+      case MetricKind::kGauge:
+        m.gauge = e.gauge->value();
+        break;
+      case MetricKind::kHistogram:
+        m.histogram = e.histogram->snapshot();
+        break;
+    }
+    s.entries.push_back(std::move(m));
+  }
+  return s;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* g = new MetricsRegistry();  // never destroyed:
+  // worker threads and RAII spans may record during static teardown.
+  return *g;
+}
+
+}  // namespace er::obs

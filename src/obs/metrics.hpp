@@ -1,0 +1,237 @@
+/// \file
+/// Process-wide metrics registry (DESIGN.md §6): lock-free atomic
+/// counters, gauges, and fixed-bucket latency histograms with
+/// p50/p95/p99 extraction, named and labeled, exportable as Prometheus
+/// text exposition or BENCH-style flat JSON (obs/export.hpp).
+///
+/// Design rules:
+///   * Recording is wait-free: Counter::add / Gauge::set / Gauge::add are
+///     single relaxed atomic RMWs; Histogram::record is a bucket search
+///     over a small fixed bounds array plus three relaxed atomics (a CAS
+///     loop for the double-valued sum/max, which converges in one
+///     iteration without contention). Budget: ≤ ~20 ns per record on the
+///     serving hot path.
+///   * Registration (get-or-create by name+labels) takes a mutex and is
+///     meant for construction time; hot paths cache the returned pointer,
+///     which stays valid for the registry's lifetime.
+///   * Snapshots are per-metric consistent: one snapshot() call reads each
+///     atomic once, so every exported metric is a value that existed at
+///     some instant during the call, but two metrics may be captured a few
+///     nanoseconds apart. Cross-metric invariants (e.g. submitted =
+///     applied + pending) are owned by the component that updates them
+///     under its own lock, not by the registry.
+///   * Observability never feeds back into computation: nothing in this
+///     layer is read by the reduction or serving code paths, so model
+///     bytes are bit-identical with metrics enabled, disabled, or compiled
+///     out (the determinism contract of DESIGN.md §3).
+///
+/// Components default to the process-wide MetricsRegistry::global();
+/// tests and benches that need isolated figures pass their own instance
+/// (every instrumented constructor takes an optional registry).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace er::obs {
+
+/// Metric labels, as (key, value) pairs. Registration sorts them by key,
+/// so {{"a","1"},{"b","2"}} and {{"b","2"},{"a","1"}} name the same
+/// metric.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotone event counter. Unsigned 64-bit with well-defined wraparound
+/// (modulo 2^64) — at one increment per nanosecond that is ~584 years, so
+/// exporters treat the value as effectively monotone.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous signed value (queue depth, current version, high-water
+/// marks via max_with).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) noexcept {
+    value_.fetch_add(d, std::memory_order_relaxed);
+  }
+  /// Monotone high-water update: value = max(value, v).
+  void max_with(std::int64_t v) noexcept {
+    std::int64_t cur = value_.load(std::memory_order_relaxed);
+    while (cur < v && !value_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed,
+                          std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// One histogram's state at a snapshot instant, with quantile extraction.
+struct HistogramSnapshot {
+  /// Upper bucket bounds, strictly increasing; bucket i counts samples in
+  /// (bounds[i-1], bounds[i]] (first bucket: (-inf, bounds[0]]); the
+  /// final `buckets` entry is the overflow bucket (bounds.back(), +inf).
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 entries
+  std::uint64_t count = 0;             ///< total samples
+  double sum = 0.0;                    ///< sum of samples
+  double max = 0.0;                    ///< largest sample (0 when empty)
+
+  /// Approximate q-quantile (q in [0,1]) by locating the bucket holding
+  /// the rank-ceil(q*count) sample and interpolating linearly inside it.
+  /// The error is bounded by the width of that bucket; with the default
+  /// power-of-two latency bounds the relative error is ≤ 2x. Returns 0
+  /// for an empty histogram. Samples in the overflow bucket report the
+  /// observed max.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double mean() const {
+    return count ? sum / static_cast<double>(count) : 0.0;
+  }
+};
+
+/// Fixed-bucket histogram. record() is lock-free and never allocates;
+/// bounds are fixed at construction.
+class Histogram {
+ public:
+  /// `bounds` must be non-empty and strictly increasing (throws
+  /// std::invalid_argument otherwise). Defaults to
+  /// latency_seconds_buckets().
+  explicit Histogram(std::vector<double> bounds = latency_seconds_buckets());
+
+  /// Record one sample. Wait-free apart from the double-valued sum/max
+  /// CAS loops (one iteration when uncontended).
+  void record(double v) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double max_value() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+  /// Default latency bounds: powers of two from 1 µs to ~67 s (1e-6 * 2^k,
+  /// k = 0..26), in seconds. 27 bounds + overflow covers everything from a
+  /// single triangular-solve query to a cold full reduction with ≤ 2x
+  /// relative quantile error.
+  static std::vector<double> latency_seconds_buckets();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// What kind of metric an entry holds.
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+[[nodiscard]] const char* to_string(MetricKind k);
+
+/// One metric's identity + value at a snapshot instant.
+struct MetricSnapshot {
+  std::string name;
+  Labels labels;  ///< sorted by key
+  std::string help;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t counter = 0;   ///< kCounter
+  std::int64_t gauge = 0;      ///< kGauge
+  HistogramSnapshot histogram; ///< kHistogram
+};
+
+/// A registry's full state at one instant, sorted by (name, labels) so
+/// exports are deterministic.
+struct MetricsSnapshot {
+  std::vector<MetricSnapshot> entries;
+
+  /// Entry with the given name and (sorted or unsorted) labels, or null.
+  [[nodiscard]] const MetricSnapshot* find(const std::string& name,
+                                           const Labels& labels = {}) const;
+
+  /// Fold `other` into this snapshot: counters and histograms (of equal
+  /// bounds) add, gauges take the maximum (high-water semantics — the
+  /// merge use case is accumulating per-iteration registries into one
+  /// export, where "largest observed" is the meaningful combination),
+  /// entries missing here are appended. Keeps (name, labels) order.
+  void merge(const MetricsSnapshot& other);
+};
+
+/// Named, labeled metric store. Creation is mutex-guarded get-or-create;
+/// the returned references are stable for the registry's lifetime and
+/// record lock-free. Re-requesting an existing name with a different
+/// metric kind throws std::logic_error; a histogram re-request ignores
+/// the bounds argument and returns the existing instance.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name, Labels labels = {},
+                   const std::string& help = "");
+  Gauge& gauge(const std::string& name, Labels labels = {},
+               const std::string& help = "");
+  Histogram& histogram(const std::string& name, Labels labels = {},
+                       const std::string& help = "",
+                       std::vector<double> bounds =
+                           Histogram::latency_seconds_buckets());
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// The process-wide default registry every instrumented component
+  /// records into unless handed an explicit instance.
+  static MetricsRegistry& global();
+
+ private:
+  struct Entry {
+    std::string help;
+    MetricKind kind = MetricKind::kCounter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  using Key = std::pair<std::string, Labels>;
+
+  Entry& entry(const std::string& name, Labels& labels, MetricKind kind,
+               const std::string& help);
+
+  mutable std::mutex mutex_;
+  std::map<Key, Entry> metrics_;
+};
+
+/// `registry` if non-null, else the global registry — the convention
+/// every instrumented constructor uses for its optional registry
+/// parameter.
+inline MetricsRegistry& registry_or_global(MetricsRegistry* registry) {
+  return registry ? *registry : MetricsRegistry::global();
+}
+
+}  // namespace er::obs

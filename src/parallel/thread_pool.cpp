@@ -1,12 +1,20 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+
+#include "obs/metrics.hpp"
 
 namespace er {
 
 namespace {
 thread_local bool t_on_worker = false;
+
+double seconds_between(std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
 }  // namespace
 
 int resolve_num_threads(int requested) {
@@ -17,8 +25,25 @@ int resolve_num_threads(int requested) {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-ThreadPool::ThreadPool(int num_threads) {
+ThreadPool::ThreadPool(int num_threads, obs::MetricsRegistry* registry) {
+  obs::MetricsRegistry& reg = obs::registry_or_global(registry);
+  tasks_total_ = &reg.counter("er_pool_tasks_total", {},
+                              "Tasks submitted to the thread pool");
+  busy_us_total_ =
+      &reg.counter("er_pool_busy_us_total", {},
+                   "Microseconds workers spent running tasks (utilization = "
+                   "busy_us / threads / elapsed)");
+  queue_depth_ = &reg.gauge("er_pool_queue_depth", {},
+                            "Tasks enqueued but not yet started");
+  threads_gauge_ = &reg.gauge("er_pool_threads", {}, "Live worker threads");
+  queue_wait_hist_ =
+      &reg.histogram("er_pool_task_queue_wait_seconds", {},
+                     "Submit-to-start wait per task (queue pressure)");
+  run_hist_ = &reg.histogram("er_pool_task_run_seconds", {},
+                             "Wall-clock run time per task (compute side "
+                             "of the queue-wait/compute split)");
   const int n = resolve_num_threads(num_threads);
+  threads_gauge_->add(n);
   workers_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i)
     workers_.emplace_back([this] { worker_loop(); });
@@ -31,17 +56,21 @@ ThreadPool::~ThreadPool() {
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
+  threads_gauge_->add(-static_cast<std::int64_t>(workers_.size()));
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
-  std::packaged_task<void()> wrapped(std::move(task));
-  std::future<void> fut = wrapped.get_future();
+  QueuedTask queued{std::packaged_task<void()>(std::move(task)),
+                    std::chrono::steady_clock::now()};
+  std::future<void> fut = queued.task.get_future();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stop_)
       throw std::runtime_error("ThreadPool::submit: pool is shutting down");
-    queue_.push(std::move(wrapped));
+    queue_.push(std::move(queued));
   }
+  tasks_total_->add(1);
+  queue_depth_->add(1);
   cv_.notify_one();
   return fut;
 }
@@ -51,15 +80,22 @@ bool ThreadPool::on_worker_thread() { return t_on_worker; }
 void ThreadPool::worker_loop() {
   t_on_worker = true;
   for (;;) {
-    std::packaged_task<void()> task;
+    QueuedTask queued;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ set and queue drained
-      task = std::move(queue_.front());
+      queued = std::move(queue_.front());
       queue_.pop();
     }
-    task();  // exceptions land in the task's future
+    const auto start = std::chrono::steady_clock::now();
+    queue_depth_->add(-1);
+    queue_wait_hist_->record(seconds_between(queued.enqueued, start));
+    queued.task();  // exceptions land in the task's future
+    const auto end = std::chrono::steady_clock::now();
+    const double run = seconds_between(start, end);
+    run_hist_->record(run);
+    busy_us_total_->add(static_cast<std::uint64_t>(std::llround(run * 1e6)));
   }
 }
 

@@ -13,6 +13,7 @@
 //     thread after all chunks finish.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <future>
@@ -25,6 +26,13 @@
 
 namespace er {
 
+namespace obs {
+class MetricsRegistry;
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace obs
+
 /// Threading knob carried by ReductionOptions (and bench flags).
 struct ParallelOptions {
   /// 0 = auto (hardware concurrency), 1 = serial, n = exactly n threads.
@@ -36,10 +44,22 @@ int resolve_num_threads(int requested);
 
 /// Fixed-size pool of worker threads draining a FIFO task queue.
 /// submit() is thread-safe, including from inside a worker task.
+///
+/// Observability (DESIGN.md §6): every pool reports a queue-depth gauge
+/// (`er_pool_queue_depth`), a worker-count gauge (`er_pool_threads`),
+/// per-task queue-wait and run-time histograms
+/// (`er_pool_task_queue_wait_seconds` / `er_pool_task_run_seconds` — the
+/// queue-wait vs compute split of anything fanned across the pool), and a
+/// busy-time counter (`er_pool_busy_us_total`; utilization =
+/// busy_us / threads / elapsed). The cost is three steady_clock reads
+/// per *task* (tasks are chunk-granular), nothing per iteration.
 class ThreadPool {
  public:
   /// Spawns resolve_num_threads(num_threads) workers immediately.
-  explicit ThreadPool(int num_threads = 0);
+  /// Metrics go to `registry` (null = the process-wide global registry);
+  /// pools sharing a registry aggregate into the same series.
+  explicit ThreadPool(int num_threads = 0,
+                      obs::MetricsRegistry* registry = nullptr);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -58,13 +78,27 @@ class ThreadPool {
   static bool on_worker_thread();
 
  private:
+  /// A queued task plus its enqueue instant (the queue-wait anchor).
+  struct QueuedTask {
+    std::packaged_task<void()> task;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> queue_;
+  std::queue<QueuedTask> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
+  // Registry-backed instrumentation (pointers cached at construction;
+  // recording is lock-free).
+  obs::Counter* tasks_total_;
+  obs::Counter* busy_us_total_;
+  obs::Gauge* queue_depth_;
+  obs::Gauge* threads_gauge_;
+  obs::Histogram* queue_wait_hist_;
+  obs::Histogram* run_hist_;
 };
 
 /// Split [begin, end) into chunks of at least `grain` iterations and run

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace er {
@@ -63,16 +65,22 @@ IncrementalReducer::IncrementalReducer(const ConductanceNetwork& net,
   if (resolve_num_threads(opts_.parallel.num_threads) > 1)
     pool_ = std::make_unique<ThreadPool>(opts_.parallel.num_threads);
   Timer phase;
-  structure_ = build_block_structure(net, is_port_, opts_, pool_.get());
+  {
+    OBS_SPAN("partition");
+    structure_ = build_block_structure(net, is_port_, opts_, pool_.get());
+  }
   const double partition_seconds = phase.seconds();
   phase.reset();
   blocks_.assign(static_cast<std::size_t>(structure_.num_blocks), {});
-  parallel_for(pool_.get(), 0, structure_.num_blocks, 1,
-               [&](index_t lo, index_t hi) {
-                 for (index_t b = lo; b < hi; ++b)
-                   blocks_[static_cast<std::size_t>(b)] = reduce_block(
-                       net, is_port_, structure_, b, opts_, pool_.get());
-               });
+  {
+    OBS_SPAN("reduce");
+    parallel_for(pool_.get(), 0, structure_.num_blocks, 1,
+                 [&](index_t lo, index_t hi) {
+                   for (index_t b = lo; b < hi; ++b)
+                     blocks_[static_cast<std::size_t>(b)] = reduce_block(
+                         net, is_port_, structure_, b, opts_, pool_.get());
+                 });
+  }
   const double reduce_seconds = phase.seconds();
   ReducedModel stitched = stitch_blocks(net, structure_, blocks_, pool_.get());
   initial_seconds_ = t.seconds();
@@ -110,19 +118,24 @@ const ReducedModel& IncrementalReducer::update(
   const bool can_cow_stitch = model_matches_blocks_;
   model_matches_blocks_ = false;
   Timer phase;
-  // Refresh cached block-internal edge weights from the modified network.
-  BlockStructure st = structure_;
-  for (auto& edges : st.block_edges) edges.clear();
-  st.cut_edges.clear();
-  for (const auto& e : modified.graph.edges()) {
-    const index_t bu = st.block_of[static_cast<std::size_t>(e.u)];
-    const index_t bv = st.block_of[static_cast<std::size_t>(e.v)];
-    if (bu == bv)
-      st.block_edges[static_cast<std::size_t>(bu)].push_back(e);
-    else
-      st.cut_edges.push_back(e);
+  {
+    // The structure refresh is the update's partition stage (same span
+    // name, so the aggregate covers both the initial build and updates).
+    OBS_SPAN("partition");
+    // Refresh cached block-internal edge weights from the modified network.
+    BlockStructure st = structure_;
+    for (auto& edges : st.block_edges) edges.clear();
+    st.cut_edges.clear();
+    for (const auto& e : modified.graph.edges()) {
+      const index_t bu = st.block_of[static_cast<std::size_t>(e.u)];
+      const index_t bv = st.block_of[static_cast<std::size_t>(e.v)];
+      if (bu == bv)
+        st.block_edges[static_cast<std::size_t>(bu)].push_back(e);
+      else
+        st.cut_edges.push_back(e);
+    }
+    structure_ = std::move(st);
   }
-  structure_ = std::move(st);
   const double structure_seconds = phase.seconds();
 
   for (index_t b : dirty_blocks)
@@ -135,14 +148,18 @@ const ReducedModel& IncrementalReducer::update(
   // Only the dirty blocks are re-reduced; their slots are disjoint, so the
   // update parallelizes exactly like the initial reduction.
   phase.reset();
-  parallel_for(pool_.get(), 0, static_cast<index_t>(dirty.size()), 1,
-               [&](index_t lo, index_t hi) {
-                 for (index_t i = lo; i < hi; ++i) {
-                   const index_t b = dirty[static_cast<std::size_t>(i)];
-                   blocks_[static_cast<std::size_t>(b)] = reduce_block(
-                       modified, is_port_, structure_, b, opts_, pool_.get());
-                 }
-               });
+  {
+    OBS_SPAN("reduce");
+    parallel_for(pool_.get(), 0, static_cast<index_t>(dirty.size()), 1,
+                 [&](index_t lo, index_t hi) {
+                   for (index_t i = lo; i < hi; ++i) {
+                     const index_t b = dirty[static_cast<std::size_t>(i)];
+                     blocks_[static_cast<std::size_t>(b)] =
+                         reduce_block(modified, is_port_, structure_, b,
+                                      opts_, pool_.get());
+                   }
+                 });
+  }
   const double reduce_seconds = phase.seconds();
   // Build the *next* model version copy-on-write: the current version stays
   // frozen (published snapshots alias it), clean blocks' node-side slices
@@ -154,6 +171,20 @@ const ReducedModel& IncrementalReducer::update(
                                  dirty, pool_.get())
           : stitch_blocks(modified, structure_, blocks_, pool_.get());
   update_seconds_ = t.seconds();
+  // Reused-block fraction of the copy-on-write stitch (DESIGN.md §6):
+  // reused / total over the process lifetime. A full-stitch fallback
+  // contributes 0 reused, so the ratio degrades visibly when layouts keep
+  // moving. Updates are ms-scale, so the get-or-create lookup is noise.
+  {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    reg.counter("er_stitch_blocks_total", {},
+                "Blocks stitched by incremental updates")
+        .add(static_cast<std::uint64_t>(structure_.num_blocks));
+    reg.counter("er_stitch_blocks_reused_total", {},
+                "Blocks whose node slices the copy-on-write stitch carried "
+                "over unchanged")
+        .add(static_cast<std::uint64_t>(next.stats.stitch_reused_blocks));
+  }
   // The structure refresh plays the partition stage's role in an update.
   next.stats.partition_seconds = structure_seconds;
   next.stats.reduce_seconds = reduce_seconds;
@@ -179,6 +210,7 @@ void IncrementalReducer::attach_store(ModelStore* store,
 
 void IncrementalReducer::publish_current(const std::vector<index_t>* dirty) {
   Timer t;
+  OBS_SPAN("publish");
   // The snapshot is built completely off to the side and only then swapped
   // in, so queries racing with this publish never observe a half-built
   // model (DESIGN.md §4 publish protocol). An update publish is a
@@ -219,6 +251,13 @@ void IncrementalReducer::publish_current(const std::vector<index_t>* dirty) {
   publish_bytes_materialized_ = snap->bytes_materialized();
   last_published_ = std::move(snap);
   publish_seconds_ = t.seconds();
+  // Snapshot build+publish latency: the reducer-side half of the
+  // publish-latency picture (the updater's er_updater_publish_latency_
+  // seconds measures submit-to-publish, which adds queueing).
+  obs::MetricsRegistry::global()
+      .histogram("er_reducer_publish_seconds", {},
+                 "Snapshot build + store publish per publish_current()")
+      .record(publish_seconds_);
 }
 
 }  // namespace er

@@ -46,6 +46,14 @@ ConductanceNetwork apply_modification(const ConductanceNetwork& net,
 
 /// Caches the block structure and per-block reductions of a grid so that a
 /// modification triggers work only on dirty blocks.
+///
+/// Observability (DESIGN.md §6): the reducer records into the *global*
+/// registry — `er_reducer_publish_seconds` per publish, the copy-on-write
+/// reuse counters `er_stitch_blocks_total` / `er_stitch_blocks_reused_total`
+/// per update — and emits `partition` / `reduce` / `publish` trace spans
+/// (plus the per-block spans of reduce_block). Reducers are long-lived and
+/// one-per-grid, so global aggregation is the useful view; none of it feeds
+/// back into the model bytes (the §3 determinism contract).
 class IncrementalReducer {
  public:
   /// Runs the full initial reduction of `net` and primes the per-block

@@ -7,6 +7,7 @@
 #include "effres/approx_chol.hpp"
 #include "effres/exact.hpp"
 #include "effres/random_projection.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "partition/partition.hpp"
 #include "reduction/port_merge.hpp"
@@ -154,7 +155,10 @@ BlockReduced reduce_block(const ConductanceNetwork& input,
   if (keep_local.empty()) return out;  // floating block: drop entirely
 
   Timer phase;
-  const SchurResult schur = schur_complement(a_b, keep_local, elim_local);
+  const SchurResult schur = [&] {
+    OBS_SPAN("schur", block);
+    return schur_complement(a_b, keep_local, elim_local);
+  }();
   out.schur_seconds = phase.seconds();
 
   const ConductanceNetwork net_b = network_from_matrix(schur.matrix);
@@ -170,13 +174,17 @@ BlockReduced reduce_block(const ConductanceNetwork& input,
   std::vector<real_t> edge_er(net_b.graph.num_edges(), 0.0);
   std::unique_ptr<EffResEngine> engine;
   if (net_b.graph.num_edges() > 0) {
+    OBS_SPAN("er", block);
     engine = make_engine(net_b.graph, opts, block, pool);
     edge_er = engine->resistances(all_edge_queries(net_b.graph), pool);
   }
   out.er_seconds = phase.seconds();
 
-  // Merge non-port nodes, then sparsify (step 4).
+  // Merge non-port nodes, then sparsify (step 4). The span runs to the end
+  // of the function, so it also covers the merged-ER batch and the shunt
+  // fold — the whole post-ER tail of the block.
   phase.reset();
+  OBS_SPAN("sparsify", block);
   std::vector<char> mergeable(static_cast<std::size_t>(ns), 0);
   for (index_t s = 0; s < ns; ++s)
     mergeable[static_cast<std::size_t>(s)] =
@@ -228,6 +236,7 @@ ReducedModel stitch_blocks(const ConductanceNetwork& input,
                            const std::vector<BlockReduced>& blocks,
                            ThreadPool* pool) {
   Timer stitch_timer;
+  OBS_SPAN("stitch");
   const index_t n = input.num_nodes();
   const index_t nb = structure.num_blocks;
   ReducedModel out;
@@ -320,6 +329,9 @@ ReducedModel stitch_blocks_update(const ConductanceNetwork& input,
                                   const std::vector<index_t>& dirty_blocks,
                                   ThreadPool* pool) {
   Timer stitch_timer;
+  // Distinct stage name so the copy-on-write path and the full-stitch
+  // fallback it may delegate to stay separable in the span aggregates.
+  OBS_SPAN("stitch_update");
   const index_t n = input.num_nodes();
   const index_t nb = structure.num_blocks;
 
@@ -473,7 +485,10 @@ ReductionArtifacts reduce_network_artifacts(const ConductanceNetwork& input,
 
   ReductionArtifacts out;
   Timer phase;
-  out.structure = build_block_structure(input, is_port, opts, pool.get());
+  {
+    OBS_SPAN("partition");
+    out.structure = build_block_structure(input, is_port, opts, pool.get());
+  }
   const double partition_seconds = phase.seconds();
 
   // Steps 2-4 are independent per block; dispatch them across the pool.
@@ -481,12 +496,15 @@ ReductionArtifacts reduce_network_artifacts(const ConductanceNetwork& input,
   // from (seed, block), so the result is identical at any thread count.
   phase.reset();
   out.blocks.assign(static_cast<std::size_t>(out.structure.num_blocks), {});
-  parallel_for(pool.get(), 0, out.structure.num_blocks, 1,
-               [&](index_t lo, index_t hi) {
-                 for (index_t b = lo; b < hi; ++b)
-                   out.blocks[static_cast<std::size_t>(b)] = reduce_block(
-                       input, is_port, out.structure, b, opts, pool.get());
-               });
+  {
+    OBS_SPAN("reduce");
+    parallel_for(pool.get(), 0, out.structure.num_blocks, 1,
+                 [&](index_t lo, index_t hi) {
+                   for (index_t b = lo; b < hi; ++b)
+                     out.blocks[static_cast<std::size_t>(b)] = reduce_block(
+                         input, is_port, out.structure, b, opts, pool.get());
+                 });
+  }
   const double reduce_seconds = phase.seconds();
 
   ReducedModel model = stitch_blocks(input, out.structure, out.blocks,

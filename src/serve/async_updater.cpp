@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace er {
 
 namespace {
@@ -25,6 +27,42 @@ AsyncUpdater::AsyncUpdater(UpdateFn apply, Options options)
   if (options_.version_log_cap < 2)
     throw std::invalid_argument(
         "AsyncUpdater: version_log_cap must be >= 2");
+  if (options_.registry) {
+    registry_ = options_.registry;
+  } else {
+    owned_registry_ = std::make_unique<obs::MetricsRegistry>();
+    registry_ = owned_registry_.get();
+  }
+  obs::MetricsRegistry& reg = *registry_;
+  submitted_ = &reg.counter("er_updater_mods_submitted_total", {},
+                            "Modifications accepted by submit()");
+  applied_ = &reg.counter("er_updater_mods_applied_total", {},
+                          "Modifications folded into finished updates");
+  batches_ = &reg.counter("er_updater_batches_total", {},
+                          "Worker update+publish cycles");
+  coalesced_ =
+      &reg.counter("er_updater_mods_coalesced_total", {},
+                   "Modifications merged into an already-pending batch");
+  failed_ = &reg.counter("er_updater_mods_failed_total", {},
+                         "Modifications lost to a batch whose update threw");
+  blocked_submits_ =
+      &reg.counter("er_updater_blocked_submits_total", {},
+                   "submit() calls that waited at the staleness bound");
+  rejected_ =
+      &reg.counter("er_updater_mods_rejected_total", {},
+                   "Modifications turned away by fail_fast at the bound");
+  staleness_mods_ =
+      &reg.gauge("er_updater_staleness_mods", {},
+                 "Accepted-but-unpublished modifications right now");
+  staleness_high_water_ =
+      &reg.gauge("er_updater_staleness_mods_high_water", {},
+                 "Largest staleness ever observed at a submit");
+  publish_latency_hist_ = &reg.histogram(
+      "er_updater_publish_latency_seconds", {},
+      "Submit-to-publish latency of the oldest modification per batch");
+  blocked_wait_hist_ =
+      &reg.histogram("er_updater_blocked_wait_seconds", {},
+                     "Per-blocked-submit wait at the staleness bound");
   worker_ = std::thread([this] { worker_loop(); });
 }
 
@@ -53,23 +91,24 @@ bool AsyncUpdater::submit(ConductanceNetwork network,
   if (options_.max_staleness_mods > 0 &&
       unpublished_mods_locked() + 1 > options_.max_staleness_mods) {
     if (options_.fail_fast) {
-      ++stats_.rejected;
+      rejected_->add(1);
       return false;
     }
-    ++stats_.blocked_submits;
+    blocked_submits_->add(1);
     const auto t0 = std::chrono::steady_clock::now();
     cv_idle_.wait(lock, [this] {
       return error_ != nullptr || stop_ ||
              unpublished_mods_locked() + 1 <= options_.max_staleness_mods;
     });
-    stats_.total_blocked_seconds += seconds_since(t0);
+    blocked_wait_hist_->record(seconds_since(t0));
     if (error_) std::rethrow_exception(error_);
     if (stop_)
       throw std::logic_error("AsyncUpdater::submit: updater was drained");
   }
-  ++stats_.submitted;
-  stats_.max_observed_staleness_mods =
-      std::max(stats_.max_observed_staleness_mods, unpublished_mods_locked());
+  submitted_->add(1);
+  const auto unpublished = unpublished_mods_locked();
+  staleness_mods_->set(static_cast<std::int64_t>(unpublished));
+  staleness_high_water_->max_with(static_cast<std::int64_t>(unpublished));
   if (pending_) {
     // Coalesce: the newer network is the more recent cumulative state, so
     // it replaces the pending one; the dirty sets union; the latency
@@ -82,7 +121,7 @@ bool AsyncUpdater::submit(ConductanceNetwork network,
                    dirty_blocks.end(), std::back_inserter(merged));
     pending_->dirty_blocks = std::move(merged);
     ++pending_->mods;
-    ++stats_.coalesced;
+    coalesced_->add(1);
   } else {
     pending_.emplace();
     pending_->network = std::move(network);
@@ -145,11 +184,30 @@ void AsyncUpdater::resume() {
   cv_worker_.notify_one();
 }
 
+std::uint64_t AsyncUpdater::unpublished_mods_locked() const {
+  return submitted_->value() - applied_->value() - failed_->value();
+}
+
 AsyncUpdater::Stats AsyncUpdater::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  Stats s = stats_;
+  // Materialize the view from the registry series. Consistency comes from
+  // mutex_: every mutation of these series happens with it held.
+  Stats s;
+  s.submitted = submitted_->value();
+  s.applied = applied_->value();
+  s.batches = batches_->value();
+  s.coalesced = coalesced_->value();
+  s.failed = failed_->value();
   s.pending = pending_ ? pending_->mods : 0;
   s.update_in_flight = in_flight_;
+  s.last_publish_latency_seconds = last_publish_latency_seconds_;
+  s.max_publish_latency_seconds = publish_latency_hist_->max_value();
+  s.total_publish_latency_seconds = publish_latency_hist_->sum();
+  s.blocked_submits = blocked_submits_->value();
+  s.total_blocked_seconds = blocked_wait_hist_->sum();
+  s.rejected = rejected_->value();
+  s.max_observed_staleness_mods =
+      static_cast<std::uint64_t>(staleness_high_water_->value());
   return s;
 }
 
@@ -203,17 +261,18 @@ void AsyncUpdater::worker_loop() {
       // land in Stats::failed so the accounting invariant stays exact.
       error_ = err;
       stop_ = true;
-      stats_.failed += batch.mods;
+      failed_->add(batch.mods);
+      staleness_mods_->set(
+          static_cast<std::int64_t>(unpublished_mods_locked()));
       cv_idle_.notify_all();
       return;
     }
-    stats_.applied += batch.mods;
-    ++stats_.batches;
-    stats_.last_publish_latency_seconds = latency;
-    stats_.max_publish_latency_seconds =
-        std::max(stats_.max_publish_latency_seconds, latency);
-    stats_.total_publish_latency_seconds += latency;
-    version_log_.emplace_back(version, stats_.applied);
+    applied_->add(batch.mods);
+    batches_->add(1);
+    last_publish_latency_seconds_ = latency;
+    publish_latency_hist_->record(latency);
+    staleness_mods_->set(static_cast<std::int64_t>(unpublished_mods_locked()));
+    version_log_.emplace_back(version, applied_->value());
     // Bound the log: fold the older half into the prune marker once it
     // outgrows the cap (Options::version_log_cap batches of retention —
     // the default is far beyond any realistically pinned snapshot's age).

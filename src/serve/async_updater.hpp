@@ -37,6 +37,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -46,6 +47,13 @@
 #include "util/types.hpp"
 
 namespace er {
+
+namespace obs {
+class MetricsRegistry;
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace obs
 
 /// Runs modification batches on a dedicated background thread against a
 /// caller-supplied update function. All public methods are thread-safe.
@@ -80,10 +88,21 @@ class AsyncUpdater {
     /// default is far beyond any realistically pinned snapshot's age;
     /// tests shrink it to exercise the prune boundary.
     std::size_t version_log_cap = 256;
+    /// Metrics destination (`er_updater_*` series — DESIGN.md §6). Null
+    /// (the default) gives the updater a *private* per-instance registry,
+    /// reachable via metrics(): updaters are created per serving pipeline
+    /// (benches and tests build many, sometimes concurrently), so their
+    /// counters must not silently merge in the global registry. Pass an
+    /// explicit registry to aggregate — but note the Stats view then
+    /// reports the combined stream of every updater sharing it.
+    obs::MetricsRegistry* registry = nullptr;
   };
 
   /// Counters and latency figures of the update stream so far. Snapshot
-  /// semantics: one stats() call is internally consistent.
+  /// semantics: one stats() call is internally consistent (built under the
+  /// updater's lock). This is a *view* materialized from the updater's
+  /// registry series (`er_updater_*` — DESIGN.md §6) plus the derived
+  /// pending/in-flight state; there is no parallel bookkeeping.
   struct Stats {
     std::uint64_t submitted = 0;  ///< modifications handed to submit()
     std::uint64_t applied = 0;    ///< modifications folded into finished updates
@@ -174,6 +193,12 @@ class AsyncUpdater {
 
   [[nodiscard]] Stats stats() const;
 
+  /// The registry this updater records into: the private per-instance one
+  /// unless Options::registry pointed elsewhere. Export with
+  /// obs::to_prometheus(metrics().snapshot()) or fold into a run-level
+  /// MetricsSnapshot via merge().
+  [[nodiscard]] obs::MetricsRegistry& metrics() const { return *registry_; }
+
   /// How many submitted modifications are reflected in the snapshot with
   /// the given version (monotone in `version`): the staleness of a pinned
   /// batch is stats().submitted at pin time minus mods_reflected(pinned
@@ -203,10 +228,10 @@ class AsyncUpdater {
   void worker_loop();
 
   /// Accepted-but-unpublished modifications (pending + in flight), under
-  /// the lock — the quantity Options::max_staleness_mods bounds.
-  [[nodiscard]] std::uint64_t unpublished_mods_locked() const {
-    return stats_.submitted - stats_.applied - stats_.failed;
-  }
+  /// the lock — the quantity Options::max_staleness_mods bounds. Reads the
+  /// registry counters; every mutation of them happens under mutex_, so
+  /// the difference is exact here.
+  [[nodiscard]] std::uint64_t unpublished_mods_locked() const;
 
   UpdateFn apply_;
   Options options_;
@@ -218,7 +243,28 @@ class AsyncUpdater {
   bool stop_ = false;
   bool in_flight_ = false;
   std::exception_ptr error_;
-  Stats stats_;
+  /// Backing store when Options::registry is null (declared before the
+  /// metric handles that point into it).
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* registry_ = nullptr;  ///< resolved, never null
+  // Registry-backed series (pointers cached at construction). All
+  // mutations happen with mutex_ held, which is what makes stats() and
+  // the back-pressure arithmetic exact; the registry itself would permit
+  // lock-free recording.
+  obs::Counter* submitted_ = nullptr;
+  obs::Counter* applied_ = nullptr;
+  obs::Counter* batches_ = nullptr;
+  obs::Counter* coalesced_ = nullptr;
+  obs::Counter* failed_ = nullptr;
+  obs::Counter* blocked_submits_ = nullptr;
+  obs::Counter* rejected_ = nullptr;
+  obs::Gauge* staleness_mods_ = nullptr;
+  obs::Gauge* staleness_high_water_ = nullptr;
+  obs::Histogram* publish_latency_hist_ = nullptr;
+  obs::Histogram* blocked_wait_hist_ = nullptr;
+  /// Latest batch's latency — kept as a plain member because a histogram
+  /// aggregates and cannot answer "most recent sample".
+  double last_publish_latency_seconds_ = 0.0;
   /// (published version, cumulative modifications applied through it) per
   /// batch, in publish order (strictly increasing versions) — the
   /// mods_reflected() lookup table. Bounded: when it outgrows

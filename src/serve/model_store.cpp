@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace er {
 
 namespace {
@@ -14,10 +16,20 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 
 }  // namespace
 
+ModelStore::ModelStore(obs::MetricsRegistry* registry) {
+  obs::MetricsRegistry& reg = obs::registry_or_global(registry);
+  publishes_total_ = &reg.counter("er_store_publishes_total", {},
+                                  "Snapshots published to the store");
+  current_version_gauge_ =
+      &reg.gauge("er_store_current_version", {},
+                 "Version of the currently-published snapshot");
+}
+
 void ModelStore::publish(SnapshotPtr snapshot) {
   if (!snapshot)
     throw std::invalid_argument("ModelStore::publish: null snapshot");
   const auto now = std::chrono::steady_clock::now();
+  const auto version = snapshot->version();
   // Swap under the lock, destroy outside it: if this publish drops the last
   // reference to the displaced snapshot, its (large) teardown must not
   // stall concurrent acquire() calls — the critical section stays a
@@ -25,12 +37,14 @@ void ModelStore::publish(SnapshotPtr snapshot) {
   SnapshotPtr displaced;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    publish_log_.emplace_back(snapshot->version(), now);
+    publish_log_.emplace_back(version, now);
     if (publish_log_.size() > kPublishLogCap) publish_log_.pop_front();
     displaced = std::move(current_);
     current_ = std::move(snapshot);
     ++publish_count_;
   }
+  publishes_total_->add(1);
+  current_version_gauge_->set(static_cast<std::int64_t>(version));
 }
 
 SnapshotPtr ModelStore::acquire() const {

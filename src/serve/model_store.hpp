@@ -25,13 +25,26 @@
 
 namespace er {
 
+namespace obs {
+class MetricsRegistry;
+class Counter;
+class Gauge;
+}  // namespace obs
+
 using SnapshotPtr = std::shared_ptr<const ModelSnapshot>;
 
 /// Thread-safe holder of the current snapshot. All methods may be called
 /// concurrently from any thread; the store never blocks on query work (the
 /// critical section is a pointer swap plus O(1) bookkeeping).
+///
+/// Observability (DESIGN.md §6): each publish bumps
+/// `er_store_publishes_total` and sets the `er_store_current_version`
+/// gauge, so an exporter sees version progress without polling the probe
+/// methods.
 class ModelStore {
  public:
+  /// Metrics go to `registry` (null = the process-wide global registry).
+  explicit ModelStore(obs::MetricsRegistry* registry = nullptr);
   /// Atomically replace the current snapshot. Null snapshots are rejected.
   /// The publish instant is recorded per version (bounded log) for the
   /// age probes below.
@@ -78,6 +91,8 @@ class ModelStore {
   mutable std::mutex mutex_;
   SnapshotPtr current_;
   std::uint64_t publish_count_ = 0;
+  obs::Counter* publishes_total_;  ///< registry-backed, set at construction
+  obs::Gauge* current_version_gauge_;
   /// (version, publish instant) per publish, newest last; bounded by
   /// kPublishLogCap. Versions need not be monotone for generic writers —
   /// lookups scan newest-first so a republished version reports its most

@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -12,6 +13,42 @@ namespace er {
 namespace {
 
 constexpr real_t kNaN = std::numeric_limits<real_t>::quiet_NaN();
+
+/// Per-route-mode registry handles, resolved once per batch (registration
+/// is get-or-create, so repeated batches hit the same series). Recording
+/// through them is lock-free.
+struct ServeMetrics {
+  obs::Counter& batches;
+  obs::Counter& queries;
+  obs::Counter& invalid;
+  obs::Counter& same_block;
+  obs::Counter& cross_block;
+  obs::Counter& engine_answered;
+  obs::Histogram& query_latency;
+  obs::Histogram& batch_seconds;
+};
+
+ServeMetrics serve_metrics(obs::MetricsRegistry& reg, RouteMode mode) {
+  const obs::Labels labels{{"mode", to_string(mode)}};
+  return ServeMetrics{
+      reg.counter("er_serve_batches_total", labels,
+                  "Query batches answered"),
+      reg.counter("er_serve_queries_total", labels, "Queries answered"),
+      reg.counter("er_serve_invalid_queries_total", labels,
+                  "Queries with unmapped/eliminated endpoints (answer NaN)"),
+      reg.counter("er_serve_same_block_queries_total", labels,
+                  "Queries with both endpoints in one block"),
+      reg.counter("er_serve_cross_block_queries_total", labels,
+                  "Queries spanning two blocks"),
+      reg.counter("er_serve_engine_answered_total", labels,
+                  "Queries served by a resident block-local engine"),
+      reg.histogram("er_query_latency_seconds", labels,
+                    "Per-query wall-clock latency (compute only; queue "
+                    "wait is er_pool_task_queue_wait_seconds)"),
+      reg.histogram("er_query_batch_seconds", labels,
+                    "Whole-batch wall-clock latency"),
+  };
+}
 
 /// Evaluate one query on the exact paths (sharded or monolithic), counting
 /// routing diagnostics into the chunk's counters.
@@ -50,7 +87,9 @@ const char* to_string(RouteMode m) {
   return "?";
 }
 
-QueryFrontEnd::QueryFrontEnd(const ModelStore* store) : store_(store) {
+QueryFrontEnd::QueryFrontEnd(const ModelStore* store,
+                             obs::MetricsRegistry* registry)
+    : store_(store), registry_(&obs::registry_or_global(registry)) {
   if (!store_)
     throw std::invalid_argument("QueryFrontEnd: null ModelStore");
 }
@@ -63,14 +102,17 @@ std::vector<real_t> QueryFrontEnd::answer(const std::vector<PortQuery>& batch,
   const SnapshotPtr snap = store_->acquire();
   if (!snap)
     throw std::runtime_error("QueryFrontEnd::answer: nothing published yet");
-  return answer_on(*snap, batch, pool, mode, stats);
+  return answer_on(*snap, batch, pool, mode, stats, registry_);
 }
 
 std::vector<real_t> QueryFrontEnd::answer_on(const ModelSnapshot& snap,
                                              const std::vector<PortQuery>& batch,
                                              ThreadPool* pool, RouteMode mode,
-                                             BatchStats* stats) {
+                                             BatchStats* stats,
+                                             obs::MetricsRegistry* registry) {
   Timer timer;
+  ServeMetrics metrics =
+      serve_metrics(obs::registry_or_global(registry), mode);
   const auto n = static_cast<index_t>(batch.size());
   std::vector<real_t> out(batch.size(), 0.0);
   std::atomic<std::size_t> invalid{0}, same_block{0}, cross_block{0},
@@ -113,9 +155,16 @@ std::vector<real_t> QueryFrontEnd::answer_on(const ModelSnapshot& snap,
               snap.block_local_id(snap.reduced_id(query.q)));
         }
         std::vector<real_t> answers(local.size(), 0.0);
+        Timer bucket_timer;
         snap.block_engine(b)->resistances_into(local, answers);
-        for (std::size_t j = 0; j < ids.size(); ++j)
+        // The engine answers the bucket as one batched solve; attribute
+        // the mean per-query share to each query's latency sample.
+        const double per_query =
+            bucket_timer.seconds() / static_cast<double>(local.size());
+        for (std::size_t j = 0; j < ids.size(); ++j) {
           out[static_cast<std::size_t>(ids[j])] = answers[j];
+          metrics.query_latency.record(per_query);
+        }
         same_block += ids.size();
         engine_answered += ids.size();
       }
@@ -129,15 +178,25 @@ std::vector<real_t> QueryFrontEnd::answer_on(const ModelSnapshot& snap,
     std::size_t inv = 0, same = 0, cross = 0;
     for (index_t i = lo; i < hi; ++i) {
       if (!pending.empty() && !pending[static_cast<std::size_t>(i)]) continue;
+      Timer query_timer;
       out[static_cast<std::size_t>(i)] =
           answer_exact(snap, batch[static_cast<std::size_t>(i)], monolithic,
                        ws, inv, same, cross);
+      metrics.query_latency.record(query_timer.seconds());
     }
     invalid += inv;
     same_block += same;
     cross_block += cross;
   });
 
+  const double batch_seconds = timer.seconds();
+  metrics.batches.add(1);
+  metrics.queries.add(batch.size());
+  metrics.invalid.add(invalid.load());
+  metrics.same_block.add(same_block.load());
+  metrics.cross_block.add(cross_block.load());
+  metrics.engine_answered.add(engine_answered.load());
+  metrics.batch_seconds.record(batch_seconds);
   if (stats) {
     stats->queries = batch.size();
     stats->invalid = invalid.load();
@@ -145,7 +204,7 @@ std::vector<real_t> QueryFrontEnd::answer_on(const ModelSnapshot& snap,
     stats->cross_block = cross_block.load();
     stats->engine_answered = engine_answered.load();
     stats->snapshot_version = snap.version();
-    stats->seconds = timer.seconds();
+    stats->seconds = batch_seconds;
   }
   return out;
 }

@@ -19,6 +19,10 @@ namespace er {
 
 class ThreadPool;
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 /// What a PortQuery asks for.
 enum class QueryKind {
   kResponse,    ///< Z(p, q) = e_q^T G^{-1} e_p (transfer impedance)
@@ -49,7 +53,13 @@ enum class RouteMode {
 
 const char* to_string(RouteMode m);
 
-/// Per-batch diagnostics.
+/// Per-batch diagnostics, filled by answer()/answer_on() for the one
+/// batch that produced them. The same figures are simultaneously streamed
+/// into the metrics registry as cumulative counters and latency
+/// histograms per route mode (`er_serve_*{mode=...}`,
+/// `er_query_latency_seconds{mode=...}`, `er_query_batch_seconds{mode=
+/// ...}` — DESIGN.md §6), so BatchStats stays the per-call view while the
+/// registry carries the process-lifetime aggregates.
 struct BatchStats {
   std::size_t queries = 0;
   std::size_t invalid = 0;          ///< unmapped / out-of-range endpoints
@@ -65,8 +75,10 @@ struct BatchStats {
 /// current at its start and is unaffected by publishes that race with it.
 class QueryFrontEnd {
  public:
-  /// `store` must outlive the front-end.
-  explicit QueryFrontEnd(const ModelStore* store);
+  /// `store` must outlive the front-end. Metrics go to `registry`
+  /// (null = the process-wide global registry).
+  explicit QueryFrontEnd(const ModelStore* store,
+                         obs::MetricsRegistry* registry = nullptr);
 
   /// Answer a batch against the currently-published snapshot. Throws
   /// std::runtime_error if nothing has been published yet.
@@ -76,13 +88,15 @@ class QueryFrontEnd {
                                            BatchStats* stats = nullptr) const;
 
   /// Answer a batch against an explicitly pinned snapshot (tests, replay).
+  /// Metrics go to `registry` (null = the global registry).
   [[nodiscard]] static std::vector<real_t> answer_on(
       const ModelSnapshot& snapshot, const std::vector<PortQuery>& batch,
       ThreadPool* pool = nullptr, RouteMode mode = RouteMode::kSharded,
-      BatchStats* stats = nullptr);
+      BatchStats* stats = nullptr, obs::MetricsRegistry* registry = nullptr);
 
  private:
   const ModelStore* store_;
+  obs::MetricsRegistry* registry_;  ///< resolved, never null
 };
 
 }  // namespace er

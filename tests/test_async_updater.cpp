@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "pg/incremental.hpp"
 #include "reduction/pipeline.hpp"
 #include "serve/async_updater.hpp"
@@ -640,6 +641,86 @@ TEST(AsyncUpdater, ConcurrentStreamsKeepPinnedVersionsBitConsistent) {
   const auto got = QueryFrontEnd::answer_on(*published, batch);
   for (std::size_t i = 0; i < want.size(); ++i)
     ASSERT_EQ(want[i], got[i]) << "query " << i;
+}
+
+// Stats is a thin view over the updater's registry (er_updater_* —
+// DESIGN.md §6): both must report the same stream. Also pins the
+// registry-scoping contract — per-instance private registries by default,
+// an explicit shared registry on request.
+TEST(AsyncUpdater, RegistryIsTheStatsSourceOfTruth) {
+  const ServeCase c = make_case(16, 16, 24, 331);
+  ReductionOptions opts;
+  opts.num_blocks = 4;
+  ModelStore store;
+  IncrementalReducer reducer(c.net, c.ports, opts);
+  reducer.attach_store(&store);
+
+  {
+    AsyncUpdater updater(bind_reducer(reducer));
+    updater.pause();  // coalesce all three mods into one batch
+    ConductanceNetwork current = c.net;
+    for (int u = 1; u <= 3; ++u) {
+      const GridModification mod = random_modification(
+          reducer.structure().num_blocks, 0.3, 1.2,
+          static_cast<std::uint64_t>(900 + u));
+      current = apply_modification(current, reducer.structure(), mod);
+      updater.submit(current, mod.dirty_blocks);
+    }
+    updater.flush();
+
+    const AsyncUpdater::Stats s = updater.stats();
+    const obs::MetricsSnapshot snap = updater.metrics().snapshot();
+    const auto counter = [&snap](const char* name) {
+      const obs::MetricSnapshot* m = snap.find(name);
+      return m ? m->counter : ~std::uint64_t{0};
+    };
+    EXPECT_EQ(counter("er_updater_mods_submitted_total"), s.submitted);
+    EXPECT_EQ(counter("er_updater_mods_applied_total"), s.applied);
+    EXPECT_EQ(counter("er_updater_batches_total"), s.batches);
+    EXPECT_EQ(counter("er_updater_mods_coalesced_total"), s.coalesced);
+    EXPECT_EQ(counter("er_updater_mods_failed_total"), s.failed);
+    EXPECT_EQ(counter("er_updater_blocked_submits_total"),
+              s.blocked_submits);
+    EXPECT_EQ(counter("er_updater_mods_rejected_total"), s.rejected);
+
+    const obs::MetricSnapshot* lat =
+        snap.find("er_updater_publish_latency_seconds");
+    ASSERT_NE(lat, nullptr);
+    EXPECT_EQ(lat->histogram.count, s.batches);
+    EXPECT_DOUBLE_EQ(lat->histogram.sum, s.total_publish_latency_seconds);
+    EXPECT_DOUBLE_EQ(lat->histogram.max, s.max_publish_latency_seconds);
+
+    EXPECT_EQ(snap.find("er_updater_staleness_mods")->gauge, 0);  // flushed
+    EXPECT_EQ(static_cast<std::uint64_t>(
+                  snap.find("er_updater_staleness_mods_high_water")->gauge),
+              s.max_observed_staleness_mods);
+
+    // Default scoping: a second updater gets its *own* registry with a
+    // clean slate — concurrent pipelines never merge by accident.
+    AsyncUpdater other(bind_reducer(reducer));
+    EXPECT_NE(&updater.metrics(), &other.metrics());
+    EXPECT_EQ(other.metrics()
+                  .snapshot()
+                  .find("er_updater_mods_submitted_total")
+                  ->counter,
+              0u);
+  }
+
+  // Opt-in aggregation: an explicit registry receives the series instead
+  // of a private one.
+  obs::MetricsRegistry shared;
+  {
+    AsyncUpdater::Options o;
+    o.registry = &shared;
+    AsyncUpdater updater(bind_reducer(reducer), o);
+    EXPECT_EQ(&updater.metrics(), &shared);
+    updater.submit(c.net, {0});
+    updater.flush();
+  }
+  EXPECT_EQ(
+      shared.snapshot().find("er_updater_mods_submitted_total")->counter,
+      1u);
+  EXPECT_EQ(shared.snapshot().find("er_updater_batches_total")->counter, 1u);
 }
 
 }  // namespace

@@ -1,0 +1,321 @@
+// Tests for the observability layer (src/obs/, DESIGN.md §6): lock-free
+// counters/gauges/histograms, bucket-boundary and quantile semantics
+// (against the exact sorted-vector oracle in util/stats.hpp), registry
+// get-or-create identity, snapshot merge, Prometheus golden output, trace
+// spans and the bounded trace ring. The concurrent cases are the TSan
+// targets: recording and snapshotting race by design and must stay clean.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/stats.hpp"
+
+namespace er::obs {
+namespace {
+
+TEST(ObsCounter, AddAndWraparound) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Documented modulo-2^64 wraparound: never UB, never a trap.
+  c.add(std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(c.value(), 41u);
+}
+
+TEST(ObsGauge, SetAddMaxWith) {
+  Gauge g;
+  g.set(7);
+  EXPECT_EQ(g.value(), 7);
+  g.add(-10);
+  EXPECT_EQ(g.value(), -3);
+  g.max_with(5);
+  EXPECT_EQ(g.value(), 5);
+  g.max_with(2);  // monotone: lower values never win
+  EXPECT_EQ(g.value(), 5);
+}
+
+TEST(ObsHistogram, BucketBoundarySemantics) {
+  // Bucket i covers (bounds[i-1], bounds[i]]: a sample exactly on a bound
+  // lands in that bound's bucket (Prometheus "le" semantics).
+  Histogram h({1.0, 2.0, 4.0});
+  h.record(1.0);   // bucket 0
+  h.record(0.5);   // bucket 0
+  h.record(1.5);   // bucket 1
+  h.record(4.0);   // bucket 2
+  h.record(4.001); // overflow
+  const HistogramSnapshot s = h.snapshot();
+  ASSERT_EQ(s.buckets.size(), 4u);
+  EXPECT_EQ(s.buckets[0], 2u);
+  EXPECT_EQ(s.buckets[1], 1u);
+  EXPECT_EQ(s.buckets[2], 1u);
+  EXPECT_EQ(s.buckets[3], 1u);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.sum, 1.0 + 0.5 + 1.5 + 4.0 + 4.001);
+  EXPECT_DOUBLE_EQ(s.max, 4.001);
+}
+
+TEST(ObsHistogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(ObsHistogram, EmptyQuantileIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.snapshot().quantile(0.5), 0.0);
+  EXPECT_EQ(h.snapshot().quantile(0.99), 0.0);
+  EXPECT_EQ(h.snapshot().mean(), 0.0);
+}
+
+TEST(ObsHistogram, QuantileMatchesSortedOracleWithinBucketError) {
+  // Deterministic skewed sample set over the default power-of-two latency
+  // buckets; the documented bound is <= 2x relative error against the
+  // exact sorted-vector quantile.
+  Histogram h;
+  std::vector<double> samples;
+  std::uint64_t x = 0x243f6a8885a308d3ULL;
+  for (int i = 0; i < 5000; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    // Log-uniform-ish latencies from ~1us to ~1s.
+    const int k = static_cast<int>((x >> 33) % 20);
+    const double frac =
+        static_cast<double>((x >> 11) & 0x3fffff) / 4194304.0;
+    const double v = 1e-6 * (1 << k) * (1.0 + frac);
+    samples.push_back(v);
+    h.record(v);
+  }
+  const HistogramSnapshot s = h.snapshot();
+  for (const double q : {0.5, 0.9, 0.95, 0.99}) {
+    const double exact = er::quantile(samples, q);
+    const double approx = s.quantile(q);
+    ASSERT_GT(exact, 0.0);
+    EXPECT_GE(approx, exact / 2.0) << "q=" << q;
+    EXPECT_LE(approx, exact * 2.0) << "q=" << q;
+  }
+}
+
+TEST(ObsHistogram, OverflowQuantileReportsObservedMax) {
+  Histogram h({1.0});
+  h.record(100.0);
+  h.record(250.0);
+  EXPECT_DOUBLE_EQ(h.snapshot().quantile(0.99), 250.0);
+  EXPECT_DOUBLE_EQ(h.snapshot().quantile(0.5), 250.0);
+}
+
+TEST(ObsRegistry, GetOrCreateIdentityAndLabelDistinction) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x_total");
+  Counter& b = reg.counter("x_total");
+  EXPECT_EQ(&a, &b);
+  // Label order is irrelevant; label *content* distinguishes series.
+  Counter& l1 = reg.counter("y_total", {{"a", "1"}, {"b", "2"}});
+  Counter& l2 = reg.counter("y_total", {{"b", "2"}, {"a", "1"}});
+  Counter& l3 = reg.counter("y_total", {{"a", "other"}});
+  EXPECT_EQ(&l1, &l2);
+  EXPECT_NE(&l1, &l3);
+  // Histograms: bounds of a re-request are ignored, instance is shared.
+  Histogram& h1 = reg.histogram("z_seconds", {}, "", {1.0, 2.0});
+  Histogram& h2 = reg.histogram("z_seconds", {}, "", {5.0});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds().size(), 2u);
+}
+
+TEST(ObsRegistry, KindMismatchThrows) {
+  MetricsRegistry reg;
+  reg.counter("m");
+  EXPECT_THROW(reg.gauge("m"), std::logic_error);
+  EXPECT_THROW(reg.histogram("m"), std::logic_error);
+  reg.gauge("g");
+  EXPECT_THROW(reg.counter("g"), std::logic_error);
+}
+
+TEST(ObsRegistry, SnapshotFindAndMerge) {
+  MetricsRegistry a, b;
+  a.counter("c_total").add(3);
+  b.counter("c_total").add(4);
+  a.gauge("g").set(10);
+  b.gauge("g").set(7);  // merge keeps the high-water maximum
+  a.histogram("h_seconds", {}, "", {1.0, 2.0}).record(0.5);
+  b.histogram("h_seconds", {}, "", {1.0, 2.0}).record(1.5);
+  b.counter("only_b_total", {{"k", "v"}}).add(9);
+
+  MetricsSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  ASSERT_NE(merged.find("c_total"), nullptr);
+  EXPECT_EQ(merged.find("c_total")->counter, 7u);
+  EXPECT_EQ(merged.find("g")->gauge, 10);
+  const MetricSnapshot* h = merged.find("h_seconds");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->histogram.count, 2u);
+  EXPECT_EQ(h->histogram.buckets[0], 1u);
+  EXPECT_EQ(h->histogram.buckets[1], 1u);
+  const MetricSnapshot* ob = merged.find("only_b_total", {{"k", "v"}});
+  ASSERT_NE(ob, nullptr);
+  EXPECT_EQ(ob->counter, 9u);
+  // Merge preserved (name, labels) ordering for deterministic exports.
+  for (std::size_t i = 1; i < merged.entries.size(); ++i)
+    EXPECT_LT(merged.entries[i - 1].name + "|",
+              merged.entries[i].name + "|");
+}
+
+TEST(ObsExport, PrometheusGolden) {
+  MetricsRegistry reg;
+  reg.counter("t_count_total", {{"mode", "x"}}, "Things counted").add(3);
+  reg.gauge("t_depth").set(-2);
+  Histogram& h = reg.histogram("t_lat_seconds", {}, "Latency", {1.0, 2.0});
+  h.record(0.5);
+  h.record(2.0);
+  h.record(3.0);
+  const std::string got = to_prometheus(reg.snapshot());
+  const std::string want =
+      "# HELP t_count_total Things counted\n"
+      "# TYPE t_count_total counter\n"
+      "t_count_total{mode=\"x\"} 3\n"
+      "# TYPE t_depth gauge\n"
+      "t_depth -2\n"
+      "# HELP t_lat_seconds Latency\n"
+      "# TYPE t_lat_seconds histogram\n"
+      "t_lat_seconds_bucket{le=\"1\"} 1\n"
+      "t_lat_seconds_bucket{le=\"2\"} 2\n"
+      "t_lat_seconds_bucket{le=\"+Inf\"} 3\n"
+      "t_lat_seconds_sum 5.5\n"
+      "t_lat_seconds_count 3\n";
+  EXPECT_EQ(got, want);
+}
+
+TEST(ObsExport, BenchJsonCarriesPercentiles) {
+  MetricsRegistry reg;
+  reg.histogram("q_seconds", {{"mode", "sharded"}}).record(1e-4);
+  reg.counter("n_total").add(2);
+  const std::string json = to_bench_json(reg.snapshot());
+  EXPECT_NE(json.find("\"q_seconds{mode=sharded}_p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"q_seconds{mode=sharded}_count\": 1"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"n_total\": 2"), std::string::npos);
+}
+
+// The TSan target: concurrent recording into one histogram while another
+// thread keeps snapshotting. The final tallies must be exact, and every
+// mid-flight snapshot must satisfy count == sum(buckets) (the exporter
+// invariant the snapshot clamp guarantees).
+TEST(ObsConcurrency, HistogramRecordAndSnapshotRace) {
+  for (const int threads : {1, 2, 4, 8}) {
+    MetricsRegistry reg;
+    Histogram& h = reg.histogram("race_seconds");
+    constexpr int kPerThread = 4000;
+    std::atomic<bool> done{false};
+    std::thread snapshotter([&] {
+      while (!done.load(std::memory_order_relaxed)) {
+        const HistogramSnapshot s = h.snapshot();
+        std::uint64_t total = 0;
+        for (const std::uint64_t b : s.buckets) total += b;
+        ASSERT_EQ(s.count, total);
+      }
+    });
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t)
+      workers.emplace_back([&h, t] {
+        // Exact-power-of-two sample values: every partial sum is an
+        // integer multiple of 2^-20 well below 2^53, so double summation
+        // is exact in any interleaving and the final sum check is an
+        // equality, not a tolerance.
+        const double v = std::ldexp(1.0, (t % 8) - 20);
+        for (int i = 0; i < kPerThread; ++i) h.record(v);
+      });
+    for (auto& w : workers) w.join();
+    done.store(true, std::memory_order_relaxed);
+    snapshotter.join();
+
+    const HistogramSnapshot s = h.snapshot();
+    EXPECT_EQ(s.count, static_cast<std::uint64_t>(threads) * kPerThread);
+    double want_sum = 0.0;
+    for (int t = 0; t < threads; ++t)
+      want_sum += kPerThread * std::ldexp(1.0, (t % 8) - 20);
+    EXPECT_DOUBLE_EQ(s.sum, want_sum);
+  }
+}
+
+TEST(ObsConcurrency, CountersAndGaugesAreExactUnderContention) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("hits_total");
+  Gauge& g = reg.gauge("depth");
+  Gauge& hw = reg.gauge("high_water");
+  constexpr int kThreads = 8;
+  constexpr int kOps = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kOps; ++i) {
+        c.add(1);
+        g.add(1);
+        g.add(-1);
+        hw.max_with(t * kOps + i);
+      }
+    });
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kOps);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(hw.value(), (kThreads - 1) * kOps + kOps - 1);
+}
+
+// Registration itself races: get-or-create from many threads must hand
+// every caller the same instance and count every add exactly once.
+TEST(ObsConcurrency, ConcurrentRegistration) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kOps = 1000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([&reg] {
+      for (int i = 0; i < kOps; ++i)
+        reg.counter("shared_total", {{"k", "v"}}).add(1);
+    });
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(reg.counter("shared_total", {{"k", "v"}}).value(),
+            static_cast<std::uint64_t>(kThreads) * kOps);
+}
+
+TEST(ObsTrace, SpansFeedStageHistogramAndBoundedRing) {
+  Histogram& stage = stage_histogram("obs_test_stage");
+  const std::uint64_t before = stage.count();
+  TraceRing::global().set_capacity(4);
+  for (int i = 0; i < 10; ++i) {
+    OBS_SPAN("obs_test_stage", i);
+  }
+  EXPECT_EQ(stage.count(), before + 10);
+  const std::vector<SpanRecord> recent = TraceRing::global().recent();
+  ASSERT_EQ(recent.size(), 4u);  // bounded: oldest spans dropped
+  // Oldest-first retention of the *last* four spans.
+  for (std::size_t i = 0; i < recent.size(); ++i) {
+    EXPECT_STREQ(recent[i].stage, "obs_test_stage");
+    EXPECT_EQ(recent[i].id, static_cast<std::int64_t>(6 + i));
+    EXPECT_GE(recent[i].duration_seconds, 0.0);
+  }
+  TraceRing::global().set_capacity(0);  // restore the default-off state
+  EXPECT_TRUE(TraceRing::global().recent().empty());
+}
+
+TEST(ObsTrace, DisabledRingRetainsNothing) {
+  TraceRing::global().set_capacity(0);
+  const Histogram& stage = stage_histogram("obs_test_stage2");
+  {
+    OBS_SPAN("obs_test_stage2");
+  }
+  EXPECT_TRUE(TraceRing::global().recent().empty());
+  // The aggregate histogram still records even with the ring off.
+  EXPECT_EQ(stage.count(), 1u);
+}
+
+}  // namespace
+}  // namespace er::obs

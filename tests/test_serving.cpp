@@ -8,11 +8,13 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <map>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "pg/analysis.hpp"
 #include "pg/incremental.hpp"
 #include "reduction/pipeline.hpp"
@@ -387,6 +389,75 @@ TEST(Serving, ConcurrentPublishWhileQuerying) {
   EXPECT_EQ(store.publish_count(),
             static_cast<std::uint64_t>(kUpdates) + 1);
   EXPECT_NE(versions_seen.load(), 0u);
+}
+
+// The registry series (er_serve_*, er_query_* — DESIGN.md §6) must agree
+// with the legacy per-batch BatchStats view: same events, two windows
+// (per-call vs process-lifetime aggregate). Any drift means one of the
+// two bookkeeping paths missed an event.
+TEST(QueryFrontEnd, RegistryAggregatesMatchBatchStats) {
+  const ServeCase c = make_case(20, 20, 48, 77);
+  ReductionOptions opts;
+  opts.num_blocks = 6;
+  const ReductionArtifacts art =
+      reduce_network_artifacts(c.net, c.ports, opts);
+  ModelStore store;
+  store.publish(ModelSnapshot::build(art));
+
+  obs::MetricsRegistry reg;
+  const QueryFrontEnd frontend(&store, &reg);
+  const auto kept = kept_originals(*art.model);
+  BatchStats s1, s2, s3;
+  (void)frontend.answer(mixed_batch(kept, 150, 5), nullptr,
+                        RouteMode::kSharded, &s1);
+  (void)frontend.answer(mixed_batch(kept, 250, 6), nullptr,
+                        RouteMode::kSharded, &s2);
+  (void)frontend.answer(mixed_batch(kept, 100, 7), nullptr,
+                        RouteMode::kMonolithic, &s3);
+
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  const auto counter = [&snap](const char* name, const char* mode) {
+    const obs::MetricSnapshot* m =
+        snap.find(name, {{"mode", mode}});
+    return m ? m->counter : std::uint64_t{0};
+  };
+  // Sharded series aggregate exactly the two sharded batches...
+  EXPECT_EQ(counter("er_serve_batches_total", "sharded"), 2u);
+  EXPECT_EQ(counter("er_serve_queries_total", "sharded"),
+            s1.queries + s2.queries);
+  EXPECT_EQ(counter("er_serve_invalid_queries_total", "sharded"),
+            s1.invalid + s2.invalid);
+  EXPECT_EQ(counter("er_serve_same_block_queries_total", "sharded"),
+            s1.same_block + s2.same_block);
+  EXPECT_EQ(counter("er_serve_cross_block_queries_total", "sharded"),
+            s1.cross_block + s2.cross_block);
+  // ...and the monolithic batch lands only in its own labeled series.
+  EXPECT_EQ(counter("er_serve_batches_total", "monolithic"), 1u);
+  EXPECT_EQ(counter("er_serve_queries_total", "monolithic"), s3.queries);
+
+  // Every query records exactly one latency sample; every batch exactly
+  // one batch-duration sample whose total tracks BatchStats::seconds.
+  const obs::MetricSnapshot* lat =
+      snap.find("er_query_latency_seconds", {{"mode", "sharded"}});
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->histogram.count, s1.queries + s2.queries);
+  const obs::MetricSnapshot* batch_h =
+      snap.find("er_query_batch_seconds", {{"mode", "sharded"}});
+  ASSERT_NE(batch_h, nullptr);
+  EXPECT_EQ(batch_h->histogram.count, 2u);
+  EXPECT_NEAR(batch_h->histogram.sum, s1.seconds + s2.seconds,
+              0.5 * (s1.seconds + s2.seconds) + 1e-6);
+
+  // The store instrumented with its own registry reports its publishes.
+  obs::MetricsRegistry store_reg;
+  ModelStore counted(&store_reg);
+  counted.publish(ModelSnapshot::build(art));
+  const obs::MetricsSnapshot store_snap = store_reg.snapshot();
+  ASSERT_NE(store_snap.find("er_store_publishes_total"), nullptr);
+  EXPECT_EQ(store_snap.find("er_store_publishes_total")->counter,
+            counted.publish_count());
+  EXPECT_EQ(store_snap.find("er_store_current_version")->gauge,
+            static_cast<std::int64_t>(counted.current_version().value()));
 }
 
 }  // namespace

@@ -13,6 +13,8 @@ import sys
 COMMON_FIELDS = {
     "bench", "case", "mode", "threads", "queries",
     "reduced_nodes", "boundary_nodes", "blocks",
+    # Registry-derived per-query latency percentiles (PR 6).
+    "query_latency_p50_us", "query_latency_p95_us", "query_latency_p99_us",
 }
 
 # Fields every row of the given mode must carry (bench/README.md).
@@ -20,6 +22,9 @@ MODE_FIELDS = {
     "churn": COMMON_FIELDS | {
         "mods_submitted", "update_batches", "mods_coalesced",
         "publish_latency_mean_seconds", "publish_latency_max_seconds",
+        # Registry-derived publish-latency percentiles (PR 6).
+        "publish_latency_p50_ms", "publish_latency_p95_ms",
+        "publish_latency_p99_ms",
         "staleness_mean_mods", "staleness_max_mods",
         "staleness_mean_versions", "staleness_max_versions",
         "queries_per_second", "churn_wall_seconds",

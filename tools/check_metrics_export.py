@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition dump from bench_serving --metrics.
+
+CI runs this on the metrics dump of the churn smoke run so a rename or a
+broken exporter in src/obs/ fails the pipeline instead of a downstream
+scrape. Checks:
+
+  * the serving-stack metric families are present (query/publish latency
+    histograms, staleness + queue-depth gauges, publish counter, trace
+    spans),
+  * every histogram's cumulative buckets are monotone non-decreasing and
+    end in a "+Inf" bucket that equals <family>_count,
+  * every family carries a # TYPE line matching how it is used.
+
+usage: check_metrics_export.py METRICS.prom
+"""
+import re
+import sys
+
+# (family, expected type). The span family is labeled per stage; one stage
+# from each half of the pipeline is pinned so partial instrumentation
+# can't pass.
+REQUIRED = [
+    ("er_query_latency_seconds", "histogram"),
+    ("er_query_batch_seconds", "histogram"),
+    ("er_updater_publish_latency_seconds", "histogram"),
+    ("er_updater_staleness_mods", "gauge"),
+    ("er_updater_staleness_mods_high_water", "gauge"),
+    ("er_updater_mods_submitted_total", "counter"),
+    ("er_pool_queue_depth", "gauge"),
+    ("er_pool_task_queue_wait_seconds", "histogram"),
+    ("er_pool_task_run_seconds", "histogram"),
+    ("er_store_publishes_total", "counter"),
+    ("er_reducer_publish_seconds", "histogram"),
+    ("er_span_seconds", "histogram"),
+]
+REQUIRED_SPAN_STAGES = {"reduce", "stitch", "publish"}
+
+SAMPLE_RE = re.compile(
+    r'^(?P<name>[A-Za-z_:][A-Za-z0-9_:]*)'
+    r'(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$')
+
+
+def parse_labels(text):
+    if not text:
+        return {}
+    out = {}
+    for part in text.split(","):
+        key, _, value = part.partition("=")
+        out[key.strip()] = value.strip().strip('"')
+    return out
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    types = {}
+    # samples: (name, frozen labels) -> float value, in file order per key.
+    samples = []
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line or line.startswith("# HELP"):
+                continue
+            if line.startswith("# TYPE"):
+                _, _, name, kind = line.split(None, 3)
+                types[name] = kind
+                continue
+            m = SAMPLE_RE.match(line)
+            if not m:
+                print(f"{path}:{lineno}: unparseable sample line: {line!r}",
+                      file=sys.stderr)
+                return 1
+            value = float("nan") if m.group("value") == "null" else float(
+                m.group("value"))
+            samples.append((m.group("name"),
+                            parse_labels(m.group("labels")), value))
+
+    ok = True
+    names = {name for name, _, _ in samples}
+
+    for family, kind in REQUIRED:
+        if types.get(family) != kind:
+            print(f"{path}: family {family!r} missing or not typed "
+                  f"{kind!r} (got {types.get(family)!r})", file=sys.stderr)
+            ok = False
+            continue
+        expected = {family} if kind != "histogram" else {
+            family + "_bucket", family + "_sum", family + "_count"}
+        missing = expected - names
+        if missing:
+            print(f"{path}: family {family!r} lacks samples {sorted(missing)}",
+                  file=sys.stderr)
+            ok = False
+
+    span_stages = {labels.get("stage")
+                   for name, labels, _ in samples
+                   if name == "er_span_seconds_count"}
+    missing_stages = REQUIRED_SPAN_STAGES - span_stages
+    if missing_stages:
+        print(f"{path}: er_span_seconds lacks stages "
+              f"{sorted(missing_stages)} (has {sorted(span_stages)})",
+              file=sys.stderr)
+        ok = False
+
+    # Histogram sanity: per (family, non-le labels), buckets are cumulative
+    # (monotone in file order), finish with le="+Inf", and +Inf == _count.
+    buckets = {}   # (family, labels-key) -> [(le, value)...]
+    counts = {}    # (family, labels-key) -> count value
+    for name, labels, value in samples:
+        if name.endswith("_bucket"):
+            key_labels = tuple(sorted(
+                (k, v) for k, v in labels.items() if k != "le"))
+            buckets.setdefault((name[:-7], key_labels), []).append(
+                (labels.get("le"), value))
+        elif name.endswith("_count"):
+            key_labels = tuple(sorted(labels.items()))
+            counts[(name[:-6], key_labels)] = value
+    for (family, key_labels), series in buckets.items():
+        values = [v for _, v in series]
+        if any(b > a for a, b in zip(values[1:], values)):
+            print(f"{path}: {family}{dict(key_labels)} buckets are not "
+                  f"cumulative", file=sys.stderr)
+            ok = False
+        if series[-1][0] != "+Inf":
+            print(f"{path}: {family}{dict(key_labels)} does not end in a "
+                  f"+Inf bucket", file=sys.stderr)
+            ok = False
+        elif counts.get((family, key_labels)) != series[-1][1]:
+            print(f"{path}: {family}{dict(key_labels)} +Inf bucket "
+                  f"{series[-1][1]} != count "
+                  f"{counts.get((family, key_labels))}", file=sys.stderr)
+            ok = False
+
+    if ok:
+        print(f"{path}: {len(samples)} samples, "
+              f"{len(types)} families OK")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
