@@ -184,7 +184,7 @@ MetricsRegistry::Entry& MetricsRegistry::entry(const std::string& name,
 
 Counter& MetricsRegistry::counter(const std::string& name, Labels labels,
                                   const std::string& help) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   Entry& e = entry(name, labels, MetricKind::kCounter, help);
   if (!e.counter) e.counter = std::make_unique<Counter>();
   return *e.counter;
@@ -192,7 +192,7 @@ Counter& MetricsRegistry::counter(const std::string& name, Labels labels,
 
 Gauge& MetricsRegistry::gauge(const std::string& name, Labels labels,
                               const std::string& help) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   Entry& e = entry(name, labels, MetricKind::kGauge, help);
   if (!e.gauge) e.gauge = std::make_unique<Gauge>();
   return *e.gauge;
@@ -201,14 +201,14 @@ Gauge& MetricsRegistry::gauge(const std::string& name, Labels labels,
 Histogram& MetricsRegistry::histogram(const std::string& name, Labels labels,
                                       const std::string& help,
                                       std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   Entry& e = entry(name, labels, MetricKind::kHistogram, help);
   if (!e.histogram) e.histogram = std::make_unique<Histogram>(std::move(bounds));
   return *e.histogram;
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   MetricsSnapshot s;
   s.entries.reserve(metrics_.size());
   for (const auto& [key, e] : metrics_) {

@@ -33,11 +33,12 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace er::obs {
 
@@ -196,15 +197,16 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   Counter& counter(const std::string& name, Labels labels = {},
-                   const std::string& help = "");
+                   const std::string& help = "") ER_EXCLUDES(mutex_);
   Gauge& gauge(const std::string& name, Labels labels = {},
-               const std::string& help = "");
+               const std::string& help = "") ER_EXCLUDES(mutex_);
   Histogram& histogram(const std::string& name, Labels labels = {},
                        const std::string& help = "",
                        std::vector<double> bounds =
-                           Histogram::latency_seconds_buckets());
+                           Histogram::latency_seconds_buckets())
+      ER_EXCLUDES(mutex_);
 
-  [[nodiscard]] MetricsSnapshot snapshot() const;
+  [[nodiscard]] MetricsSnapshot snapshot() const ER_EXCLUDES(mutex_);
 
   /// The process-wide default registry every instrumented component
   /// records into unless handed an explicit instance.
@@ -221,10 +223,10 @@ class MetricsRegistry {
   using Key = std::pair<std::string, Labels>;
 
   Entry& entry(const std::string& name, Labels& labels, MetricKind kind,
-               const std::string& help);
+               const std::string& help) ER_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<Key, Entry> metrics_;
+  mutable util::Mutex mutex_;
+  std::map<Key, Entry> metrics_ ER_GUARDED_BY(mutex_);
 };
 
 /// `registry` if non-null, else the global registry — the convention

@@ -16,7 +16,7 @@ std::chrono::steady_clock::time_point span_epoch() {
 }  // namespace
 
 void TraceRing::set_capacity(std::size_t n) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   capacity_.store(n, std::memory_order_relaxed);
   while (spans_.size() > n) spans_.pop_front();
 }
@@ -25,7 +25,7 @@ void TraceRing::push(const SpanRecord& span) {
   // One relaxed load keeps the disabled ring nearly free; the capacity is
   // re-checked under the lock so a concurrent shrink stays a bound.
   if (capacity_.load(std::memory_order_relaxed) == 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   const std::size_t cap = capacity_.load(std::memory_order_relaxed);
   if (cap == 0) return;
   spans_.push_back(span);
@@ -33,12 +33,12 @@ void TraceRing::push(const SpanRecord& span) {
 }
 
 std::vector<SpanRecord> TraceRing::recent() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   return {spans_.begin(), spans_.end()};
 }
 
 void TraceRing::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   spans_.clear();
 }
 

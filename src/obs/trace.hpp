@@ -26,10 +26,10 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace er::obs {
 
@@ -48,23 +48,26 @@ class TraceRing {
  public:
   /// Resize the ring; 0 disables it and clears retained spans. Shrinking
   /// drops the oldest spans.
-  void set_capacity(std::size_t n);
+  void set_capacity(std::size_t n) ER_EXCLUDES(mutex_);
   [[nodiscard]] std::size_t capacity() const {
     return capacity_.load(std::memory_order_relaxed);
   }
 
-  void push(const SpanRecord& span);
+  void push(const SpanRecord& span) ER_EXCLUDES(mutex_);
   /// Retained spans, oldest first.
-  [[nodiscard]] std::vector<SpanRecord> recent() const;
-  void clear();
+  [[nodiscard]] std::vector<SpanRecord> recent() const ER_EXCLUDES(mutex_);
+  void clear() ER_EXCLUDES(mutex_);
 
   /// The process-wide ring OBS_SPAN records into.
   static TraceRing& global();
 
  private:
+  /// Atomic, not guarded: push() reads it lock-free as the fast-path
+  /// disabled check, then re-reads under mutex_ so a concurrent shrink
+  /// stays a bound (writes always happen under mutex_).
   std::atomic<std::size_t> capacity_{0};
-  mutable std::mutex mutex_;
-  std::deque<SpanRecord> spans_;
+  mutable util::Mutex mutex_;
+  std::deque<SpanRecord> spans_ ER_GUARDED_BY(mutex_);
 };
 
 /// The per-stage aggregate histogram of the global registry

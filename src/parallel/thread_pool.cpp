@@ -51,7 +51,7 @@ ThreadPool::ThreadPool(int num_threads, obs::MetricsRegistry* registry) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -64,7 +64,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
                     std::chrono::steady_clock::now()};
   std::future<void> fut = queued.task.get_future();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     if (stop_)
       throw std::runtime_error("ThreadPool::submit: pool is shutting down");
     queue_.push(std::move(queued));
@@ -82,8 +82,11 @@ void ThreadPool::worker_loop() {
   for (;;) {
     QueuedTask queued;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      util::UniqueLock lock(&mutex_);
+      // Explicit wait loop (not cv_.wait(lock, pred)): the guarded fields
+      // are read in this annotated scope, where the analysis can see the
+      // lock is held, instead of inside an unannotated lambda.
+      while (!stop_ && queue_.empty()) cv_.wait(lock.native());
       if (queue_.empty()) return;  // stop_ set and queue drained
       queued = std::move(queue_.front());
       queue_.pop();

@@ -17,11 +17,11 @@
 #include <condition_variable>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
+#include "util/thread_annotations.hpp"
 #include "util/types.hpp"
 
 namespace er {
@@ -71,7 +71,7 @@ class ThreadPool {
 
   /// Enqueue a task; the future resolves when it finishes and rethrows any
   /// exception the task raised. Never blocks (safe to call from a worker).
-  std::future<void> submit(std::function<void()> task);
+  std::future<void> submit(std::function<void()> task) ER_EXCLUDES(mutex_);
 
   /// True when the calling thread is a worker of *any* ThreadPool. Used by
   /// parallel_for to fall back to inline execution for nested parallelism.
@@ -86,11 +86,11 @@ class ThreadPool {
 
   void worker_loop();
 
-  std::vector<std::thread> workers_;
-  std::queue<QueuedTask> queue_;
-  std::mutex mutex_;
+  std::vector<std::thread> workers_;  // main-thread only (ctor/dtor)
+  util::Mutex mutex_;
+  std::queue<QueuedTask> queue_ ER_GUARDED_BY(mutex_);
   std::condition_variable cv_;
-  bool stop_ = false;
+  bool stop_ ER_GUARDED_BY(mutex_) = false;
   // Registry-backed instrumentation (pointers cached at construction;
   // recording is lock-free).
   obs::Counter* tasks_total_;

@@ -80,7 +80,7 @@ bool AsyncUpdater::submit(ConductanceNetwork network,
   std::sort(dirty_blocks.begin(), dirty_blocks.end());
   dirty_blocks.erase(std::unique(dirty_blocks.begin(), dirty_blocks.end()),
                      dirty_blocks.end());
-  std::unique_lock<std::mutex> lock(mutex_);
+  util::UniqueLock lock(&mutex_);
   if (error_) std::rethrow_exception(error_);
   if (stop_)
     throw std::logic_error("AsyncUpdater::submit: updater was drained");
@@ -96,10 +96,11 @@ bool AsyncUpdater::submit(ConductanceNetwork network,
     }
     blocked_submits_->add(1);
     const auto t0 = std::chrono::steady_clock::now();
-    cv_idle_.wait(lock, [this] {
-      return error_ != nullptr || stop_ ||
-             unpublished_mods_locked() + 1 <= options_.max_staleness_mods;
-    });
+    // Explicit wait loop so the guarded reads sit in this annotated scope
+    // (a cv wait predicate lambda is analyzed lock-less).
+    while (error_ == nullptr && !stop_ &&
+           unpublished_mods_locked() + 1 > options_.max_staleness_mods)
+      cv_idle_.wait(lock.native());
     blocked_wait_hist_->record(seconds_since(t0));
     if (error_) std::rethrow_exception(error_);
     if (stop_)
@@ -134,19 +135,23 @@ bool AsyncUpdater::submit(ConductanceNetwork network,
 }
 
 void AsyncUpdater::flush() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  util::UniqueLock lock(&mutex_);
   // flush implies resume: the predicate clears paused_ on every
   // evaluation — including the initial one on an idle updater and every
   // wake (pause() notifies cv_idle_ precisely so this re-evaluation
   // happens) — so a racing pause can neither strand the pending batch nor
-  // leave the updater paused after flush returns.
-  cv_idle_.wait(lock, [this] {
+  // leave the updater paused after flush returns. Written as an explicit
+  // wait loop (predicate checked before each wait and on each wake, same
+  // as cv.wait(lock, pred)) so the guarded accesses are in this annotated
+  // scope.
+  for (;;) {
     if (paused_) {
       paused_ = false;
       cv_worker_.notify_one();
     }
-    return error_ != nullptr || (!pending_ && !in_flight_);
-  });
+    if (error_ != nullptr || (!pending_ && !in_flight_)) break;
+    cv_idle_.wait(lock.native());
+  }
   if (error_) std::rethrow_exception(error_);
 }
 
@@ -158,7 +163,7 @@ void AsyncUpdater::drain() {
     err = std::current_exception();
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     stop_ = true;
   }
   cv_worker_.notify_one();
@@ -170,7 +175,7 @@ void AsyncUpdater::drain() {
 }
 
 void AsyncUpdater::pause() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   paused_ = true;
   // Wake flush()/drain() waiters so they can override the pause (their
   // wait predicate re-clears paused_) instead of hanging on a batch the
@@ -179,7 +184,7 @@ void AsyncUpdater::pause() {
 }
 
 void AsyncUpdater::resume() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   paused_ = false;
   cv_worker_.notify_one();
 }
@@ -189,7 +194,7 @@ std::uint64_t AsyncUpdater::unpublished_mods_locked() const {
 }
 
 AsyncUpdater::Stats AsyncUpdater::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   // Materialize the view from the registry series. Consistency comes from
   // mutex_: every mutation of these series happens with it held.
   Stats s;
@@ -212,7 +217,7 @@ AsyncUpdater::Stats AsyncUpdater::stats() const {
 }
 
 std::uint64_t AsyncUpdater::mods_reflected(std::uint64_t version) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   // Versions are strictly increasing in publish order: binary-search the
   // newest batch published at or before `version`, falling back to the
   // prune marker for versions older than the retention window.
@@ -227,11 +232,12 @@ std::uint64_t AsyncUpdater::mods_reflected(std::uint64_t version) const {
 }
 
 void AsyncUpdater::worker_loop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  util::UniqueLock lock(&mutex_);
   for (;;) {
-    cv_worker_.wait(lock, [this] {
-      return stop_ || (pending_.has_value() && !paused_);
-    });
+    // Explicit wait loop (see submit()): wake when stopped or a batch is
+    // runnable (pending and not paused).
+    while (!stop_ && (!pending_.has_value() || paused_))
+      cv_worker_.wait(lock.native());
     if (!pending_ || paused_) {
       // Only reachable with stop_ set: a paused drain was abandoned (the
       // destructor path after a flush error) — nothing runnable remains.

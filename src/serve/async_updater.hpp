@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "reduction/network.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/types.hpp"
 
 namespace er {
@@ -169,18 +170,19 @@ class AsyncUpdater {
   /// return true without waiting. Throws std::logic_error after drain();
   /// rethrows the worker's error if a previous batch failed (including
   /// while blocked at the bound).
-  bool submit(ConductanceNetwork network, std::vector<index_t> dirty_blocks);
+  bool submit(ConductanceNetwork network, std::vector<index_t> dirty_blocks)
+      ER_EXCLUDES(mutex_);
 
   /// Block until every modification submitted so far has been applied and
   /// published. Implies resume(): a paused updater is resumed and stays
   /// resumed after the flush returns (re-pause explicitly if the gate
   /// should persist). Rethrows the worker's error if an update threw; the
   /// error stays latched, so later calls throw again.
-  void flush();
+  void flush() ER_EXCLUDES(mutex_);
 
   /// flush(), then stop the worker permanently (submit() afterwards
   /// throws). Called by the destructor; idempotent.
-  void drain();
+  void drain() ER_EXCLUDES(mutex_);
 
   /// Hold back the worker: submissions keep coalescing into the pending
   /// slot but nothing is applied until resume() — or flush()/drain(),
@@ -188,10 +190,10 @@ class AsyncUpdater {
   /// flush: the flush wins and the updater ends up resumed). Lets tests
   /// make coalescing deterministic and operators gate publishes around
   /// maintenance windows.
-  void pause();
-  void resume();
+  void pause() ER_EXCLUDES(mutex_);
+  void resume() ER_EXCLUDES(mutex_);
 
-  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] Stats stats() const ER_EXCLUDES(mutex_);
 
   /// The registry this updater records into: the private per-instance one
   /// unless Options::registry pointed elsewhere. Export with
@@ -212,7 +214,8 @@ class AsyncUpdater {
   /// previous batch's count, so staleness derived from it can transiently
   /// over-state but never under-state. It converges as soon as the batch
   /// completes.
-  [[nodiscard]] std::uint64_t mods_reflected(std::uint64_t version) const;
+  [[nodiscard]] std::uint64_t mods_reflected(std::uint64_t version) const
+      ER_EXCLUDES(mutex_);
 
  private:
   /// The single-slot queue entry: the newest submitted state plus the
@@ -231,18 +234,19 @@ class AsyncUpdater {
   /// the lock — the quantity Options::max_staleness_mods bounds. Reads the
   /// registry counters; every mutation of them happens under mutex_, so
   /// the difference is exact here.
-  [[nodiscard]] std::uint64_t unpublished_mods_locked() const;
+  [[nodiscard]] std::uint64_t unpublished_mods_locked() const
+      ER_REQUIRES(mutex_);
 
   UpdateFn apply_;
   Options options_;
-  mutable std::mutex mutex_;
+  mutable util::Mutex mutex_;
   std::condition_variable cv_worker_;  // wakes the worker
   std::condition_variable cv_idle_;    // wakes flush()/drain() waiters
-  std::optional<PendingBatch> pending_;
-  bool paused_ = false;
-  bool stop_ = false;
-  bool in_flight_ = false;
-  std::exception_ptr error_;
+  std::optional<PendingBatch> pending_ ER_GUARDED_BY(mutex_);
+  bool paused_ ER_GUARDED_BY(mutex_) = false;
+  bool stop_ ER_GUARDED_BY(mutex_) = false;
+  bool in_flight_ ER_GUARDED_BY(mutex_) = false;
+  std::exception_ptr error_ ER_GUARDED_BY(mutex_);
   /// Backing store when Options::registry is null (declared before the
   /// metric handles that point into it).
   std::unique_ptr<obs::MetricsRegistry> owned_registry_;
@@ -264,7 +268,7 @@ class AsyncUpdater {
   obs::Histogram* blocked_wait_hist_ = nullptr;
   /// Latest batch's latency — kept as a plain member because a histogram
   /// aggregates and cannot answer "most recent sample".
-  double last_publish_latency_seconds_ = 0.0;
+  double last_publish_latency_seconds_ ER_GUARDED_BY(mutex_) = 0.0;
   /// (published version, cumulative modifications applied through it) per
   /// batch, in publish order (strictly increasing versions) — the
   /// mods_reflected() lookup table. Bounded: when it outgrows
@@ -272,8 +276,10 @@ class AsyncUpdater {
   /// newest dropped entry), so memory stays O(1) over a long-lived update
   /// stream and lookups for versions older than the retention window
   /// degrade to the pruned marker.
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> version_log_;
-  std::optional<std::pair<std::uint64_t, std::uint64_t>> pruned_;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> version_log_
+      ER_GUARDED_BY(mutex_);
+  std::optional<std::pair<std::uint64_t, std::uint64_t>> pruned_
+      ER_GUARDED_BY(mutex_);
   std::once_flag join_once_;  // serializes the worker join across drains
   std::thread worker_;
 };

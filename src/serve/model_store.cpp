@@ -36,7 +36,7 @@ void ModelStore::publish(SnapshotPtr snapshot) {
   // pointer swap plus O(1) log bookkeeping.
   SnapshotPtr displaced;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     publish_log_.emplace_back(version, now);
     if (publish_log_.size() > kPublishLogCap) publish_log_.pop_front();
     displaced = std::move(current_);
@@ -48,12 +48,12 @@ void ModelStore::publish(SnapshotPtr snapshot) {
 }
 
 SnapshotPtr ModelStore::acquire() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   return current_;
 }
 
 std::uint64_t ModelStore::publish_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   return publish_count_;
 }
 
@@ -63,20 +63,20 @@ bool ModelStore::has_published() const {
 }
 
 std::optional<std::uint64_t> ModelStore::current_version() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   if (!current_) return std::nullopt;
   return current_->version();
 }
 
 std::optional<double> ModelStore::current_age_seconds() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   if (!current_ || publish_log_.empty()) return std::nullopt;
   return seconds_since(publish_log_.back().second);
 }
 
 std::optional<double> ModelStore::version_age_seconds(
     std::uint64_t version) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   // Newest-first so a republished version reports its latest instant.
   for (auto it = publish_log_.rbegin(); it != publish_log_.rend(); ++it)
     if (it->first == version) return seconds_since(it->second);

@@ -18,10 +18,10 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 
 #include "serve/snapshot.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace er {
 
@@ -48,20 +48,20 @@ class ModelStore {
   /// Atomically replace the current snapshot. Null snapshots are rejected.
   /// The publish instant is recorded per version (bounded log) for the
   /// age probes below.
-  void publish(SnapshotPtr snapshot);
+  void publish(SnapshotPtr snapshot) ER_EXCLUDES(mutex_);
 
   /// The currently-published snapshot (null before the first publish).
   /// The returned pointer pins the snapshot: it stays valid and immutable
   /// however many publishes happen afterwards.
-  [[nodiscard]] SnapshotPtr acquire() const;
+  [[nodiscard]] SnapshotPtr acquire() const ER_EXCLUDES(mutex_);
 
   /// Number of publish() calls so far.
-  [[nodiscard]] std::uint64_t publish_count() const;
+  [[nodiscard]] std::uint64_t publish_count() const ER_EXCLUDES(mutex_);
 
   /// True once anything was published. The cheap guard in front of the
   /// probes below for writers that must distinguish "no model yet" from
   /// "serving version 0".
-  [[nodiscard]] bool has_published() const;
+  [[nodiscard]] bool has_published() const ER_EXCLUDES(mutex_);
 
   /// Version of the currently-published snapshot, or nullopt before the
   /// first publish — the cheap monitoring probe for staleness: a reader
@@ -69,11 +69,13 @@ class ModelStore {
   /// behind. (The optional removes the old 0-ambiguity: version 0 is a
   /// legitimate published state — IncrementalReducer revisions start at
   /// 0 — and is now distinguishable from an empty store.)
-  [[nodiscard]] std::optional<std::uint64_t> current_version() const;
+  [[nodiscard]] std::optional<std::uint64_t> current_version() const
+      ER_EXCLUDES(mutex_);
 
   /// Seconds since the current snapshot was published, or nullopt before
   /// the first publish — "how long since queries last saw fresh state".
-  [[nodiscard]] std::optional<double> current_age_seconds() const;
+  [[nodiscard]] std::optional<double> current_age_seconds() const
+      ER_EXCLUDES(mutex_);
 
   /// Seconds since the given version was published, while it remains in
   /// the bounded publish log (the most recent kPublishLogCap publishes);
@@ -81,16 +83,16 @@ class ModelStore {
   /// Lets a reader translate a pinned snapshot's version into wall-clock
   /// staleness without touching the updater.
   [[nodiscard]] std::optional<double> version_age_seconds(
-      std::uint64_t version) const;
+      std::uint64_t version) const ER_EXCLUDES(mutex_);
 
  private:
   /// Publish-instant retention: far beyond any realistically pinned
   /// snapshot's age, still O(1) memory over a long-lived store.
   static constexpr std::size_t kPublishLogCap = 256;
 
-  mutable std::mutex mutex_;
-  SnapshotPtr current_;
-  std::uint64_t publish_count_ = 0;
+  mutable util::Mutex mutex_;
+  SnapshotPtr current_ ER_GUARDED_BY(mutex_);
+  std::uint64_t publish_count_ ER_GUARDED_BY(mutex_) = 0;
   obs::Counter* publishes_total_;  ///< registry-backed, set at construction
   obs::Gauge* current_version_gauge_;
   /// (version, publish instant) per publish, newest last; bounded by
@@ -98,7 +100,7 @@ class ModelStore {
   /// lookups scan newest-first so a republished version reports its most
   /// recent instant.
   std::deque<std::pair<std::uint64_t, std::chrono::steady_clock::time_point>>
-      publish_log_;
+      publish_log_ ER_GUARDED_BY(mutex_);
 };
 
 }  // namespace er

@@ -1,0 +1,12 @@
+// Lint fixture (never compiled): a clock read steering model-affecting
+// work (time-budgeted iteration) — classic determinism leak: the result
+// depends on machine speed. Expected: [wall-clock] on the include and
+// the steady_clock uses.
+#include <chrono>
+
+double fixture_refine(double x) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
+  while (std::chrono::steady_clock::now() < deadline) x = 0.5 * (x + 2.0 / x);
+  return x;
+}

@@ -1,0 +1,8 @@
+// Lint fixture (never compiled): std::random_device — non-deterministic
+// hardware entropy. Expected: [banned-rng].
+#include <random>
+
+unsigned fixture_entropy() {
+  std::random_device rd;
+  return rd();
+}

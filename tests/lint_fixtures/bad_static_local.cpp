@@ -1,0 +1,12 @@
+// Lint fixture (never compiled): mutable static/thread_local state —
+// call-order-dependent results. Expected: [static-mutable] x3.
+#include <vector>
+
+int fixture_next_id() {
+  static int counter = 0;
+  return ++counter;
+}
+
+thread_local std::vector<int> fixture_scratch;
+
+static double fixture_accumulator{0.0};

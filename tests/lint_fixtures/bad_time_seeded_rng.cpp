@@ -1,0 +1,11 @@
+// Lint fixture (never compiled): time-seeded engine — different stream
+// every run. Expected: [banned-rng] (mt19937_64, srand) and [wall-clock]
+// (time(nullptr)).
+#include <ctime>
+#include <random>
+
+int fixture_roll() {
+  std::srand(static_cast<unsigned>(time(nullptr)));
+  std::mt19937_64 gen(static_cast<unsigned long>(std::rand()));
+  return static_cast<int>(gen());
+}

@@ -1,0 +1,9 @@
+// Lint fixture (never compiled): unseeded std::mt19937 — its default seed
+// is fixed, but the distribution implementations are platform-dependent,
+// so the lint bans the engine family outright. Expected: [banned-rng].
+#include <random>
+
+int fixture_roll() {
+  std::mt19937 gen;
+  return static_cast<int>(gen());
+}

@@ -1,0 +1,16 @@
+// Lint fixture (never compiled): a clock read that only feeds a stats
+// field, registered in the self-test's allowlist with a reason — the
+// escape hatch pattern for reporting-only timers. Expected: clean WITH
+// the fixture allowlist, [wall-clock] without it.
+#include <chrono>
+
+struct FixtureStats {
+  double wall_seconds = 0.0;
+};
+
+void fixture_time_it(FixtureStats& stats) {
+  const auto t0 = std::chrono::steady_clock::now();
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+}

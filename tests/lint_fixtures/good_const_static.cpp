@@ -1,0 +1,12 @@
+// Lint fixture (never compiled): const/constexpr statics and static
+// member functions are fine — immutable or stateless. Expected: clean.
+
+static const int kFixtureTableSize = 64;
+static constexpr double kFixtureTolerance = 1e-9;
+
+struct FixtureHelper {
+  static int clamp(int v);
+  static FixtureHelper& instance();
+};
+
+static int fixture_twice(int v) { return 2 * v; }

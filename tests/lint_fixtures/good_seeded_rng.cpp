@@ -1,0 +1,12 @@
+// Lint fixture (never compiled): the sanctioned pattern — util/rng's Rng
+// seeded through mix_seed(seed, stream). Mentions of std::rand and
+// steady_clock in this comment and the string below must NOT trip the
+// lint (comments and strings are stripped). Expected: clean.
+#include "util/rng.hpp"
+
+double fixture_sample(std::uint64_t seed, std::uint64_t block) {
+  er::Rng rng(er::mix_seed(seed, block));
+  const char* note = "std::mt19937 and std::random_device are banned";
+  (void)note;
+  return rng.uniform();
+}

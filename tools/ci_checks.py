@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Unified entry point for the repo's scripted CI checks.
+
+One command — `python3 tools/ci_checks.py --all` — runs every check that
+applies, so CI jobs and local pre-push runs can't drift apart by each
+wiring up a different subset. Individual checks stay standalone scripts
+with their own CLIs (this wrapper shells out to them); pass check names
+to run a subset.
+
+Checks:
+  determinism-lint           tools/lint_determinism.py over src/
+  determinism-lint-selftest  the lint's own fixture unit tests
+  workspace-clean            `git status --porcelain` is empty
+  bench-schema               tools/check_bench_schema.py (needs
+                             --bench-json and --bench-mode)
+  metrics-export             tools/check_metrics_export.py (needs
+                             --metrics)
+
+With --all, artifact-dependent checks (bench-schema, metrics-export) are
+skipped with a note when their input path was not given; naming a check
+explicitly makes its inputs required. Exit 0 = all ran checks passed,
+1 = at least one failed, 2 = usage error.
+"""
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+
+TOOLS = Path(__file__).resolve().parent
+ROOT = TOOLS.parent
+
+CHECKS = ["determinism-lint", "determinism-lint-selftest",
+          "workspace-clean", "bench-schema", "metrics-export"]
+
+
+def build_command(name, args):
+    """-> (argv, skip_reason). argv None + reason when inputs are absent;
+    raises SystemExit(2) when an explicitly requested check lacks them."""
+    if name == "determinism-lint":
+        return ([sys.executable, str(TOOLS / "lint_determinism.py"),
+                 "--root", str(ROOT)], None)
+    if name == "determinism-lint-selftest":
+        return ([sys.executable, str(TOOLS / "test_lint_determinism.py")],
+                None)
+    if name == "workspace-clean":
+        return (["git", "-C", str(ROOT), "status", "--porcelain"], None)
+    if name == "bench-schema":
+        if not args.bench_json:
+            if args.explicit:
+                sys.exit("ci_checks: bench-schema needs --bench-json "
+                         "and --bench-mode")
+            return (None, "no --bench-json given")
+        return ([sys.executable, str(TOOLS / "check_bench_schema.py"),
+                 args.bench_json, args.bench_mode], None)
+    if name == "metrics-export":
+        if not args.metrics:
+            if args.explicit:
+                sys.exit("ci_checks: metrics-export needs --metrics")
+            return (None, "no --metrics given")
+        return ([sys.executable, str(TOOLS / "check_metrics_export.py"),
+                 args.metrics], None)
+    raise AssertionError(name)
+
+
+def run_check(name, args):
+    argv, skip_reason = build_command(name, args)
+    if argv is None:
+        print(f"  SKIP {name}: {skip_reason}")
+        return None
+    proc = subprocess.run(argv, capture_output=True, text=True)
+    failed = proc.returncode != 0
+    if name == "workspace-clean" and proc.stdout.strip():
+        # porcelain output means a dirty tree even though git exits 0.
+        failed = True
+    print(f"  {'FAIL' if failed else 'PASS'} {name}")
+    if failed:
+        for stream in (proc.stdout, proc.stderr):
+            if stream.strip():
+                sys.stderr.write(stream if stream.endswith("\n")
+                                 else stream + "\n")
+    return not failed
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        description="run the repo's scripted CI checks")
+    ap.add_argument("checks", nargs="*", metavar="check",
+                    help=f"checks to run: {', '.join(CHECKS)} "
+                         "(default with --all: every applicable one)")
+    ap.add_argument("--all", action="store_true",
+                    help="run every check whose inputs are available")
+    ap.add_argument("--bench-json", help="BENCH_serving.json path "
+                    "(bench-schema)")
+    ap.add_argument("--bench-mode", choices=["churn", "standard"],
+                    default="churn", help="schema mode for bench-schema")
+    ap.add_argument("--metrics", help="METRICS.prom path (metrics-export)")
+    args = ap.parse_args(argv)
+
+    if args.all and args.checks:
+        ap.error("give either --all or explicit check names, not both")
+    if not args.all and not args.checks:
+        ap.error("nothing to do: pass --all or check names")
+    unknown = [c for c in args.checks if c not in CHECKS]
+    if unknown:
+        ap.error(f"unknown check(s) {unknown}; choose from {CHECKS}")
+    args.explicit = bool(args.checks)
+    selected = args.checks or CHECKS
+
+    print(f"ci_checks: running {len(selected)} check(s)")
+    results = {name: run_check(name, args) for name in selected}
+    failed = [n for n, ok in results.items() if ok is False]
+    ran = sum(1 for ok in results.values() if ok is not None)
+    skipped = len(selected) - ran
+    verdict = "FAILED" if failed else "OK"
+    print(f"ci_checks: {ran} ran, {skipped} skipped, "
+          f"{len(failed)} failed — {verdict}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,260 @@
+#!/usr/bin/env python3
+"""Determinism lint: mechanically enforce the repo's determinism contract.
+
+DESIGN.md §3 requires reduced models to be bit-identical at any thread
+count and across runs. That only holds if (a) every random choice flows
+from the caller's seed through util/rng (Rng + mix_seed per-stream
+derivation), (b) no wall-clock read feeds model-affecting code, and
+(c) no hidden mutable global state orders itself differently between
+runs. This lint encodes those three rules over `src/`:
+
+  banned-rng      std::rand/srand, std::random_device, std::mt19937 (and
+                  friends), std::default_random_engine anywhere outside
+                  src/util/rng.* — seeded or not, their implementations
+                  are unspecified across platforms; time()-seeding is
+                  caught by the same rule.
+  wall-clock      <chrono> clocks, util/timer.hpp, ::time/gettimeofday/
+                  clock() in model-affecting code. Whole-directory
+                  whitelist: src/obs/ (observability never feeds back
+                  into computation — DESIGN.md §6). Everything else
+                  needs an allowlist entry with a reason (e.g. the
+                  serving layer's age/staleness probes).
+  static-mutable  function-local or namespace-scope `static` /
+                  `thread_local` variables that are not const/constexpr:
+                  hidden shared state whose initialization and update
+                  order is scheduling-dependent. Registered exceptions
+                  (singletons in obs/, per-thread scratch buffers) live
+                  in the allowlist.
+
+bench/ and tests/ are out of scope by design: harnesses time things and
+may use ad-hoc randomness.
+
+The allowlist is machine-readable JSON (tools/determinism_allowlist.json):
+  { "<rule>": [ {"file": "src/...", "contains": "<substring>"|null,
+                 "reason": "<why this is deterministic/harmless>"} ] }
+An entry matches a finding when the file matches and, if "contains" is
+given, the offending line contains that substring. Unused allowlist
+entries are reported as errors too, so the list cannot rot.
+
+usage: lint_determinism.py [--root DIR] [--allowlist FILE] [file ...]
+Exit 0 = clean, 1 = findings, 2 = usage/config error.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+# (rule, regex, message). Patterns run on comment/string-stripped lines.
+RULES = [
+    ("banned-rng", re.compile(
+        r"\b(?:std::)?(?:rand|srand|random_device|mt19937(?:_64)?|"
+        r"default_random_engine|minstd_rand0?|ranlux\w+|knuth_b)\b"),
+     "platform-dependent RNG; use util/rng.hpp Rng seeded via "
+     "mix_seed(seed, stream)"),
+    ("wall-clock", re.compile(
+        r"std::chrono|steady_clock|system_clock|high_resolution_clock|"
+        r'#\s*include\s*(?:<chrono>|"util/timer\.hpp")|\bgettimeofday\b|'
+        r"\b(?:std::)?time\s*\(\s*(?:nullptr|NULL|0)\s*\)|"
+        r"\b(?:std::)?clock\s*\(\s*\)"),
+     "wall-clock read in model-affecting code; clocks may only feed "
+     "observability (src/obs/) or allowlisted probes"),
+]
+
+STATIC_RULE = "static-mutable"
+STATIC_MSG = ("mutable static/thread_local state; hidden shared state "
+              "breaks run-to-run determinism unless registered in the "
+              "allowlist with a reason")
+
+# Files the banned-rng rule does not apply to: the one sanctioned RNG
+# implementation site.
+RNG_HOME = ("src/util/rng.hpp", "src/util/rng.cpp")
+
+# Directories the wall-clock rule skips wholesale: observability never
+# feeds back into computation (DESIGN.md §6 rule 2).
+WALL_CLOCK_FREE_DIRS = ("src/obs/",)
+
+STRING_OR_COMMENT = re.compile(
+    r'"(?:\\.|[^"\\])*"'      # string literals
+    r"|'(?:\\.|[^'\\])*'"     # char literals
+    r"|//[^\n]*"              # line comments
+    r"|/\*.*?\*/", re.S)      # block comments (joined source)
+
+# A static/thread_local *variable* declaration: the declarator is not
+# immediately a function (no '(' before any '=' / ';'), and the decl-
+# specifiers contain no const/constexpr. Runs per physical line after
+# string/comment stripping — crude but effective for this codebase's
+# style (declarations are single-line).
+DECL_RE = re.compile(
+    r"^\s*(?:inline\s+)?(?:static\s+thread_local|thread_local\s+static|"
+    r"static|thread_local)\s+(?P<rest>.*)$")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out strings/comments, preserving line structure."""
+    def repl(m: re.Match) -> str:
+        return re.sub(r"[^\n]", " ", m.group(0))
+    return STRING_OR_COMMENT.sub(repl, text)
+
+
+def is_mutable_static_decl(line: str) -> bool:
+    m = DECL_RE.match(line)
+    if not m:
+        return False
+    rest = m.group("rest")
+    if re.match(r"(?:const\b|constexpr\b|const\s|constexpr\s)", rest):
+        return False
+    # `static_assert(...)` / casts never match DECL_RE (no space), but a
+    # member-function declaration or definition does: detect a '('
+    # belonging to the declarator before any initializer.
+    eq = rest.find("=")
+    brace = rest.find("{")
+    paren = rest.find("(")
+    if paren != -1 and (eq == -1 or paren < eq):
+        # Function declaration/definition (e.g. `static Foo& global();`)
+        # unless the paren opens an initializer like `int x(3);` — those
+        # don't occur for statics in this codebase, and ctor-paren
+        # initializers of class-type statics are exactly the singleton
+        # pattern we want to flag... but `static Foo f(args);` keeps the
+        # identifier directly before '('; functions do too. Treat
+        # `Type name(...)` with a capitalized/type-ish tail as a function
+        # to stay conservative: real mutable statics in this repo use
+        # `= ` or `;` forms.
+        return False
+    if brace != -1 and (eq == -1 or brace < eq):
+        # Aggregate-init statics `static T x{...};` are declarations of
+        # mutable state.
+        return True
+    return True
+
+
+def load_allowlist(path: Path) -> dict:
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"{path}: unreadable allowlist: {e}", file=sys.stderr)
+        raise SystemExit(2)
+    for rule, entries in data.items():
+        if not isinstance(entries, list):
+            print(f"{path}: rule {rule!r} must map to a list",
+                  file=sys.stderr)
+            raise SystemExit(2)
+        for e in entries:
+            if "file" not in e or "reason" not in e or not e["reason"]:
+                print(f"{path}: entry {e} needs 'file' and a non-empty "
+                      f"'reason'", file=sys.stderr)
+                raise SystemExit(2)
+    return data
+
+
+def allowed(allowlist: dict, rule: str, rel: str, line: str,
+            used: set) -> bool:
+    for i, e in enumerate(allowlist.get(rule, [])):
+        if e["file"] != rel:
+            continue
+        if e.get("contains") and e["contains"] not in line:
+            continue
+        used.add((rule, i))
+        return True
+    return False
+
+
+def lint_file(path: Path, rel: str, allowlist: dict, used: set) -> list:
+    findings = []
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as e:
+        return [(rel, 0, "io", f"unreadable source file: {e}")]
+    stripped = strip_comments_and_strings(text)
+    lines = stripped.split("\n")
+    raw_lines = text.split("\n")
+    for lineno, (line, raw) in enumerate(zip(lines, raw_lines), 1):
+        # Include directives carry their path in a string literal the
+        # stripper blanks; match those against the raw line instead.
+        if re.match(r"\s*#\s*include\b", raw):
+            line = raw
+        for rule, pattern, msg in RULES:
+            if rule == "banned-rng" and rel in RNG_HOME:
+                continue
+            if rule == "wall-clock" and rel.startswith(
+                    WALL_CLOCK_FREE_DIRS):
+                continue
+            if not pattern.search(line):
+                continue
+            if allowed(allowlist, rule, rel, raw, used):
+                continue
+            findings.append((rel, lineno, rule, f"{msg}\n    {raw.strip()}"))
+        if is_mutable_static_decl(line):
+            if not allowed(allowlist, STATIC_RULE, rel, raw, used):
+                findings.append(
+                    (rel, lineno, STATIC_RULE,
+                     f"{STATIC_MSG}\n    {raw.strip()}"))
+    return findings
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        description="Determinism lint over src/ (see module docstring).")
+    ap.add_argument("--root", type=Path,
+                    default=Path(__file__).resolve().parent.parent,
+                    help="repo root (default: the tools/ parent)")
+    ap.add_argument("--allowlist", type=Path, default=None,
+                    help="allowlist JSON (default: "
+                    "tools/determinism_allowlist.json under --root)")
+    ap.add_argument("files", nargs="*", type=Path,
+                    help="specific files to lint (default: all of src/); "
+                    "paths are interpreted relative to --root")
+    args = ap.parse_args(argv)
+
+    root = args.root.resolve()
+    allowlist_path = args.allowlist or root / "tools" / \
+        "determinism_allowlist.json"
+    allowlist = load_allowlist(allowlist_path)
+
+    if args.files:
+        targets = [(root / f if not f.is_absolute() else f) for f in
+                   args.files]
+    else:
+        targets = sorted((root / "src").rglob("*.hpp")) + \
+            sorted((root / "src").rglob("*.cpp"))
+        if not targets:
+            print(f"{root}/src: no sources found", file=sys.stderr)
+            return 2
+
+    used: set = set()
+    findings = []
+    for path in targets:
+        rel = path.resolve().relative_to(root).as_posix()
+        findings.extend(lint_file(path, rel, allowlist, used))
+
+    for rel, lineno, rule, msg in findings:
+        print(f"{rel}:{lineno}: [{rule}] {msg}", file=sys.stderr)
+
+    # Stale allowlist entries are errors too — but only on full-tree runs
+    # (a single-file invocation legitimately leaves most entries unused).
+    stale = []
+    if not args.files:
+        for rule, entries in allowlist.items():
+            for i, e in enumerate(entries):
+                if (rule, i) not in used:
+                    stale.append((rule, e))
+        for rule, e in stale:
+            print(f"{allowlist_path.name}: stale [{rule}] entry for "
+                  f"{e['file']!r} ({e.get('contains')!r}) — no finding "
+                  f"matches it; remove it", file=sys.stderr)
+
+    if findings or stale:
+        print(f"determinism lint: {len(findings)} finding(s), "
+              f"{len(stale)} stale allowlist entr(y/ies)", file=sys.stderr)
+        return 1
+    print(f"determinism lint: {len(targets)} files clean "
+          f"({sum(len(v) for v in allowlist.values())} registered "
+          f"exceptions)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

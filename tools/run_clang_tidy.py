@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""clang-tidy wrapper: run the repo .clang-tidy over src/ with a result
+cache keyed on what actually determines a TU's diagnostics.
+
+Why not bare run-clang-tidy: (a) a content-hash cache — CI restores the
+cache directory across runs, so an unchanged TU costs a hash instead of a
+re-analysis (the cache key folds in the clang-tidy version, the
+.clang-tidy config, the TU's compile command, the TU bytes, and the
+bytes of every src/ header, so any change that could alter diagnostics
+invalidates); (b) deterministic file ordering and a summary that names
+each finding TU; (c) exit 1 iff any TU produced diagnostics, which is
+what a CI gate wants.
+
+usage: run_clang_tidy.py [--build-dir build] [--jobs N] [--fix]
+                         [--cache-dir .tidy-cache] [--clang-tidy BIN]
+                         [files ...]
+Files default to every src/*.cpp in the compile database. Exit 0 = clean,
+1 = findings, 2 = setup error (no binary / no database).
+"""
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import hashlib
+import json
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def find_clang_tidy(explicit: str | None) -> str | None:
+    if explicit:
+        return explicit if shutil.which(explicit) else None
+    for name in ("clang-tidy", "clang-tidy-19", "clang-tidy-18",
+                 "clang-tidy-17", "clang-tidy-16", "clang-tidy-15",
+                 "clang-tidy-14"):
+        if shutil.which(name):
+            return name
+    return None
+
+
+def headers_digest() -> str:
+    """One digest over every src/ header: any header edit invalidates the
+    whole cache (coarse but safe — diagnostics can come from headers)."""
+    h = hashlib.sha256()
+    for p in sorted(ROOT.glob("src/**/*.hpp")):
+        h.update(p.as_posix().encode())
+        h.update(p.read_bytes())
+    return h.hexdigest()
+
+
+def tu_key(tidy_version: str, config: str, salt: str, entry: dict) -> str:
+    h = hashlib.sha256()
+    for part in (tidy_version, config, salt, entry["command"]):
+        h.update(part.encode())
+    h.update(Path(entry["file"]).read_bytes())
+    return h.hexdigest()
+
+
+def run_one(tidy: str, build_dir: Path, path: str, fix: bool) -> tuple:
+    cmd = [tidy, "-p", str(build_dir), "--quiet"]
+    if fix:
+        cmd.append("--fix")
+    cmd.append(path)
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    # clang-tidy exits nonzero on warnings-as-errors; treat any stdout
+    # diagnostic block or nonzero exit as a finding.
+    noise_free = "\n".join(
+        line for line in proc.stdout.splitlines()
+        if line.strip() and "warnings generated" not in line)
+    return proc.returncode, noise_free, proc.stderr
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--build-dir", type=Path, default=ROOT / "build",
+                    help="directory holding compile_commands.json")
+    ap.add_argument("--jobs", type=int,
+                    default=max(1, (os.cpu_count() or 2) - 1))
+    ap.add_argument("--fix", action="store_true",
+                    help="apply suggested fixes (disables the cache)")
+    ap.add_argument("--cache-dir", type=Path,
+                    default=ROOT / ".tidy-cache")
+    ap.add_argument("--clang-tidy", default=None,
+                    help="clang-tidy binary (default: first found on PATH)")
+    ap.add_argument("files", nargs="*",
+                    help="TUs to check (default: all src/*.cpp in the db)")
+    args = ap.parse_args(argv)
+
+    tidy = find_clang_tidy(args.clang_tidy)
+    if not tidy:
+        print("run_clang_tidy: no clang-tidy binary on PATH "
+              "(apt-get install clang-tidy)", file=sys.stderr)
+        return 2
+    db_path = args.build_dir / "compile_commands.json"
+    if not db_path.exists():
+        print(f"run_clang_tidy: {db_path} not found — configure first "
+              "(CMAKE_EXPORT_COMPILE_COMMANDS is ON by default)",
+              file=sys.stderr)
+        return 2
+
+    with open(db_path, encoding="utf-8") as f:
+        db = json.load(f)
+    src_prefix = (ROOT / "src").as_posix() + "/"
+    entries = {e["file"]: e for e in db
+               if e["file"].startswith(src_prefix)}
+    if args.files:
+        wanted = {str((ROOT / f).resolve()) if not os.path.isabs(f) else f
+                  for f in args.files}
+        entries = {f: e for f, e in entries.items() if f in wanted}
+        missing = wanted - entries.keys()
+        if missing:
+            print(f"run_clang_tidy: not in compile database: "
+                  f"{sorted(missing)}", file=sys.stderr)
+            return 2
+    files = sorted(entries)
+    if not files:
+        print("run_clang_tidy: no src/ TUs in the compile database",
+              file=sys.stderr)
+        return 2
+
+    tidy_version = subprocess.run(
+        [tidy, "--version"], capture_output=True, text=True).stdout.strip()
+    config = (ROOT / ".clang-tidy").read_text(encoding="utf-8")
+    salt = headers_digest()
+
+    cache_path = args.cache_dir / "cache.json"
+    cache = {}
+    if not args.fix and cache_path.exists():
+        try:
+            with open(cache_path, encoding="utf-8") as f:
+                cache = json.load(f)
+        except (OSError, json.JSONDecodeError):
+            cache = {}
+
+    keys = {f: tu_key(tidy_version, config, salt, entries[f])
+            for f in files}
+    to_run = [f for f in files
+              if args.fix or keys[f] not in cache]
+    results = {f: cache[keys[f]] for f in files if f not in to_run}
+    cached_n = len(results)
+
+    if to_run:
+        with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+            futs = {pool.submit(run_one, tidy, args.build_dir, f,
+                                args.fix): f for f in to_run}
+            for fut in concurrent.futures.as_completed(futs):
+                f = futs[fut]
+                code, out, errtext = fut.result()
+                if "Error while processing" in errtext or \
+                        "error: " in errtext and code != 0 and not out:
+                    # Analysis itself failed (bad compile command, crash):
+                    # setup error, never cached.
+                    print(f"--- {os.path.relpath(f, ROOT)}: clang-tidy "
+                          f"failed\n{errtext}", file=sys.stderr)
+                    return 2
+                results[f] = {"code": code, "out": out}
+
+    dirty = []
+    for f in files:
+        r = results[f]
+        if r["code"] != 0 or r["out"]:
+            dirty.append(f)
+            print(f"--- {os.path.relpath(f, ROOT)}")
+            if r["out"]:
+                print(r["out"])
+
+    if not args.fix:
+        # Only clean results are worth keeping? No: keep everything —
+        # re-runs on an unchanged dirty TU should also skip the analysis
+        # and just replay the diagnostics.
+        args.cache_dir.mkdir(parents=True, exist_ok=True)
+        fresh = {keys[f]: results[f] for f in files}
+        with open(cache_path, "w", encoding="utf-8") as f:
+            json.dump(fresh, f)
+
+    status = "FAILED" if dirty else "OK"
+    print(f"run_clang_tidy: {len(files)} TUs ({cached_n} cached, "
+          f"{len(to_run)} analyzed), {len(dirty)} with findings — {status}")
+    return 1 if dirty else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/lint_determinism.py, run as a ctest.
+
+Fixture files under tests/lint_fixtures/ pin the lint's behavior: seeded
+vs unseeded/time-seeded RNG, chrono in a hot path vs an allowlisted
+stats-only timer, mutable vs const statics. Also checks that the real
+tree is clean and that stale allowlist entries fail a full-tree run.
+"""
+import contextlib
+import io
+import json
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+TOOLS = Path(__file__).resolve().parent
+ROOT = TOOLS.parent
+FIXTURES = ROOT / "tests" / "lint_fixtures"
+sys.path.insert(0, str(TOOLS))
+
+import lint_determinism as lint  # noqa: E402
+
+
+def run_lint(argv):
+    """main(argv) -> (exit_code, stderr_text)."""
+    err = io.StringIO()
+    with contextlib.redirect_stderr(err), \
+            contextlib.redirect_stdout(io.StringIO()):
+        code = lint.main(argv)
+    return code, err.getvalue()
+
+
+def lint_fixture(name, allowlist=None):
+    argv = [str(FIXTURES / name)]
+    if allowlist:
+        argv = ["--allowlist", str(allowlist)] + argv
+    return run_lint(argv)
+
+
+class BadFixtures(unittest.TestCase):
+    def assert_flags(self, name, rule, times=None):
+        code, err = lint_fixture(name)
+        self.assertEqual(code, 1, f"{name} should fail\n{err}")
+        self.assertIn(f"[{rule}]", err)
+        if times is not None:
+            self.assertEqual(err.count(f"[{rule}]"), times, err)
+
+    def test_unseeded_mt19937(self):
+        self.assert_flags("bad_unseeded_mt19937.cpp", "banned-rng", 1)
+
+    def test_time_seeded_rng(self):
+        self.assert_flags("bad_time_seeded_rng.cpp", "banned-rng", 2)
+        _, err = lint_fixture("bad_time_seeded_rng.cpp")
+        self.assertIn("[wall-clock]", err)  # time(nullptr)
+
+    def test_random_device(self):
+        self.assert_flags("bad_random_device.cpp", "banned-rng", 1)
+
+    def test_chrono_hot_path(self):
+        # The include line plus both steady_clock reads.
+        self.assert_flags("bad_chrono_hot_path.cpp", "wall-clock", 3)
+
+    def test_static_local(self):
+        # static int counter, thread_local vector, static double{...}.
+        self.assert_flags("bad_static_local.cpp", "static-mutable", 3)
+
+
+class GoodFixtures(unittest.TestCase):
+    def test_seeded_rng_clean(self):
+        code, err = lint_fixture("good_seeded_rng.cpp")
+        self.assertEqual(code, 0, err)
+
+    def test_const_static_clean(self):
+        code, err = lint_fixture("good_const_static.cpp")
+        self.assertEqual(code, 0, err)
+
+    def test_chrono_needs_allowlist(self):
+        code, err = lint_fixture("good_chrono_allowlisted.cpp")
+        self.assertEqual(code, 1, "chrono fixture must fail WITHOUT its "
+                         "allowlist entry\n" + err)
+        code, err = lint_fixture("good_chrono_allowlisted.cpp",
+                                 allowlist=FIXTURES /
+                                 "fixture_allowlist.json")
+        self.assertEqual(code, 0, err)
+
+
+class RealTree(unittest.TestCase):
+    def test_src_is_clean(self):
+        code, err = run_lint([])
+        self.assertEqual(code, 0, "src/ must lint clean:\n" + err)
+
+
+class Allowlist(unittest.TestCase):
+    def test_stale_entry_fails_full_run(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            (root / "src").mkdir()
+            (root / "src" / "clean.cpp").write_text("int x() { return 1; }\n")
+            allow = root / "allow.json"
+            allow.write_text(json.dumps({"banned-rng": [
+                {"file": "src/gone.cpp", "reason": "obsolete"}]}))
+            code, err = run_lint(["--root", str(root),
+                                  "--allowlist", str(allow)])
+            self.assertEqual(code, 1, err)
+            self.assertIn("stale", err)
+
+    def test_entry_without_reason_rejected(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            allow = Path(tmp) / "allow.json"
+            allow.write_text(json.dumps({"banned-rng": [
+                {"file": "src/x.cpp", "reason": ""}]}))
+            with self.assertRaises(SystemExit) as ctx:
+                with contextlib.redirect_stderr(io.StringIO()):
+                    lint.load_allowlist(allow)
+            self.assertEqual(ctx.exception.code, 2)
+
+
+class StaticDeclHeuristic(unittest.TestCase):
+    def test_classifier(self):
+        flagged = [
+            "  static int counter = 0;",
+            "  static thread_local std::vector<real_t> work;",
+            "  static MetricsRegistry* g = new MetricsRegistry();",
+            "thread_local bool t_on_worker = false;",
+            "static double acc{0.0};",
+        ]
+        clean = [
+            "  static const int k = 3;",
+            "  static constexpr std::size_t kCap = 256;",
+            "  static std::string fmt(double v, int precision = 3);",
+            "  static bool on_worker_thread();",
+            "  static int twice(int v) { return 2 * v; }",
+            "  int not_static = 4;",
+            "  return static_cast<int>(x);",
+        ]
+        for line in flagged:
+            self.assertTrue(lint.is_mutable_static_decl(line), line)
+        for line in clean:
+            self.assertFalse(lint.is_mutable_static_decl(line), line)
+
+    def test_stripper_preserves_lines(self):
+        src = 'int a; // std::mt19937\nconst char* s = "std::rand";\n'
+        out = lint.strip_comments_and_strings(src)
+        self.assertEqual(out.count("\n"), src.count("\n"))
+        self.assertNotIn("mt19937", out)
+        self.assertNotIn("rand", out)
+
+
+if __name__ == "__main__":
+    unittest.main()
