@@ -18,13 +18,23 @@
 // synchronous twin reducer that applied the same modification stream
 // sequentially and built its snapshot from scratch.
 //
-// Emits BENCH_serving.json (schema: bench/README.md). Both modes also
+// --zipf S (with --churn) switches to the result-cache scenario
+// (DESIGN.md §4.2): Zipf(S)-skewed resistance queries over a fixed pair
+// pool stream through a store-attached ResultCache while the updater
+// churns, reporting cache hit rate and QPS with the cache vs. the same
+// batches recomputed without it. Enforced (exit 1 on violation): every
+// cached batch is bit-identical to its uncached twin on the same pinned
+// snapshot, the er_cache_* registry counters agree with the BatchStats
+// sums, and for S >= 1 the hit rate clears 50%.
+//
+// Emits BENCH_serving.json (schema: bench/README.md). All modes also
 // report per-query latency percentiles (and, under churn, publish-latency
 // percentiles) extracted from the observability registry (DESIGN.md §6),
 // cross-checked against the legacy Stats accessors, and can dump the whole
 // registry as Prometheus text exposition via --metrics.
 //
 //   bench_serving [--threads N] [--json PATH] [--metrics PATH] [--churn]
+//                 [--zipf S]
 //
 // N is the *maximum* thread count swept (default 8).
 #include <cmath>
@@ -40,6 +50,7 @@
 #include "serve/async_updater.hpp"
 #include "serve/model_store.hpp"
 #include "serve/query_frontend.hpp"
+#include "serve/result_cache.hpp"
 #include "suite.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -418,12 +429,267 @@ int run_churn(const bench::BenchOptions& bopts) {
   return json_status != 0 ? json_status : metrics_status;
 }
 
+/// Result-cache scenario: per (case, threads), stream Zipf(S)-skewed
+/// resistance queries over a fixed pair pool through a store-attached
+/// ResultCache while the AsyncUpdater churns modifications underneath.
+/// Every cached batch is validated bitwise against an uncached twin on
+/// the same pinned snapshot, and the registry's er_cache_* counters are
+/// cross-checked against the accumulated BatchStats.
+int run_zipf(const bench::BenchOptions& bopts) {
+  constexpr int kChurnMods = 10;
+  constexpr int kZipfBatchesPerMod = 4;
+  constexpr std::size_t kZipfBatch = 500;
+  // Pool smaller than a mod-cycle's draw count (4 * 500), so a skewed
+  // working set revisits keys both within a version and across the clean
+  // blocks carried to the next one.
+  constexpr std::size_t kPoolPairs = 384;
+
+  std::vector<int> thread_counts{1};
+  for (int t = 2; t <= bopts.threads; t *= 2) thread_counts.push_back(t);
+
+  TablePrinter table({"Case", "Threads", "S", "Batches", "HitRate",
+                      "kQPS(cache)", "kQPS(raw)", "Entries", "Evict",
+                      "Inval", "Identical"});
+  bench::BenchJson json;
+  obs::MetricsSnapshot metrics_dump;
+  bool all_ok = true;
+
+  for (const auto& [name, pg] : bench::table2_suite()) {
+    const ConductanceNetwork net = pg.to_network();
+    std::fprintf(stderr, "[serving --zipf %.2f] %s: n=%d resistors=%zu\n",
+                 bopts.zipf, name.c_str(), pg.num_nodes, pg.resistors.size());
+
+    for (int threads : thread_counts) {
+      ReductionOptions ropts;
+      ropts.num_blocks = 32;
+      ropts.sparsify_quality = 1.0;
+      ropts.parallel.num_threads = threads;
+
+      obs::MetricsRegistry reg;
+      // The uncached twin batches record into a registry of their own, so
+      // `reg`'s query-latency / cache series describe the cached path only.
+      obs::MetricsRegistry uncached_reg;
+      ModelStore store(&reg);
+      IncrementalReducer reducer(net, pg.port_mask(), ropts);
+      ServingOptions sopts;
+      sopts.build_monolithic_factor = false;
+      reducer.attach_store(&store, sopts);
+      // Attach after the initial publish: attach_cache registers the
+      // already-current snapshot, subsequent publishes carry/invalidate.
+      const auto cache =
+          std::make_shared<ResultCache>(sopts.cache, &reg);
+      store.attach_cache(cache);
+      const BlockStructure structure = reducer.structure();
+
+      // Fixed pair pool over kept (non-eliminated) nodes; the Zipf sampler
+      // ranks it so low ranks dominate the stream.
+      std::vector<PortQuery> pool_pairs;
+      {
+        const ReducedModel& model = reducer.model();
+        std::vector<index_t> kept;
+        for (std::size_t v = 0; v < model.node_map.size(); ++v)
+          if (model.node_map[v] >= 0) kept.push_back(static_cast<index_t>(v));
+        Rng rng(2031);
+        const auto n = static_cast<index_t>(kept.size());
+        pool_pairs.reserve(kPoolPairs);
+        for (std::size_t i = 0; i < kPoolPairs; ++i) {
+          PortQuery query;
+          query.kind = QueryKind::kResistance;
+          query.p = kept[static_cast<std::size_t>(rng.uniform_int(n))];
+          query.q = kept[static_cast<std::size_t>(rng.uniform_int(n))];
+          pool_pairs.push_back(query);
+        }
+      }
+      const bench::ZipfSampler sampler(pool_pairs.size(), bopts.zipf);
+
+      // Deterministic modification stream, identical contract to --churn.
+      std::vector<ConductanceNetwork> nets;
+      std::vector<GridModification> mods;
+      {
+        ConductanceNetwork current = net;
+        for (int u = 1; u <= kChurnMods; ++u) {
+          const GridModification mod = random_modification(
+              structure.num_blocks, 0.1, 1.2,
+              static_cast<std::uint64_t>(4000 + u));
+          current = apply_modification(current, structure, mod);
+          nets.push_back(current);
+          mods.push_back(mod);
+        }
+      }
+
+      std::unique_ptr<ThreadPool> qpool;
+      if (threads > 1) qpool = std::make_unique<ThreadPool>(threads, &reg);
+      AsyncUpdater::Options uopts;
+      uopts.max_staleness_mods = 6;
+      uopts.registry = &reg;
+      AsyncUpdater updater(
+          [&reducer](const ConductanceNetwork& m,
+                     const std::vector<index_t>& dirty) {
+            reducer.update(m, dirty);
+            return reducer.revision();
+          },
+          uopts);
+
+      // Churn + query phase. Each batch pins one snapshot and is answered
+      // twice — through the cache and from scratch — so the bitwise check
+      // cannot be confused by a publish landing between the two runs.
+      std::size_t queries_answered = 0;
+      std::size_t hits = 0, misses = 0;
+      double cached_seconds = 0.0, uncached_seconds = 0.0;
+      bool identical = true;
+      Rng draw_rng(2033);
+      for (int u = 0; u < kChurnMods; ++u) {
+        updater.submit(nets[static_cast<std::size_t>(u)],
+                       mods[static_cast<std::size_t>(u)].dirty_blocks);
+        for (int b = 0; b < kZipfBatchesPerMod; ++b) {
+          std::vector<PortQuery> batch;
+          batch.reserve(kZipfBatch);
+          for (std::size_t i = 0; i < kZipfBatch; ++i)
+            batch.push_back(pool_pairs[sampler.sample(draw_rng.uniform())]);
+          const SnapshotPtr snap = store.acquire();
+          BatchStats cached_stats;
+          Timer ct;
+          const auto cached_answers = QueryFrontEnd::answer_on(
+              *snap, batch, qpool.get(), RouteMode::kLocalApprox,
+              &cached_stats, &reg, cache.get());
+          cached_seconds += ct.seconds();
+          BatchStats uncached_stats;
+          Timer ut;
+          const auto uncached_answers = QueryFrontEnd::answer_on(
+              *snap, batch, qpool.get(), RouteMode::kLocalApprox,
+              &uncached_stats, &uncached_reg, nullptr);
+          uncached_seconds += ut.seconds();
+          for (std::size_t i = 0; i < batch.size(); ++i)
+            identical =
+                identical && cached_answers[i] == uncached_answers[i];
+          hits += cached_stats.cache_hits;
+          misses += cached_stats.cache_misses;
+          queries_answered += batch.size();
+        }
+      }
+      updater.flush();
+      const SnapshotPtr final_snap = store.acquire();
+      if (!identical) {
+        std::fprintf(stderr,
+                     "ERROR: %s threads=%d cached batch diverged from its "
+                     "uncached twin\n",
+                     name.c_str(), threads);
+        all_ok = false;
+      }
+
+      // Registry cross-checks: the cache's own counters must tell the same
+      // story as the per-batch stats the front-end returned.
+      const obs::MetricsSnapshot reg_snap = reg.snapshot();
+      const obs::MetricSnapshot* hits_counter =
+          reg_snap.find("er_cache_hits_total");
+      const obs::MetricSnapshot* misses_counter =
+          reg_snap.find("er_cache_misses_total");
+      if (!hits_counter ||
+          static_cast<std::size_t>(hits_counter->counter) != hits ||
+          !misses_counter ||
+          static_cast<std::size_t>(misses_counter->counter) != misses) {
+        std::fprintf(
+            stderr,
+            "ERROR: %s threads=%d er_cache_{hits,misses}_total "
+            "disagree with BatchStats (counters %llu/%llu, stats "
+            "%zu/%zu)\n",
+            name.c_str(), threads,
+            static_cast<unsigned long long>(
+                hits_counter ? hits_counter->counter : 0),
+            static_cast<unsigned long long>(
+                misses_counter ? misses_counter->counter : 0),
+            hits, misses);
+        all_ok = false;
+      }
+
+      const double hit_rate =
+          hits + misses > 0
+              ? static_cast<double>(hits) /
+                    static_cast<double>(hits + misses)
+              : 0.0;
+      // The acceptance bar: a skewed stream (S >= 1) over a pool smaller
+      // than the per-version draw count must clear a 50% hit rate even
+      // with 10% of blocks going dirty every publish.
+      if (bopts.zipf >= 1.0 && hit_rate < 0.5) {
+        std::fprintf(stderr,
+                     "ERROR: %s threads=%d hit rate %.3f below the 0.5 "
+                     "floor at zipf %.2f\n",
+                     name.c_str(), threads, hit_rate, bopts.zipf);
+        all_ok = false;
+      }
+
+      const double qps =
+          cached_seconds > 0.0
+              ? static_cast<double>(queries_answered) / cached_seconds
+              : 0.0;
+      const double qps_uncached =
+          uncached_seconds > 0.0
+              ? static_cast<double>(queries_answered) / uncached_seconds
+              : 0.0;
+      table.add_row(
+          {name, TablePrinter::fmt_int(threads),
+           TablePrinter::fmt(bopts.zipf, 2),
+           TablePrinter::fmt_int(kChurnMods * kZipfBatchesPerMod),
+           TablePrinter::fmt(hit_rate, 3),
+           TablePrinter::fmt(qps / 1000.0, 1),
+           TablePrinter::fmt(qps_uncached / 1000.0, 1),
+           TablePrinter::fmt_size(static_cast<long long>(cache->entries())),
+           TablePrinter::fmt_size(static_cast<long long>(cache->evictions())),
+           TablePrinter::fmt_size(
+               static_cast<long long>(cache->invalidations())),
+           identical ? "yes" : "NO"});
+      auto& row = json.add_row();
+      row.set("bench", "serving")
+          .set("case", name)
+          .set("mode", "zipf")
+          .set("threads", threads)
+          .set("queries", queries_answered)
+          .set("reduced_nodes",
+               static_cast<long long>(
+                   final_snap->model().stats.reduced_nodes))
+          .set("boundary_nodes",
+               static_cast<long long>(final_snap->num_boundary_nodes()))
+          .set("blocks", static_cast<int>(final_snap->num_blocks()))
+          .set("zipf_s", bopts.zipf)
+          .set("pool_pairs", kPoolPairs)
+          .set("mods_submitted", static_cast<std::size_t>(kChurnMods))
+          .set("cache_hit_rate", hit_rate)
+          .set("cache_hits", hits)
+          .set("cache_misses", misses)
+          .set("cache_entries", cache->entries())
+          .set("cache_evictions",
+               static_cast<long long>(cache->evictions()))
+          .set("cache_invalidations",
+               static_cast<long long>(cache->invalidations()))
+          .set("queries_per_second", qps)
+          .set("queries_per_second_uncached", qps_uncached)
+          .set("identical", identical);
+      set_query_latency_fields(row, reg_snap, RouteMode::kLocalApprox);
+      metrics_dump.merge(reg_snap);
+    }
+  }
+
+  std::printf("\nServing through the result cache — Zipf(%.2f) over %zu "
+              "pairs, %d mods churning\n(cached batches must be "
+              "bit-identical to their uncached twins)\n\n",
+              bopts.zipf, kPoolPairs, kChurnMods);
+  table.print();
+  const int json_status = bench::write_json_or_report(json, bopts);
+  const int metrics_status = write_metrics_dump(metrics_dump, bopts);
+  if (!all_ok) {
+    std::fprintf(stderr, "ERROR: zipf cache scenario failed\n");
+    return 1;
+  }
+  return json_status != 0 ? json_status : metrics_status;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bench::BenchOptions bopts = bench::parse_bench_args(
       argc, argv, "BENCH_serving.json", /*default_threads=*/8,
       /*allow_churn=*/true);
+  if (bopts.zipf > 0.0) return run_zipf(bopts);
   if (bopts.churn) return run_churn(bopts);
   constexpr std::size_t kBatchSize = 10000;
 

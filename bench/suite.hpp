@@ -7,6 +7,7 @@
 // numbers in EXPERIMENTS.md use medium.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -44,6 +45,41 @@ struct BenchOptions {
   /// per-iteration registries are folded into one run-level snapshot with
   /// MetricsSnapshot::merge before export.
   std::string metrics_path;
+  /// Zipf skew exponent for the query generator (bench_serving only; set
+  /// via --zipf S, 0 disables). With --churn this switches the churn run
+  /// into the result-cache scenario: Zipf(S)-distributed queries over a
+  /// fixed pair pool, reporting cache hit rate and QPS with/without the
+  /// cache. S around 1.0-1.2 matches typical skewed serving traffic.
+  double zipf = 0.0;
+};
+
+/// Zipf(s)-distributed sampler over ranks [0, n): P(k) proportional to
+/// 1 / (k+1)^s. Built once (O(n) table of cumulative weights), sampled by
+/// binary search over one Rng draw — deterministic per seed, so bench runs
+/// are reproducible at any thread count.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s) : cumulative_(n, 0.0) {
+    double total = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+      cumulative_[k] = total;
+    }
+    for (double& c : cumulative_) c /= total;
+  }
+
+  /// Rank in [0, size()) for one uniform draw in [0, 1).
+  [[nodiscard]] std::size_t sample(double uniform01) const {
+    const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(),
+                                     uniform01);
+    if (it == cumulative_.end()) return cumulative_.size() - 1;
+    return static_cast<std::size_t>(it - cumulative_.begin());
+  }
+
+  [[nodiscard]] std::size_t size() const { return cumulative_.size(); }
+
+ private:
+  std::vector<double> cumulative_;  // normalized CDF over ranks
 };
 
 /// Strict non-negative integer parse; exits with usage on garbage so a
@@ -58,6 +94,20 @@ inline int parse_thread_count(const char* prog, const std::string& text) {
     std::exit(2);
   }
   return static_cast<int>(v);
+}
+
+/// Strict Zipf-exponent parse: finite, in [0, 8] (s > ~8 degenerates to
+/// "always rank 0" and usually means a typo'd value).
+inline double parse_zipf_exponent(const char* prog, const std::string& text) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (text.empty() || end != text.c_str() + text.size() ||
+      !std::isfinite(v) || v < 0.0 || v > 8.0) {
+    std::fprintf(stderr, "%s: --zipf expects a number in [0, 8], got '%s'\n",
+                 prog, text.c_str());
+    std::exit(2);
+  }
+  return v;
 }
 
 inline BenchOptions parse_bench_args(int argc, char** argv,
@@ -83,6 +133,10 @@ inline BenchOptions parse_bench_args(int argc, char** argv,
       o.metrics_path = a.substr(10);
     } else if (allow_churn && a == "--churn") {
       o.churn = true;
+    } else if (allow_churn && a == "--zipf" && i + 1 < argc) {
+      o.zipf = parse_zipf_exponent(argv[0], argv[++i]);
+    } else if (allow_churn && a.rfind("--zipf=", 0) == 0) {
+      o.zipf = parse_zipf_exponent(argv[0], a.substr(7));
     } else {
       std::fprintf(stderr,
                    "usage: %s [--threads N] [--json PATH] "
@@ -91,10 +145,12 @@ inline BenchOptions parse_bench_args(int argc, char** argv,
                    "  --json PATH    machine-readable output ('' disables)\n"
                    "  --metrics PATH Prometheus text dump of run metrics "
                    "('' disables)\n%s",
-                   argv[0], allow_churn ? " [--churn]" : "",
+                   argv[0], allow_churn ? " [--churn] [--zipf S]" : "",
                    allow_churn
                        ? "  --churn        mixed update+query mode "
                          "(publish latency / staleness / QPS)\n"
+                         "  --zipf S       with --churn: Zipf(S)-skewed "
+                         "queries through the result cache\n"
                        : "");
       std::exit(a == "--help" ? 0 : 2);
     }

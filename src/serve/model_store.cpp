@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "serve/result_cache.hpp"
 
 namespace er {
 
@@ -33,18 +34,41 @@ void ModelStore::publish(SnapshotPtr snapshot) {
   // Swap under the lock, destroy outside it: if this publish drops the last
   // reference to the displaced snapshot, its (large) teardown must not
   // stall concurrent acquire() calls — the critical section stays a
-  // pointer swap plus O(1) log bookkeeping.
+  // pointer swap plus O(1) log bookkeeping. The cache hook also runs
+  // outside the lock (it sweeps every cache stripe): racing publishes may
+  // then invoke hooks out of order, which at worst misses a carry (cold
+  // cache), never yields a stale hit — see ResultCache::on_publish.
   SnapshotPtr displaced;
+  std::shared_ptr<ResultCache> cache;
   {
     util::MutexLock lock(&mutex_);
     publish_log_.emplace_back(version, now);
     if (publish_log_.size() > kPublishLogCap) publish_log_.pop_front();
     displaced = std::move(current_);
-    current_ = std::move(snapshot);
+    current_ = snapshot;
     ++publish_count_;
+    cache = cache_;
   }
   publishes_total_->add(1);
   current_version_gauge_->set(static_cast<std::int64_t>(version));
+  if (cache) cache->on_publish(displaced.get(), *snapshot);
+}
+
+void ModelStore::attach_cache(std::shared_ptr<ResultCache> cache) {
+  SnapshotPtr current;
+  {
+    util::MutexLock lock(&mutex_);
+    cache_ = cache;
+    current = current_;
+  }
+  // Register the already-published snapshot so its version resolves;
+  // nothing can carry into it (the cache has no scopes for its ancestry).
+  if (cache && current) cache->on_publish(nullptr, *current);
+}
+
+std::shared_ptr<ResultCache> ModelStore::cache() const {
+  util::MutexLock lock(&mutex_);
+  return cache_;
 }
 
 SnapshotPtr ModelStore::acquire() const {

@@ -31,6 +31,8 @@ class Counter;
 class Gauge;
 }  // namespace obs
 
+class ResultCache;
+
 using SnapshotPtr = std::shared_ptr<const ModelSnapshot>;
 
 /// Thread-safe holder of the current snapshot. All methods may be called
@@ -85,6 +87,19 @@ class ModelStore {
   [[nodiscard]] std::optional<double> version_age_seconds(
       std::uint64_t version) const ER_EXCLUDES(mutex_);
 
+  /// Attach a result cache (serve/result_cache.hpp): the already-current
+  /// snapshot (if any) is registered immediately, and every subsequent
+  /// publish() invokes the cache's carry/invalidate hook with the
+  /// displaced and new snapshots. Works for *any* publisher — the
+  /// IncrementalReducer / AsyncUpdater path publishes through here, so it
+  /// needs no wiring of its own. Pass null to detach.
+  void attach_cache(std::shared_ptr<ResultCache> cache) ER_EXCLUDES(mutex_);
+
+  /// The attached cache (null when none). QueryFrontEnd::answer resolves
+  /// this once per batch.
+  [[nodiscard]] std::shared_ptr<ResultCache> cache() const
+      ER_EXCLUDES(mutex_);
+
  private:
   /// Publish-instant retention: far beyond any realistically pinned
   /// snapshot's age, still O(1) memory over a long-lived store.
@@ -92,6 +107,7 @@ class ModelStore {
 
   mutable util::Mutex mutex_;
   SnapshotPtr current_ ER_GUARDED_BY(mutex_);
+  std::shared_ptr<ResultCache> cache_ ER_GUARDED_BY(mutex_);
   std::uint64_t publish_count_ ER_GUARDED_BY(mutex_) = 0;
   obs::Counter* publishes_total_;  ///< registry-backed, set at construction
   obs::Gauge* current_version_gauge_;

@@ -6,6 +6,7 @@
 
 #include "obs/metrics.hpp"
 #include "parallel/thread_pool.hpp"
+#include "serve/result_cache.hpp"
 #include "util/timer.hpp"
 
 namespace er {
@@ -50,27 +51,30 @@ ServeMetrics serve_metrics(obs::MetricsRegistry& reg, RouteMode mode) {
   };
 }
 
-/// Evaluate one query on the exact paths (sharded or monolithic), counting
-/// routing diagnostics into the chunk's counters.
-real_t answer_exact(const ModelSnapshot& snap, const PortQuery& query,
-                    bool monolithic, ModelSnapshot::Workspace& ws,
-                    std::size_t& invalid, std::size_t& same_block,
-                    std::size_t& cross_block) {
-  const index_t p = snap.reduced_id(query.p);
-  const index_t q = snap.reduced_id(query.q);
-  if (p < 0 || q < 0) {
-    ++invalid;
-    return kNaN;
-  }
-  if (snap.block_of_reduced(p) == snap.block_of_reduced(q))
-    ++same_block;
-  else
-    ++cross_block;
-  if (query.kind == QueryKind::kResponse)
+/// Evaluate one query on the exact paths (sharded or monolithic), given
+/// its already-validated reduced endpoints. A pure per-query function of
+/// (snapshot, kind, p, q) — the property that makes the answer cacheable.
+real_t answer_exact(const ModelSnapshot& snap, QueryKind kind, index_t p,
+                    index_t q, bool monolithic,
+                    ModelSnapshot::Workspace& ws) {
+  if (kind == QueryKind::kResponse)
     return monolithic ? snap.response_monolithic(p, q, ws)
                       : snap.response(p, q, ws);
   return monolithic ? snap.resistance_monolithic(p, q, ws)
                     : snap.resistance(p, q, ws);
+}
+
+/// Whether a ResultCache configured with `opts` serves batches of `mode`.
+bool cache_serves_mode(const ResultCacheOptions& opts, RouteMode mode) {
+  switch (mode) {
+    case RouteMode::kSharded:
+      return opts.cache_sharded;
+    case RouteMode::kMonolithic:
+      return opts.cache_monolithic;
+    case RouteMode::kLocalApprox:
+      return opts.cache_local_approx;
+  }
+  return false;
 }
 
 }  // namespace
@@ -98,25 +102,38 @@ std::vector<real_t> QueryFrontEnd::answer(const std::vector<PortQuery>& batch,
                                           ThreadPool* pool, RouteMode mode,
                                           BatchStats* stats) const {
   // Pin the snapshot once: the whole batch is answered against one model
-  // version, however many publishes race with it.
+  // version, however many publishes race with it. The cache handle is
+  // pinned the same way (shared ownership for the batch's duration).
   const SnapshotPtr snap = store_->acquire();
   if (!snap)
     throw std::runtime_error("QueryFrontEnd::answer: nothing published yet");
-  return answer_on(*snap, batch, pool, mode, stats, registry_);
+  const ResultCachePtr cache = store_->cache();
+  return answer_on(*snap, batch, pool, mode, stats, registry_, cache.get());
 }
 
 std::vector<real_t> QueryFrontEnd::answer_on(const ModelSnapshot& snap,
                                              const std::vector<PortQuery>& batch,
                                              ThreadPool* pool, RouteMode mode,
                                              BatchStats* stats,
-                                             obs::MetricsRegistry* registry) {
+                                             obs::MetricsRegistry* registry,
+                                             ResultCache* cache) {
   Timer timer;
   ServeMetrics metrics =
       serve_metrics(obs::registry_or_global(registry), mode);
   const auto n = static_cast<index_t>(batch.size());
   std::vector<real_t> out(batch.size(), 0.0);
   std::atomic<std::size_t> invalid{0}, same_block{0}, cross_block{0},
-      engine_answered{0};
+      engine_answered{0}, cache_hits{0}, cache_misses{0};
+
+  // Resolve the snapshot version's cache scopes once per batch (the view
+  // is immutable). An unresolvable version — cache detached, mode knob
+  // off, or the version aged past the cache's version_cap — degrades to
+  // the plain compute path; answers are bitwise identical either way
+  // because every cached value is a pure per-query function of the
+  // snapshot state its scope pins (DESIGN.md §4.2).
+  ResultCache::ScopeViewPtr scopes;
+  if (cache && cache_serves_mode(cache->options(), mode))
+    scopes = cache->scopes_for(snap.version());
 
   // The block-local fast path routes same-block resistance queries to the
   // block's resident engine; everything else (responses, cross-block,
@@ -126,6 +143,10 @@ std::vector<real_t> QueryFrontEnd::answer_on(const ModelSnapshot& snap,
     pending.assign(batch.size(), 0);
     // Bucket engine-eligible queries by owning block, then fan the blocks
     // out across the pool: every bucket writes disjoint out[] slots.
+    // Cache probes happen here (serially, before the fan-out): an engine
+    // entry is keyed by its block's scope — carried across publishes while
+    // the block's artifact stays aliased — so a hit skips the bucket
+    // entirely.
     std::vector<std::vector<index_t>> bucket(
         static_cast<std::size_t>(snap.num_blocks()));
     for (index_t i = 0; i < n; ++i) {
@@ -137,10 +158,26 @@ std::vector<real_t> QueryFrontEnd::answer_on(const ModelSnapshot& snap,
                             snap.block_of_reduced(p) ==
                                 snap.block_of_reduced(q) &&
                             snap.block_engine(snap.block_of_reduced(p));
-      if (eligible)
-        bucket[static_cast<std::size_t>(snap.block_of_reduced(p))].push_back(i);
-      else
+      if (!eligible) {
         pending[static_cast<std::size_t>(i)] = 1;
+        continue;
+      }
+      const auto b = static_cast<std::size_t>(snap.block_of_reduced(p));
+      if (scopes && b < scopes->block_scopes.size()) {
+        Timer query_timer;
+        real_t cached = 0.0;
+        if (cache->lookup(scopes->block_scopes[b],
+                          ResultCache::Path::kEngine, query.kind, query.p,
+                          query.q, &cached)) {
+          out[static_cast<std::size_t>(i)] = cached;
+          metrics.query_latency.record(query_timer.seconds());
+          ++cache_hits;
+          ++same_block;
+          continue;
+        }
+        ++cache_misses;
+      }
+      bucket[b].push_back(i);
     }
     parallel_for(pool, 0, snap.num_blocks(), 1, [&](index_t lo, index_t hi) {
       for (index_t b = lo; b < hi; ++b) {
@@ -158,12 +195,25 @@ std::vector<real_t> QueryFrontEnd::answer_on(const ModelSnapshot& snap,
         Timer bucket_timer;
         snap.block_engine(b)->resistances_into(local, answers);
         // The engine answers the bucket as one batched solve; attribute
-        // the mean per-query share to each query's latency sample.
+        // the mean per-query share to each query's latency sample. Cache
+        // hits shrinking the bucket cannot change the remaining answers:
+        // every engine answers each (p, q) independently of its batch
+        // neighbours (see effres/engine.hpp's per-slot contract; the
+        // index-seeded RandomWalk engine is never a block engine).
         const double per_query =
             bucket_timer.seconds() / static_cast<double>(local.size());
         for (std::size_t j = 0; j < ids.size(); ++j) {
           out[static_cast<std::size_t>(ids[j])] = answers[j];
           metrics.query_latency.record(per_query);
+          if (scopes &&
+              b < static_cast<index_t>(scopes->block_scopes.size())) {
+            const PortQuery& query =
+                batch[static_cast<std::size_t>(ids[j])];
+            cache->insert(
+                scopes->block_scopes[static_cast<std::size_t>(b)],
+                ResultCache::Path::kEngine, query.kind, query.p, query.q,
+                answers[j]);
+          }
         }
         same_block += ids.size();
         engine_answered += ids.size();
@@ -172,21 +222,53 @@ std::vector<real_t> QueryFrontEnd::answer_on(const ModelSnapshot& snap,
   }
 
   // Exact paths, chunked across the pool with one workspace per chunk.
+  // kLocalApprox fallback queries cache under Path::kExact — the same
+  // compute function a kSharded batch runs, so the two modes legitimately
+  // share entries within a version.
   const bool monolithic = mode == RouteMode::kMonolithic;
+  const ResultCache::Path exact_path =
+      monolithic ? ResultCache::Path::kMonolithic : ResultCache::Path::kExact;
   parallel_for(pool, 0, n, kBatchQueryGrain, [&](index_t lo, index_t hi) {
     ModelSnapshot::Workspace ws;
-    std::size_t inv = 0, same = 0, cross = 0;
+    std::size_t inv = 0, same = 0, cross = 0, hits = 0, missed = 0;
     for (index_t i = lo; i < hi; ++i) {
       if (!pending.empty() && !pending[static_cast<std::size_t>(i)]) continue;
+      const PortQuery& query = batch[static_cast<std::size_t>(i)];
       Timer query_timer;
-      out[static_cast<std::size_t>(i)] =
-          answer_exact(snap, batch[static_cast<std::size_t>(i)], monolithic,
-                       ws, inv, same, cross);
+      const index_t p = snap.reduced_id(query.p);
+      const index_t q = snap.reduced_id(query.q);
+      if (p < 0 || q < 0) {
+        // Invalid endpoints answer NaN and are never probed or cached —
+        // they carry no compute worth saving.
+        ++inv;
+        out[static_cast<std::size_t>(i)] = kNaN;
+        metrics.query_latency.record(query_timer.seconds());
+        continue;
+      }
+      if (snap.block_of_reduced(p) == snap.block_of_reduced(q))
+        ++same;
+      else
+        ++cross;
+      real_t value = 0.0;
+      if (scopes && cache->lookup(scopes->exact_scope, exact_path,
+                                  query.kind, query.p, query.q, &value)) {
+        ++hits;
+      } else {
+        value = answer_exact(snap, query.kind, p, q, monolithic, ws);
+        if (scopes) {
+          ++missed;
+          cache->insert(scopes->exact_scope, exact_path, query.kind,
+                        query.p, query.q, value);
+        }
+      }
+      out[static_cast<std::size_t>(i)] = value;
       metrics.query_latency.record(query_timer.seconds());
     }
     invalid += inv;
     same_block += same;
     cross_block += cross;
+    cache_hits += hits;
+    cache_misses += missed;
   });
 
   const double batch_seconds = timer.seconds();
@@ -203,6 +285,8 @@ std::vector<real_t> QueryFrontEnd::answer_on(const ModelSnapshot& snap,
     stats->same_block = same_block.load();
     stats->cross_block = cross_block.load();
     stats->engine_answered = engine_answered.load();
+    stats->cache_hits = cache_hits.load();
+    stats->cache_misses = cache_misses.load();
     stats->snapshot_version = snap.version();
     stats->seconds = batch_seconds;
   }

@@ -17,6 +17,7 @@
 
 namespace er {
 
+class ResultCache;
 class ThreadPool;
 
 namespace obs {
@@ -65,7 +66,12 @@ struct BatchStats {
   std::size_t invalid = 0;          ///< unmapped / out-of-range endpoints
   std::size_t same_block = 0;       ///< both endpoints owned by one block
   std::size_t cross_block = 0;      ///< endpoints in different blocks
-  std::size_t engine_answered = 0;  ///< served by a block-local engine
+  std::size_t engine_answered = 0;  ///< *computed* by a block-local engine
+  /// Result-cache figures (serve/result_cache.hpp), zero when no cache was
+  /// consulted. hits + misses counts every cache probe of the batch;
+  /// invalid queries are never probed or cached.
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
   std::uint64_t snapshot_version = 0;
   double seconds = 0.0;
 };
@@ -81,18 +87,23 @@ class QueryFrontEnd {
                          obs::MetricsRegistry* registry = nullptr);
 
   /// Answer a batch against the currently-published snapshot. Throws
-  /// std::runtime_error if nothing has been published yet.
+  /// std::runtime_error if nothing has been published yet. When the store
+  /// carries an attached ResultCache whose per-mode knob is on, answers
+  /// are served from / inserted into it (bit-identical either way —
+  /// DESIGN.md §4.2).
   [[nodiscard]] std::vector<real_t> answer(const std::vector<PortQuery>& batch,
                                            ThreadPool* pool = nullptr,
                                            RouteMode mode = RouteMode::kSharded,
                                            BatchStats* stats = nullptr) const;
 
   /// Answer a batch against an explicitly pinned snapshot (tests, replay).
-  /// Metrics go to `registry` (null = the global registry).
+  /// Metrics go to `registry` (null = the global registry); `cache` (may
+  /// be null) is consulted per its ResultCacheOptions mode knobs.
   [[nodiscard]] static std::vector<real_t> answer_on(
       const ModelSnapshot& snapshot, const std::vector<PortQuery>& batch,
       ThreadPool* pool = nullptr, RouteMode mode = RouteMode::kSharded,
-      BatchStats* stats = nullptr, obs::MetricsRegistry* registry = nullptr);
+      BatchStats* stats = nullptr, obs::MetricsRegistry* registry = nullptr,
+      ResultCache* cache = nullptr);
 
  private:
   const ModelStore* store_;

@@ -41,6 +41,36 @@ namespace er {
 
 class ThreadPool;
 
+/// Knobs of the serving-layer ResultCache (serve/result_cache.hpp), the
+/// sharded (version, block, node-pair)-keyed answer cache in front of the
+/// query paths. Embedded in ServingOptions so one struct configures a
+/// serving deployment end to end; nothing constructs a cache implicitly —
+/// a deployment opts in by building a ResultCache from these knobs and
+/// attaching it to its ModelStore (ModelStore::attach_cache).
+struct ResultCacheOptions {
+  // Per-route-mode enables: a batch consults/fills the cache only when its
+  // RouteMode's flag is set. All answer paths are cache-safe (per-query
+  // pure functions of the snapshot — DESIGN.md §4.2); the per-mode knobs
+  // exist for A/B measurement and to shed cache memory on modes a
+  // deployment never repeats queries on.
+  bool cache_sharded = true;      ///< RouteMode::kSharded batches
+  bool cache_monolithic = true;   ///< RouteMode::kMonolithic batches
+  bool cache_local_approx = true; ///< RouteMode::kLocalApprox batches
+  /// Lock stripes (rounded up to a power of two). More stripes = less
+  /// contention between concurrent query chunks; each stripe owns an
+  /// independent LRU list.
+  std::size_t shards = 16;
+  /// Whole-cache entry bound, split evenly across shards (per-shard LRU).
+  std::size_t max_entries = std::size_t{1} << 18;
+  /// Whole-cache resident-byte bound (entries are fixed-cost, so this is
+  /// an alternative expression of max_entries; the tighter bound wins).
+  std::size_t max_bytes = std::size_t{32} << 20;
+  /// How many published versions stay resolvable at once. A snapshot
+  /// pinned past the cap (or never registered) misses through and
+  /// recomputes — never a wrong answer (DESIGN.md §4.2).
+  std::size_t version_cap = 8;
+};
+
 /// Knobs for ModelSnapshot::build.
 struct ServingOptions {
   /// Build a resident per-block EffResEngine (block-local approximate ER
@@ -74,6 +104,10 @@ struct ServingOptions {
   /// Alg. 3 parameters of the per-block engines.
   real_t engine_droptol = 1e-3;
   real_t engine_epsilon = 1e-3;
+  /// Result-cache configuration (serve/result_cache.hpp). Only consulted
+  /// by the deployment code that constructs the cache — ModelSnapshot
+  /// itself never touches it.
+  ResultCacheOptions cache;
 };
 
 /// Resident serving state of one partition block, expressed entirely in
@@ -260,6 +294,16 @@ class ModelSnapshot {
   /// Reduced id -> local node id inside its block's engine graph.
   [[nodiscard]] index_t block_local_id(index_t reduced) const {
     return block_local_[static_cast<std::size_t>(reduced)];
+  }
+
+  /// Identity of a block's resident artifact — the copy-on-write unit.
+  /// Two snapshots returning the same pointer for block b share that
+  /// block's *entire* local state (interior factor, couplings, resident
+  /// engine, local numbering), which is what lets the ResultCache's
+  /// publish hook carry clean-block entries across versions by pointer
+  /// comparison (DESIGN.md §4.2). Valid only while the snapshot is alive.
+  [[nodiscard]] const BlockArtifact* block_artifact(index_t block) const {
+    return blocks_[static_cast<std::size_t>(block)].artifact.get();
   }
 
   // Sharded (domain-decomposition) query path — reduced node ids.

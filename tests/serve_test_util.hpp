@@ -1,14 +1,18 @@
 // Shared fixtures of the serving test suites (test_serving.cpp,
-// test_async_updater.cpp): a small gridded ConductanceNetwork with random
-// ports/pad shunts, and mixed response/resistance query batches over its
-// surviving nodes.
+// test_async_updater.cpp, test_result_cache.cpp): a small gridded
+// ConductanceNetwork with random ports/pad shunts, mixed
+// response/resistance query batches over its surviving nodes, the
+// AsyncUpdater<->IncrementalReducer wiring, and deterministic
+// modification streams.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "graph/generators.hpp"
+#include "pg/incremental.hpp"
 #include "reduction/pipeline.hpp"
+#include "serve/async_updater.hpp"
 #include "serve/query_frontend.hpp"
 #include "util/rng.hpp"
 
@@ -66,6 +70,46 @@ inline std::vector<PortQuery> mixed_batch(const std::vector<index_t>& nodes,
     batch.push_back(query);
   }
   return batch;
+}
+
+/// The AsyncUpdater <-> IncrementalReducer wiring used throughout: the
+/// worker applies the batch through the reducer (whose attached store
+/// publishes the snapshot) and reports the resulting revision.
+inline AsyncUpdater::UpdateFn bind_reducer(IncrementalReducer& reducer) {
+  return [&reducer](const ConductanceNetwork& net,
+                    const std::vector<index_t>& dirty) {
+    reducer.update(net, dirty);
+    return reducer.revision();
+  };
+}
+
+/// A deterministic modification stream: nets[u] is the *cumulative*
+/// network state after mods[0..u] (the AsyncUpdater submission contract —
+/// each submitted network already contains every earlier modification).
+struct ModStream {
+  std::vector<ConductanceNetwork> nets;
+  std::vector<GridModification> mods;
+};
+
+/// Build `count` random modifications over `base`, seeded seed0+1..
+/// seed0+count. `structure` must be captured from the reducer *before*
+/// any update runs (IncrementalReducer::structure() mutates during
+/// update(), so the submitter snapshots the routing info up front).
+inline ModStream make_mod_stream(const ConductanceNetwork& base,
+                                 const BlockStructure& structure, int count,
+                                 real_t fraction, real_t scale,
+                                 std::uint64_t seed0) {
+  ModStream stream;
+  ConductanceNetwork current = base;
+  for (int u = 1; u <= count; ++u) {
+    const GridModification mod =
+        random_modification(structure.num_blocks, fraction, scale,
+                            seed0 + static_cast<std::uint64_t>(u));
+    current = apply_modification(current, structure, mod);
+    stream.nets.push_back(current);
+    stream.mods.push_back(mod);
+  }
+  return stream;
 }
 
 }  // namespace er

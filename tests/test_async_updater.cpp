@@ -32,16 +32,8 @@
 namespace er {
 namespace {
 
-/// The AsyncUpdater <-> IncrementalReducer wiring used throughout: the
-/// worker applies the batch through the reducer (whose attached store
-/// publishes the snapshot) and reports the resulting revision.
-AsyncUpdater::UpdateFn bind_reducer(IncrementalReducer& reducer) {
-  return [&reducer](const ConductanceNetwork& net,
-                    const std::vector<index_t>& dirty) {
-    reducer.update(net, dirty);
-    return reducer.revision();
-  };
-}
+// bind_reducer / make_mod_stream come from serve_test_util.hpp (shared
+// with test_serving.cpp and test_result_cache.cpp).
 
 // ---------------------------------------------------------------------------
 // (b) dirty-only rebuild == full rebuild, bitwise, across thread counts.
@@ -130,14 +122,11 @@ TEST(ModelSnapshotRebuild, IncrementalPublishMatchesFullPublish) {
   full.attach_store(&store_full, full_opts);
 
   const auto batch = mixed_batch(kept_originals(incr.model()), 200, 31);
-  ConductanceNetwork current = c.net;
-  for (int u = 1; u <= 3; ++u) {
-    const GridModification mod = random_modification(
-        incr.structure().num_blocks, 0.2, 1.4,
-        static_cast<std::uint64_t>(500 + u));
-    current = apply_modification(current, incr.structure(), mod);
-    incr.update(current, mod.dirty_blocks);
-    full.update(current, mod.dirty_blocks);
+  const ModStream stream =
+      make_mod_stream(c.net, incr.structure(), 3, 0.2, 1.4, 500);
+  for (std::size_t u = 0; u < stream.nets.size(); ++u) {
+    incr.update(stream.nets[u], stream.mods[u].dirty_blocks);
+    full.update(stream.nets[u], stream.mods[u].dirty_blocks);
 
     const SnapshotPtr si = store_incr.acquire();
     const SnapshotPtr sf = store_full.acquire();
@@ -167,15 +156,14 @@ TEST(AsyncUpdater, CoalescedBatchesConvergeToSequentialModel) {
   AsyncUpdater updater(bind_reducer(reducer));
   updater.pause();  // force every submission into one coalesced batch
 
-  ConductanceNetwork current = c.net;
   constexpr int kMods = 4;
-  for (int u = 1; u <= kMods; ++u) {
-    const GridModification mod = random_modification(
-        reducer.structure().num_blocks, 0.3, 1.2,
-        static_cast<std::uint64_t>(700 + u));
-    current = apply_modification(current, twin.structure(), mod);
-    updater.submit(current, mod.dirty_blocks);
-    twin.update(current, mod.dirty_blocks);  // sequential reference
+  const ModStream stream =
+      make_mod_stream(c.net, twin.structure(), kMods, 0.3, 1.2, 700);
+  for (int u = 0; u < kMods; ++u) {
+    const auto& net = stream.nets[static_cast<std::size_t>(u)];
+    const auto& dirty = stream.mods[static_cast<std::size_t>(u)].dirty_blocks;
+    updater.submit(net, dirty);
+    twin.update(net, dirty);  // sequential reference
   }
   {
     const AsyncUpdater::Stats s = updater.stats();
@@ -308,14 +296,10 @@ TEST(AsyncUpdater, FlushOverridesConcurrentPause) {
   reducer.attach_store(&store);
   AsyncUpdater updater(bind_reducer(reducer));
 
-  ConductanceNetwork current = c.net;
-  for (int u = 1; u <= 3; ++u) {
-    const GridModification mod = random_modification(
-        reducer.structure().num_blocks, 0.5, 1.1,
-        static_cast<std::uint64_t>(800 + u));
-    current = apply_modification(current, reducer.structure(), mod);
-    updater.submit(current, mod.dirty_blocks);
-  }
+  const ModStream stream =
+      make_mod_stream(c.net, reducer.structure(), 3, 0.5, 1.1, 800);
+  for (std::size_t u = 0; u < stream.nets.size(); ++u)
+    updater.submit(stream.nets[u], stream.mods[u].dirty_blocks);
   std::thread flusher([&] { updater.flush(); });
   // Hammer pause() while the flush waits; the flush must still finish.
   for (int i = 0; i < 50; ++i) {
@@ -363,14 +347,11 @@ TEST(ModelSnapshotRebuild, ZeroCopyMatchesDeepCopyPublishBitwise) {
               deep_r.shared_model().get());
 
     const auto batch = mixed_batch(kept_originals(shared_r.model()), 200, 71);
-    ConductanceNetwork current = c.net;
-    for (int u = 1; u <= 3; ++u) {
-      const GridModification mod = random_modification(
-          shared_r.structure().num_blocks, 0.25, 1.3,
-          static_cast<std::uint64_t>(600 + u));
-      current = apply_modification(current, shared_r.structure(), mod);
-      shared_r.update(current, mod.dirty_blocks);
-      deep_r.update(current, mod.dirty_blocks);
+    const ModStream stream =
+        make_mod_stream(c.net, shared_r.structure(), 3, 0.25, 1.3, 600);
+    for (std::size_t u = 0; u < stream.nets.size(); ++u) {
+      shared_r.update(stream.nets[u], stream.mods[u].dirty_blocks);
+      deep_r.update(stream.nets[u], stream.mods[u].dirty_blocks);
 
       const SnapshotPtr ss = store_shared.acquire();
       const SnapshotPtr sd = store_deep.acquire();
@@ -563,19 +544,10 @@ TEST(AsyncUpdater, ConcurrentStreamsKeepPinnedVersionsBitConsistent) {
   // Pre-compute the modification stream (reducer.structure() must not be
   // read while the worker updates).
   constexpr int kMods = 5;
-  const index_t num_blocks = reducer.structure().num_blocks;
-  std::vector<ConductanceNetwork> nets;
-  std::vector<GridModification> mods;
-  {
-    ConductanceNetwork current = c.net;
-    for (int u = 1; u <= kMods; ++u) {
-      const GridModification mod = random_modification(
-          num_blocks, 0.25, 1.25, static_cast<std::uint64_t>(900 + u));
-      current = apply_modification(current, reducer.structure(), mod);
-      nets.push_back(current);
-      mods.push_back(mod);
-    }
-  }
+  const ModStream stream =
+      make_mod_stream(c.net, reducer.structure(), kMods, 0.25, 1.25, 900);
+  const auto& nets = stream.nets;
+  const auto& mods = stream.mods;
 
   AsyncUpdater updater(bind_reducer(reducer));
   std::atomic<int> mismatches{0};
@@ -658,14 +630,10 @@ TEST(AsyncUpdater, RegistryIsTheStatsSourceOfTruth) {
   {
     AsyncUpdater updater(bind_reducer(reducer));
     updater.pause();  // coalesce all three mods into one batch
-    ConductanceNetwork current = c.net;
-    for (int u = 1; u <= 3; ++u) {
-      const GridModification mod = random_modification(
-          reducer.structure().num_blocks, 0.3, 1.2,
-          static_cast<std::uint64_t>(900 + u));
-      current = apply_modification(current, reducer.structure(), mod);
-      updater.submit(current, mod.dirty_blocks);
-    }
+    const ModStream stream =
+        make_mod_stream(c.net, reducer.structure(), 3, 0.3, 1.2, 900);
+    for (std::size_t u = 0; u < stream.nets.size(); ++u)
+      updater.submit(stream.nets[u], stream.mods[u].dirty_blocks);
     updater.flush();
 
     const AsyncUpdater::Stats s = updater.stats();

@@ -336,20 +336,17 @@ TEST(Serving, ConcurrentPublishWhileQuerying) {
   // so the serving reducer publishes bit-identical snapshots).
   std::vector<PortQuery> batch;
   std::map<std::uint64_t, std::vector<real_t>> reference;
-  std::vector<ConductanceNetwork> nets{c.net};
-  std::vector<GridModification> mods;
+  ModStream stream;
   {
     IncrementalReducer twin(c.net, c.ports, opts);
     batch = mixed_batch(kept_originals(twin.model()), 64, 17);
     reference[0] = QueryFrontEnd::answer_on(
         *ModelSnapshot::build(twin.blocks(), twin.model()), batch);
+    stream = make_mod_stream(c.net, twin.structure(), kUpdates, 0.25, 1.4,
+                             100);
     for (int u = 1; u <= kUpdates; ++u) {
-      const GridModification mod = random_modification(
-          twin.structure().num_blocks, 0.25, 1.4,
-          static_cast<std::uint64_t>(100 + u));
-      nets.push_back(apply_modification(nets.back(), twin.structure(), mod));
-      mods.push_back(mod);
-      twin.update(nets.back(), mod.dirty_blocks);
+      twin.update(stream.nets[static_cast<std::size_t>(u - 1)],
+                  stream.mods[static_cast<std::size_t>(u - 1)].dirty_blocks);
       reference[static_cast<std::uint64_t>(u)] = QueryFrontEnd::answer_on(
           *ModelSnapshot::build(twin.blocks(), twin.model()), batch);
     }
@@ -381,8 +378,8 @@ TEST(Serving, ConcurrentPublishWhileQuerying) {
     });
 
   for (int u = 1; u <= kUpdates; ++u)
-    reducer.update(nets[static_cast<std::size_t>(u)],
-                   mods[static_cast<std::size_t>(u - 1)].dirty_blocks);
+    reducer.update(stream.nets[static_cast<std::size_t>(u - 1)],
+                   stream.mods[static_cast<std::size_t>(u - 1)].dirty_blocks);
   for (auto& t : readers) t.join();
 
   EXPECT_EQ(mismatches.load(), 0);

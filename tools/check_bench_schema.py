@@ -5,7 +5,7 @@ CI runs this after the churn smoke invocation so a schema change in
 bench_serving breaks the pipeline instead of downstream readers of the
 JSON trajectories (bench/README.md documents every field).
 
-usage: check_bench_schema.py BENCH_serving.json {churn|standard}
+usage: check_bench_schema.py BENCH_serving.json {churn|standard|zipf}
 """
 import json
 import sys
@@ -43,6 +43,14 @@ MODE_FIELDS = {
         "speedup", "identical", "cross_block_queries", "engine_answered",
         "max_rel_vs_monolithic",
     },
+    # Result-cache scenario (--churn --zipf S, PR 8).
+    "zipf": COMMON_FIELDS | {
+        "zipf_s", "pool_pairs", "mods_submitted",
+        "cache_hit_rate", "cache_hits", "cache_misses", "cache_entries",
+        "cache_evictions", "cache_invalidations",
+        "queries_per_second", "queries_per_second_uncached",
+        "identical",
+    },
 }
 
 
@@ -69,9 +77,15 @@ def main() -> int:
             print(f"{path}[{i}]: missing fields {sorted(missing)}",
                   file=sys.stderr)
             ok = False
-        if mode == "churn" and row.get("identical") is not True:
-            print(f"{path}[{i}]: churn row not bit-identical",
+        if mode in ("churn", "zipf") and row.get("identical") is not True:
+            print(f"{path}[{i}]: {mode} row not bit-identical",
                   file=sys.stderr)
+            ok = False
+        if mode == "zipf" and row.get("zipf_s", 0) >= 1.0 \
+                and row.get("cache_hit_rate", 0) < 0.5:
+            print(f"{path}[{i}]: cache hit rate "
+                  f"{row.get('cache_hit_rate')} below the 0.5 floor at "
+                  f"zipf_s {row.get('zipf_s')}", file=sys.stderr)
             ok = False
         if mode == "churn" and row.get("publish_model_bytes_copied") != 0:
             print(f"{path}[{i}]: zero-copy publish copied model bytes "

@@ -33,6 +33,15 @@ REQUIRED = [
     ("er_store_publishes_total", "counter"),
     ("er_reducer_publish_seconds", "histogram"),
     ("er_span_seconds", "histogram"),
+    # Result cache (serve/result_cache.hpp): families register eagerly at
+    # cache construction, so they export even before the first lookup.
+    ("er_cache_hits_total", "counter"),
+    ("er_cache_misses_total", "counter"),
+    ("er_cache_evictions_total", "counter"),
+    ("er_cache_invalidations_total", "counter"),
+    ("er_cache_entries", "gauge"),
+    ("er_cache_bytes", "gauge"),
+    ("er_cache_hit_latency_seconds", "histogram"),
 ]
 REQUIRED_SPAN_STAGES = {"reduce", "stitch", "publish"}
 

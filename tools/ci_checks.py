@@ -91,7 +91,7 @@ def main(argv=None) -> int:
                     help="run every check whose inputs are available")
     ap.add_argument("--bench-json", help="BENCH_serving.json path "
                     "(bench-schema)")
-    ap.add_argument("--bench-mode", choices=["churn", "standard"],
+    ap.add_argument("--bench-mode", choices=["churn", "standard", "zipf"],
                     default="churn", help="schema mode for bench-schema")
     ap.add_argument("--metrics", help="METRICS.prom path (metrics-export)")
     args = ap.parse_args(argv)
