@@ -18,6 +18,15 @@
 // synchronous twin reducer that applied the same modification stream
 // sequentially and built its snapshot from scratch.
 //
+// --loopback switches to the network serving mode (DESIGN.md §8): the
+// net/ Server + ServingStack run in-process and real LoopbackClient TCP
+// connections drive them at 1/2/4/8 concurrent clients, measuring
+// end-to-end request QPS and client-observed latency percentiles, then
+// churning the mod feed while queries continue. Enforced (exit 1 on
+// violation): every loopback answer is bit-identical to the direct
+// QueryFrontEnd call on the same snapshot, and the er_net_* registry
+// counters agree with the client-side request/rejection tallies.
+//
 // --zipf S (with --churn) switches to the result-cache scenario
 // (DESIGN.md §4.2): Zipf(S)-skewed resistance queries over a fixed pair
 // pool stream through a store-attached ResultCache while the updater
@@ -34,16 +43,24 @@
 // registry as Prometheus text exposition via --metrics.
 //
 //   bench_serving [--threads N] [--json PATH] [--metrics PATH] [--churn]
-//                 [--zipf S]
+//                 [--zipf S] [--loopback]
 //
 // N is the *maximum* thread count swept (default 8).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "net/stack.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "pg/incremental.hpp"
@@ -683,12 +700,301 @@ int run_zipf(const bench::BenchOptions& bopts) {
   return json_status != 0 ? json_status : metrics_status;
 }
 
+/// Nearest-rank percentile of a *sorted* sample vector, in microseconds.
+double percentile_us(const std::vector<double>& sorted_seconds, double q) {
+  if (sorted_seconds.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_seconds.size() - 1) + 0.5);
+  return sorted_seconds[std::min(idx, sorted_seconds.size() - 1)] * 1e6;
+}
+
+/// Network serving mode (--loopback, DESIGN.md §8): per (case, clients),
+/// stand up the full daemon core in-process (ServingStack + Server on an
+/// ephemeral loopback port) and drive it with `clients` concurrent
+/// LoopbackClient connections. Phase A measures static end-to-end QPS and
+/// client-observed request latency, validating every answer bitwise
+/// against the direct QueryFrontEnd call; phase B streams modifications
+/// through the wire-level mod feed under concurrent queries (kRetryLater
+/// is an expected, counted outcome), then validates the post-churn answers
+/// bitwise again and cross-checks the er_net_* counters against the
+/// client-side tallies.
+int run_loopback(const bench::BenchOptions& bopts) {
+  constexpr int kMods = 6;
+  constexpr std::size_t kBatchPerRequest = 64;
+  constexpr std::size_t kRequestsPerClient = 40;
+
+  std::vector<int> client_counts{1};
+  for (int c = 2; c <= bopts.threads; c *= 2) client_counts.push_back(c);
+
+  TablePrinter table({"Case", "Clients", "Requests", "kQPS", "p50(us)",
+                      "p95(us)", "p99(us)", "Retry", "Identical"});
+  bench::BenchJson json;
+  obs::MetricsSnapshot metrics_dump;
+  bool all_ok = true;
+
+  for (const auto& [name, pg] : bench::table2_suite()) {
+    const ConductanceNetwork grid_net = pg.to_network();
+    const std::vector<char> is_port = pg.port_mask();
+    std::fprintf(stderr, "[serving --loopback] %s: n=%d resistors=%zu\n",
+                 name.c_str(), pg.num_nodes, pg.resistors.size());
+
+    for (int clients : client_counts) {
+      obs::MetricsRegistry reg;
+      net::StackOptions stack_opts;
+      stack_opts.reduction.num_blocks = 32;
+      stack_opts.reduction.sparsify_quality = 1.0;
+      // Sharded-only traffic: skip the dense global factor per publish.
+      stack_opts.serving.build_monolithic_factor = false;
+      net::ServingStack stack(grid_net, is_port, stack_opts, &reg);
+
+      net::ServerOptions server_opts;
+      server_opts.enable_http = false;
+      server_opts.dispatcher_threads = 2;
+      server_opts.query_threads = clients > 1 ? 2 : 1;
+      server_opts.admission_capacity = 256;
+      server_opts.registry = &reg;
+      net::Server server(&stack.store(), server_opts, stack.mod_fn());
+      if (!server.start()) {
+        std::fprintf(stderr, "ERROR: %s clients=%d could not bind the "
+                     "loopback listener\n", name.c_str(), clients);
+        return 1;
+      }
+
+      const SnapshotPtr snap0 = stack.store().acquire();
+      const auto batch =
+          make_batch(snap0->model(), kBatchPerRequest, 2027 + clients);
+      const std::vector<real_t> direct = stack.frontend().answer(
+          batch, nullptr, RouteMode::kSharded, nullptr);
+
+      const auto matches = [&](const std::vector<real_t>& answers,
+                               const std::vector<real_t>& want) {
+        return answers.size() == want.size() &&
+               std::memcmp(answers.data(), want.data(),
+                           want.size() * sizeof(real_t)) == 0;
+      };
+
+      // Phase A: static end-to-end throughput + client-observed latency.
+      std::atomic<bool> failed{false};
+      std::atomic<std::uint64_t> retry_responses{0};
+      std::atomic<std::uint64_t> requests_answered{0};
+      std::vector<std::vector<double>> latencies(
+          static_cast<std::size_t>(clients));
+      std::vector<std::thread> workers;
+      Timer phase_a_timer;
+      for (int c = 0; c < clients; ++c) {
+        workers.emplace_back([&, c] {
+          try {
+            net::LoopbackClient client("127.0.0.1", server.port());
+            auto& samples = latencies[static_cast<std::size_t>(c)];
+            samples.reserve(kRequestsPerClient);
+            for (std::size_t r = 0; r < kRequestsPerClient; ++r) {
+              for (;;) {
+                Timer t;
+                const auto res = client.query(batch, RouteMode::kSharded);
+                if (res.retry_later) {
+                  ++retry_responses;
+                  continue;
+                }
+                samples.push_back(t.seconds());
+                ++requests_answered;
+                if (!matches(res.answers, direct)) failed = true;
+                break;
+              }
+            }
+          } catch (...) {
+            failed = true;
+          }
+        });
+      }
+      for (auto& w : workers) w.join();
+      const double phase_a_seconds = phase_a_timer.seconds();
+      const std::size_t phase_a_queries =
+          static_cast<std::size_t>(clients) * kRequestsPerClient *
+          batch.size();
+
+      std::vector<double> sorted;
+      for (const auto& s : latencies)
+        sorted.insert(sorted.end(), s.begin(), s.end());
+      std::sort(sorted.begin(), sorted.end());
+
+      // Phase B: churn the mod feed through the wire while queries keep
+      // flowing. Back-pressure (kRetryLater) is expected and counted; the
+      // feeder retries until every modification is accepted.
+      std::thread feeder([&] {
+        try {
+          net::LoopbackClient mod_client("127.0.0.1", server.port());
+          for (int m = 0; m < kMods; ++m) {
+            net::WireModification mod;
+            mod.dirty_blocks = {static_cast<index_t>(
+                m % static_cast<int>(stack.structure().num_blocks))};
+            mod.resistance_scale = 1.05;
+            while (mod_client.submit_mod(mod) ==
+                   net::LoopbackClient::ModOutcome::kRetryLater) {
+              ++retry_responses;
+              std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            }
+          }
+        } catch (...) {
+          failed = true;
+        }
+      });
+      std::vector<std::thread> churn_workers;
+      std::atomic<std::uint64_t> churn_queries{0};
+      for (int c = 0; c < clients; ++c) {
+        churn_workers.emplace_back([&] {
+          try {
+            net::LoopbackClient client("127.0.0.1", server.port());
+            for (std::size_t r = 0; r < kRequestsPerClient / 4; ++r) {
+              const auto res = client.query(batch, RouteMode::kSharded);
+              if (res.retry_later) {
+                ++retry_responses;
+              } else {
+                ++requests_answered;
+                churn_queries += batch.size();
+              }
+            }
+          } catch (...) {
+            failed = true;
+          }
+        });
+      }
+      feeder.join();
+      for (auto& w : churn_workers) w.join();
+      stack.flush();
+
+      // Post-churn validation: the wire answers on the final published
+      // snapshot must be bit-identical to the direct call.
+      const std::vector<real_t> final_direct = stack.frontend().answer(
+          batch, nullptr, RouteMode::kSharded, nullptr);
+      bool identical = !failed.load();
+      try {
+        net::LoopbackClient verify_client("127.0.0.1", server.port());
+        for (;;) {
+          const auto res = verify_client.query(batch, RouteMode::kSharded);
+          if (res.retry_later) {
+            ++retry_responses;
+            continue;
+          }
+          ++requests_answered;
+          identical = identical && matches(res.answers, final_direct);
+          break;
+        }
+      } catch (...) {
+        identical = false;
+      }
+      if (stack.mods_accepted() != static_cast<std::uint64_t>(kMods)) {
+        std::fprintf(stderr,
+                     "ERROR: %s clients=%d accepted %llu of %d mods\n",
+                     name.c_str(), clients,
+                     static_cast<unsigned long long>(stack.mods_accepted()),
+                     kMods);
+        identical = false;
+      }
+
+      server.stop();
+      const obs::MetricsSnapshot reg_snap = reg.snapshot();
+
+      // Registry cross-checks: the net-layer counters must tell the same
+      // story as the client-side tallies. Admitted er_batch requests equal
+      // answered ones (each admitted request gets exactly one kAnswer),
+      // and er_net_rejected_total equals the kRetryLater frames observed.
+      const obs::MetricSnapshot* req_counter = reg_snap.find(
+          "er_net_requests_total", {{"opcode", "er_batch"}});
+      if (!req_counter || req_counter->counter != requests_answered.load()) {
+        std::fprintf(stderr,
+                     "ERROR: %s clients=%d er_net_requests_total"
+                     "{opcode=er_batch} %llu != %llu answered requests\n",
+                     name.c_str(), clients,
+                     static_cast<unsigned long long>(
+                         req_counter ? req_counter->counter : 0),
+                     static_cast<unsigned long long>(
+                         requests_answered.load()));
+        all_ok = false;
+      }
+      const obs::MetricSnapshot* rejected_counter =
+          reg_snap.find("er_net_rejected_total");
+      if (!rejected_counter ||
+          rejected_counter->counter != retry_responses.load()) {
+        std::fprintf(stderr,
+                     "ERROR: %s clients=%d er_net_rejected_total %llu != "
+                     "%llu client-observed kRetryLater frames\n",
+                     name.c_str(), clients,
+                     static_cast<unsigned long long>(
+                         rejected_counter ? rejected_counter->counter : 0),
+                     static_cast<unsigned long long>(retry_responses.load()));
+        all_ok = false;
+      }
+      all_ok = all_ok && identical;
+
+      const SnapshotPtr final_snap = stack.store().acquire();
+      const double qps = phase_a_seconds > 0.0
+                             ? static_cast<double>(phase_a_queries) /
+                                   phase_a_seconds
+                             : 0.0;
+      table.add_row(
+          {name, TablePrinter::fmt_int(clients),
+           TablePrinter::fmt_size(
+               static_cast<long long>(requests_answered.load())),
+           TablePrinter::fmt(qps / 1000.0, 1),
+           TablePrinter::fmt(percentile_us(sorted, 0.50), 0),
+           TablePrinter::fmt(percentile_us(sorted, 0.95), 0),
+           TablePrinter::fmt(percentile_us(sorted, 0.99), 0),
+           TablePrinter::fmt_size(
+               static_cast<long long>(retry_responses.load())),
+           identical ? "yes" : "NO"});
+      auto& row = json.add_row();
+      row.set("bench", "serving")
+          .set("case", name)
+          .set("mode", "loopback")
+          .set("threads", clients)
+          .set("clients", clients)
+          .set("queries",
+               phase_a_queries + static_cast<std::size_t>(
+                                     churn_queries.load()) + batch.size())
+          .set("reduced_nodes",
+               static_cast<long long>(
+                   final_snap->model().stats.reduced_nodes))
+          .set("boundary_nodes",
+               static_cast<long long>(final_snap->num_boundary_nodes()))
+          .set("blocks", static_cast<int>(final_snap->num_blocks()))
+          .set("queries_per_second", qps)
+          .set("request_latency_p50_us", percentile_us(sorted, 0.50))
+          .set("request_latency_p95_us", percentile_us(sorted, 0.95))
+          .set("request_latency_p99_us", percentile_us(sorted, 0.99))
+          .set("requests_total",
+               static_cast<std::size_t>(requests_answered.load()))
+          .set("retry_later_responses",
+               static_cast<std::size_t>(retry_responses.load()))
+          .set("mods_submitted", static_cast<std::size_t>(kMods))
+          .set("mods_applied",
+               static_cast<std::size_t>(stack.mods_accepted()))
+          .set("identical", identical);
+      set_query_latency_fields(row, reg_snap, RouteMode::kSharded);
+      metrics_dump.merge(reg_snap);
+    }
+  }
+
+  std::printf("\nServing over loopback TCP — %zu-query batches through the "
+              "net/ daemon core\n(every wire answer must be bit-identical "
+              "to the direct QueryFrontEnd call)\n\n",
+              kBatchPerRequest);
+  table.print();
+  const int json_status = bench::write_json_or_report(json, bopts);
+  const int metrics_status = write_metrics_dump(metrics_dump, bopts);
+  if (!all_ok) {
+    std::fprintf(stderr, "ERROR: loopback serving scenario failed\n");
+    return 1;
+  }
+  return json_status != 0 ? json_status : metrics_status;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bench::BenchOptions bopts = bench::parse_bench_args(
       argc, argv, "BENCH_serving.json", /*default_threads=*/8,
       /*allow_churn=*/true);
+  if (bopts.loopback) return run_loopback(bopts);
   if (bopts.zipf > 0.0) return run_zipf(bopts);
   if (bopts.churn) return run_churn(bopts);
   constexpr std::size_t kBatchSize = 10000;

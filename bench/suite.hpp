@@ -51,6 +51,11 @@ struct BenchOptions {
   /// fixed pair pool, reporting cache hit rate and QPS with/without the
   /// cache. S around 1.0-1.2 matches typical skewed serving traffic.
   double zipf = 0.0;
+  /// Loopback serving mode (bench_serving only; set via --loopback): run
+  /// the net/ Server + ServingStack in-process and drive it with real
+  /// LoopbackClient TCP connections, measuring end-to-end request QPS and
+  /// client-observed latency percentiles instead of direct library calls.
+  bool loopback = false;
 };
 
 /// Zipf(s)-distributed sampler over ranks [0, n): P(k) proportional to
@@ -137,6 +142,8 @@ inline BenchOptions parse_bench_args(int argc, char** argv,
       o.zipf = parse_zipf_exponent(argv[0], argv[++i]);
     } else if (allow_churn && a.rfind("--zipf=", 0) == 0) {
       o.zipf = parse_zipf_exponent(argv[0], a.substr(7));
+    } else if (allow_churn && a == "--loopback") {
+      o.loopback = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--threads N] [--json PATH] "
@@ -145,12 +152,15 @@ inline BenchOptions parse_bench_args(int argc, char** argv,
                    "  --json PATH    machine-readable output ('' disables)\n"
                    "  --metrics PATH Prometheus text dump of run metrics "
                    "('' disables)\n%s",
-                   argv[0], allow_churn ? " [--churn] [--zipf S]" : "",
+                   argv[0],
+                   allow_churn ? " [--churn] [--zipf S] [--loopback]" : "",
                    allow_churn
                        ? "  --churn        mixed update+query mode "
                          "(publish latency / staleness / QPS)\n"
                          "  --zipf S       with --churn: Zipf(S)-skewed "
                          "queries through the result cache\n"
+                         "  --loopback     serve over real loopback TCP "
+                         "through the net/ daemon core\n"
                        : "");
       std::exit(a == "--help" ? 0 : 2);
     }

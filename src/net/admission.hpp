@@ -1,0 +1,96 @@
+/// \file
+/// Bounded admission queue of the serving daemon (DESIGN.md §8): the
+/// back-pressure point between connection readers (producers) and
+/// dispatcher threads (consumers).
+///
+/// Semantics:
+///   * try_push never blocks: a full or closed queue rejects immediately,
+///     and the session answers kRetryLater — admission control happens at
+///     the socket boundary, not in front of the compute threads.
+///   * pop blocks until an item is available, the queue is both closed
+///     and empty (returns nullopt — dispatcher exit), or while paused.
+///     Pausing gates *consumption*, not admission: with dispatch paused,
+///     pushes keep filling the bounded buffer and overflow deterministically
+///     — which is exactly what the back-pressure tests pin down.
+///   * close() wakes everything; remaining items are still drained by
+///     pop() (the graceful-shutdown contract: every admitted request gets
+///     exactly one response), and it clears the paused gate so a stop()
+///     cannot deadlock behind a test's pause_dispatch().
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "util/thread_annotations.hpp"
+
+namespace er::net {
+
+template <typename T>
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Admit one item; false when the queue is at capacity or closed.
+  [[nodiscard]] bool try_push(T item) ER_EXCLUDES(mutex_) {
+    {
+      util::MutexLock lock(&mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Next item in admission order; nullopt once closed and drained.
+  [[nodiscard]] std::optional<T> pop() ER_EXCLUDES(mutex_) {
+    util::UniqueLock lock(&mutex_);
+    while ((paused_ || items_.empty()) && !(closed_ && items_.empty()))
+      cv_.wait(lock.native());
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Stop admitting, wake all waiters, clear the paused gate. Items
+  /// already admitted remain poppable (drain-before-exit).
+  void close() ER_EXCLUDES(mutex_) {
+    {
+      util::MutexLock lock(&mutex_);
+      closed_ = true;
+      paused_ = false;
+    }
+    cv_.notify_all();
+  }
+
+  /// Gate consumption (test hook; see class comment). No-op when closed.
+  void pause() ER_EXCLUDES(mutex_) {
+    util::MutexLock lock(&mutex_);
+    if (!closed_) paused_ = true;
+  }
+
+  void resume() ER_EXCLUDES(mutex_) {
+    {
+      util::MutexLock lock(&mutex_);
+      paused_ = false;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t depth() const ER_EXCLUDES(mutex_) {
+    util::MutexLock lock(&mutex_);
+    return items_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable util::Mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_ ER_GUARDED_BY(mutex_);
+  bool closed_ ER_GUARDED_BY(mutex_) = false;
+  bool paused_ ER_GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace er::net

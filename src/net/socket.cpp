@@ -1,0 +1,130 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+namespace er::net {
+
+namespace {
+
+/// Session-socket hygiene: no Nagle batching (frames are latency-bound)
+/// and a bounded send timeout so a stalled peer cannot park send_all
+/// forever during drain.
+void tune_stream_socket(int fd) {
+  int one = 1;
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  timeval tv{};
+  tv.tv_sec = 5;
+  (void)setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+void Fd::reset() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+Fd listen_tcp(int port, int backlog, int* bound_port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Fd();
+  int one = 1;
+  (void)setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+    return Fd();
+  if (::listen(fd.get(), backlog) != 0) return Fd();
+  if (bound_port) {
+    sockaddr_in got{};
+    socklen_t len = sizeof(got);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&got), &len) != 0)
+      return Fd();
+    *bound_port = ntohs(got.sin_port);
+  }
+  return fd;
+}
+
+Fd connect_tcp(const std::string& host, int port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Fd();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return Fd();
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return Fd();
+  tune_stream_socket(fd.get());
+  return fd;
+}
+
+Fd accept_tcp(int listen_fd, int timeout_ms, bool* timed_out) {
+  if (timed_out) *timed_out = false;
+  pollfd pfd{};
+  pfd.fd = listen_fd;
+  pfd.events = POLLIN;
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc == 0) {
+    if (timed_out) *timed_out = true;
+    return Fd();
+  }
+  if (rc < 0) return Fd();
+  Fd fd(::accept(listen_fd, nullptr, nullptr));
+  if (fd.valid()) tune_stream_socket(fd.get());
+  return fd;
+}
+
+bool send_all(int fd, const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, p + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+long recv_some(int fd, void* buf, std::size_t cap, int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc == 0) return -2;
+  if (rc < 0) return -1;
+  ssize_t n;
+  do {
+    n = ::recv(fd, buf, cap, 0);
+  } while (n < 0 && errno == EINTR);
+  return n < 0 ? -1 : static_cast<long>(n);
+}
+
+void shutdown_fd(int fd) {
+  if (fd >= 0) (void)::shutdown(fd, SHUT_RDWR);
+}
+
+}  // namespace er::net

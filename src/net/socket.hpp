@@ -1,0 +1,67 @@
+/// \file
+/// Thin POSIX TCP helpers for the serving daemon (DESIGN.md §8): an RAII
+/// fd, loopback listeners/connections with ephemeral-port support, and
+/// EINTR-safe full-buffer send / timeout-bounded receive. Everything binds
+/// to 127.0.0.1 — the daemon is a loopback harness, not an internet-facing
+/// server.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace er::net {
+
+/// RAII file descriptor (move-only; closes on destruction).
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listen on 127.0.0.1:`port` (0 = ephemeral; the chosen port lands in
+/// `*bound_port`). SO_REUSEADDR is set. Returns an invalid Fd on failure.
+[[nodiscard]] Fd listen_tcp(int port, int backlog, int* bound_port);
+
+/// Blocking connect to host:port with TCP_NODELAY. Invalid Fd on failure.
+[[nodiscard]] Fd connect_tcp(const std::string& host, int port);
+
+/// Accept with a poll() timeout so the accept loop can observe shutdown.
+/// Returns an invalid Fd on timeout or error; `*timed_out` distinguishes
+/// the two. The accepted socket gets TCP_NODELAY and a bounded send
+/// timeout so one stuck reader cannot wedge a dispatcher forever.
+[[nodiscard]] Fd accept_tcp(int listen_fd, int timeout_ms, bool* timed_out);
+
+/// Write the whole buffer (EINTR/short-write safe, SIGPIPE suppressed).
+/// False on any unrecoverable error (including the send timeout).
+[[nodiscard]] bool send_all(int fd, const void* data, std::size_t len);
+
+/// Read up to `cap` bytes with a poll() timeout. Returns the byte count,
+/// 0 on orderly EOF, -1 on error, -2 on timeout.
+[[nodiscard]] long recv_some(int fd, void* buf, std::size_t cap,
+                             int timeout_ms);
+
+/// shutdown(SHUT_RDWR): unblocks any reader/writer parked on the fd
+/// without racing the descriptor's close.
+void shutdown_fd(int fd);
+
+}  // namespace er::net

@@ -5,7 +5,7 @@ CI runs this after the churn smoke invocation so a schema change in
 bench_serving breaks the pipeline instead of downstream readers of the
 JSON trajectories (bench/README.md documents every field).
 
-usage: check_bench_schema.py BENCH_serving.json {churn|standard|zipf}
+usage: check_bench_schema.py BENCH_serving.json {churn|standard|zipf|loopback}
 """
 import json
 import sys
@@ -51,6 +51,16 @@ MODE_FIELDS = {
         "queries_per_second", "queries_per_second_uncached",
         "identical",
     },
+    # Network serving scenario (--loopback, PR 9): end-to-end QPS and
+    # client-observed request latency through the net/ daemon core.
+    "loopback": COMMON_FIELDS | {
+        "clients", "queries_per_second",
+        "request_latency_p50_us", "request_latency_p95_us",
+        "request_latency_p99_us",
+        "requests_total", "retry_later_responses",
+        "mods_submitted", "mods_applied",
+        "identical",
+    },
 }
 
 
@@ -77,8 +87,16 @@ def main() -> int:
             print(f"{path}[{i}]: missing fields {sorted(missing)}",
                   file=sys.stderr)
             ok = False
-        if mode in ("churn", "zipf") and row.get("identical") is not True:
+        if mode in ("churn", "zipf", "loopback") \
+                and row.get("identical") is not True:
             print(f"{path}[{i}]: {mode} row not bit-identical",
+                  file=sys.stderr)
+            ok = False
+        if mode == "loopback" \
+                and row.get("mods_applied") != row.get("mods_submitted"):
+            print(f"{path}[{i}]: loopback mod feed applied "
+                  f"{row.get('mods_applied')} of "
+                  f"{row.get('mods_submitted')} submitted mods",
                   file=sys.stderr)
             ok = False
         if mode == "zipf" and row.get("zipf_s", 0) >= 1.0 \

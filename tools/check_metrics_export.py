@@ -12,7 +12,11 @@ scrape. Checks:
     end in a "+Inf" bucket that equals <family>_count,
   * every family carries a # TYPE line matching how it is used.
 
-usage: check_metrics_export.py METRICS.prom
+usage: check_metrics_export.py METRICS.prom [core|net]
+
+The optional profile picks the required-family set: "core" (default) is
+the serving-stack surface every bench dump carries; "net" adds the
+`er_net_*` daemon families (bench_serving --loopback / er_served dumps).
 """
 import re
 import sys
@@ -43,6 +47,20 @@ REQUIRED = [
     ("er_cache_bytes", "gauge"),
     ("er_cache_hit_latency_seconds", "histogram"),
 ]
+# The daemon surface (src/net/server.cpp): families register eagerly at
+# Server construction, so even an idle daemon's dump must carry them all.
+REQUIRED_NET = [
+    ("er_net_connections_accepted_total", "counter"),
+    ("er_net_connections_rejected_total", "counter"),
+    ("er_net_requests_total", "counter"),
+    ("er_net_rejected_total", "counter"),
+    ("er_net_mods_applied_total", "counter"),
+    ("er_net_bad_frames_total", "counter"),
+    ("er_net_active_connections", "gauge"),
+    ("er_net_queue_depth", "gauge"),
+    ("er_net_request_latency_seconds", "histogram"),
+]
+PROFILES = {"core": REQUIRED, "net": REQUIRED + REQUIRED_NET}
 REQUIRED_SPAN_STAGES = {"reduce", "stitch", "publish"}
 
 SAMPLE_RE = re.compile(
@@ -61,10 +79,12 @@ def parse_labels(text):
 
 
 def main() -> int:
-    if len(sys.argv) != 2:
+    if len(sys.argv) not in (2, 3) or \
+            (len(sys.argv) == 3 and sys.argv[2] not in PROFILES):
         print(__doc__.strip(), file=sys.stderr)
         return 2
     path = sys.argv[1]
+    required = PROFILES[sys.argv[2] if len(sys.argv) == 3 else "core"]
     types = {}
     # samples: (name, frozen labels) -> float value, in file order per key.
     samples = []
@@ -90,7 +110,7 @@ def main() -> int:
     ok = True
     names = {name for name, _, _ in samples}
 
-    for family, kind in REQUIRED:
+    for family, kind in required:
         if types.get(family) != kind:
             print(f"{path}: family {family!r} missing or not typed "
                   f"{kind!r} (got {types.get(family)!r})", file=sys.stderr)

@@ -11,15 +11,19 @@ Checks:
   determinism-lint           tools/lint_determinism.py over src/
   determinism-lint-selftest  the lint's own fixture unit tests
   workspace-clean            `git status --porcelain` is empty
-  bench-schema               tools/check_bench_schema.py (needs
-                             --bench-json and --bench-mode)
-  metrics-export             tools/check_metrics_export.py (needs
-                             --metrics)
+  bench-schema               tools/check_bench_schema.py; repeat
+                             --bench-json PATH --bench-mode MODE pairs to
+                             validate several trajectory files in one run
+  metrics-export             tools/check_metrics_export.py; repeat
+                             --metrics PATH[:PROFILE] (profile core|net,
+                             default core)
+  loopback-smoke             tools/loopback_smoke.py against the daemon
+                             binary given via --er-served
 
-With --all, artifact-dependent checks (bench-schema, metrics-export) are
-skipped with a note when their input path was not given; naming a check
-explicitly makes its inputs required. Exit 0 = all ran checks passed,
-1 = at least one failed, 2 = usage error.
+With --all, artifact-dependent checks (bench-schema, metrics-export,
+loopback-smoke) are skipped with a note when their input path was not
+given; naming a check explicitly makes its inputs required. Exit 0 = all
+ran checks passed, 1 = at least one failed, 2 = usage error.
 """
 import argparse
 import subprocess
@@ -30,55 +34,85 @@ TOOLS = Path(__file__).resolve().parent
 ROOT = TOOLS.parent
 
 CHECKS = ["determinism-lint", "determinism-lint-selftest",
-          "workspace-clean", "bench-schema", "metrics-export"]
+          "workspace-clean", "bench-schema", "metrics-export",
+          "loopback-smoke"]
+
+BENCH_MODES = ["churn", "standard", "zipf", "loopback"]
+METRICS_PROFILES = ["core", "net"]
 
 
-def build_command(name, args):
-    """-> (argv, skip_reason). argv None + reason when inputs are absent;
-    raises SystemExit(2) when an explicitly requested check lacks them."""
+def parse_metrics_spec(spec):
+    """'PATH' or 'PATH:PROFILE' -> (path, profile)."""
+    path, sep, profile = spec.rpartition(":")
+    if sep and profile in METRICS_PROFILES:
+        return path, profile
+    return spec, "core"
+
+
+def build_commands(name, args):
+    """-> (list of argv, skip_reason). Empty list + reason when inputs are
+    absent; raises SystemExit(2) when an explicitly requested check lacks
+    them."""
     if name == "determinism-lint":
-        return ([sys.executable, str(TOOLS / "lint_determinism.py"),
-                 "--root", str(ROOT)], None)
+        return ([[sys.executable, str(TOOLS / "lint_determinism.py"),
+                  "--root", str(ROOT)]], None)
     if name == "determinism-lint-selftest":
-        return ([sys.executable, str(TOOLS / "test_lint_determinism.py")],
+        return ([[sys.executable, str(TOOLS / "test_lint_determinism.py")]],
                 None)
     if name == "workspace-clean":
-        return (["git", "-C", str(ROOT), "status", "--porcelain"], None)
+        return ([["git", "-C", str(ROOT), "status", "--porcelain"]], None)
     if name == "bench-schema":
         if not args.bench_json:
             if args.explicit:
                 sys.exit("ci_checks: bench-schema needs --bench-json "
                          "and --bench-mode")
-            return (None, "no --bench-json given")
-        return ([sys.executable, str(TOOLS / "check_bench_schema.py"),
-                 args.bench_json, args.bench_mode], None)
+            return ([], "no --bench-json given")
+        modes = args.bench_mode or ["churn"] * len(args.bench_json)
+        if len(modes) != len(args.bench_json):
+            sys.exit(f"ci_checks: {len(args.bench_json)} --bench-json but "
+                     f"{len(modes)} --bench-mode; give one mode per file")
+        return ([[sys.executable, str(TOOLS / "check_bench_schema.py"),
+                  path, mode]
+                 for path, mode in zip(args.bench_json, modes)], None)
     if name == "metrics-export":
         if not args.metrics:
             if args.explicit:
                 sys.exit("ci_checks: metrics-export needs --metrics")
-            return (None, "no --metrics given")
-        return ([sys.executable, str(TOOLS / "check_metrics_export.py"),
-                 args.metrics], None)
+            return ([], "no --metrics given")
+        return ([[sys.executable, str(TOOLS / "check_metrics_export.py")]
+                 + list(parse_metrics_spec(spec))
+                 for spec in args.metrics], None)
+    if name == "loopback-smoke":
+        if not args.er_served:
+            if args.explicit:
+                sys.exit("ci_checks: loopback-smoke needs --er-served")
+            return ([], "no --er-served given")
+        return ([[sys.executable, str(TOOLS / "loopback_smoke.py"),
+                  args.er_served]], None)
     raise AssertionError(name)
 
 
 def run_check(name, args):
-    argv, skip_reason = build_command(name, args)
-    if argv is None:
+    argvs, skip_reason = build_commands(name, args)
+    if not argvs:
         print(f"  SKIP {name}: {skip_reason}")
         return None
-    proc = subprocess.run(argv, capture_output=True, text=True)
-    failed = proc.returncode != 0
-    if name == "workspace-clean" and proc.stdout.strip():
-        # porcelain output means a dirty tree even though git exits 0.
-        failed = True
-    print(f"  {'FAIL' if failed else 'PASS'} {name}")
-    if failed:
-        for stream in (proc.stdout, proc.stderr):
-            if stream.strip():
-                sys.stderr.write(stream if stream.endswith("\n")
-                                 else stream + "\n")
-    return not failed
+    check_ok = True
+    for argv in argvs:
+        proc = subprocess.run(argv, capture_output=True, text=True)
+        failed = proc.returncode != 0
+        if name == "workspace-clean" and proc.stdout.strip():
+            # porcelain output means a dirty tree even though git exits 0.
+            failed = True
+        if failed:
+            check_ok = False
+            for stream in (proc.stdout, proc.stderr):
+                if stream.strip():
+                    sys.stderr.write(stream if stream.endswith("\n")
+                                     else stream + "\n")
+    print(f"  {'PASS' if check_ok else 'FAIL'} {name}"
+          + (f" ({len(argvs)} artifacts)" if len(argvs) > 1 else ""))
+    return check_ok
 
 
 def main(argv=None) -> int:
@@ -89,11 +123,17 @@ def main(argv=None) -> int:
                          "(default with --all: every applicable one)")
     ap.add_argument("--all", action="store_true",
                     help="run every check whose inputs are available")
-    ap.add_argument("--bench-json", help="BENCH_serving.json path "
-                    "(bench-schema)")
-    ap.add_argument("--bench-mode", choices=["churn", "standard", "zipf"],
-                    default="churn", help="schema mode for bench-schema")
-    ap.add_argument("--metrics", help="METRICS.prom path (metrics-export)")
+    ap.add_argument("--bench-json", action="append",
+                    help="BENCH_serving.json path (bench-schema); "
+                    "repeatable, paired positionally with --bench-mode")
+    ap.add_argument("--bench-mode", action="append", choices=BENCH_MODES,
+                    help="schema mode for the corresponding --bench-json "
+                    "(default churn)")
+    ap.add_argument("--metrics", action="append",
+                    help="METRICS.prom path, optionally PATH:net for the "
+                    "daemon-family profile (metrics-export); repeatable")
+    ap.add_argument("--er-served", help="er_served binary path "
+                    "(loopback-smoke)")
     args = ap.parse_args(argv)
 
     if args.all and args.checks:

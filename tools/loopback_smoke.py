@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Smoke-test the serving daemon end to end: start er_served on ephemeral
+loopback ports, scrape its /metrics endpoint, then SIGTERM it and assert a
+clean drain plus a valid final metrics dump.
+
+CI runs this after the build so a daemon that binds but can't serve its
+lifecycle (startup contract line, Prometheus endpoint, graceful drain,
+final dump) fails the pipeline. The scrape is validated twice: a few
+er_net_* lines are pinned here, and the final dump goes through
+check_metrics_export.py with the "net" profile.
+
+usage: loopback_smoke.py path/to/er_served [--timeout SECONDS]
+"""
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+TOOLS = Path(__file__).resolve().parent
+
+# Contract line printed by tools/er_served.cpp once the listeners are up.
+LISTEN_RE = re.compile(
+    r"er_served listening on 127\.0\.0\.1:(\d+) \(metrics :(\d+)\)")
+
+# A scrape of a warmed-up daemon must carry these (server registers every
+# er_net_* family eagerly; --warmup drives traffic through the lazy
+# er_query_* families).
+SCRAPE_MUST_CONTAIN = [
+    "# TYPE er_net_requests_total counter",
+    "# TYPE er_net_active_connections gauge",
+    "# TYPE er_net_request_latency_seconds histogram",
+    "er_net_requests_total{opcode=\"er_batch\"}",
+    "er_query_latency_seconds_count",
+]
+
+
+def fail(msg):
+    print(f"loopback_smoke: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    binary = Path(sys.argv[1])
+    timeout = 60.0
+    if len(sys.argv) >= 4 and sys.argv[2] == "--timeout":
+        timeout = float(sys.argv[3])
+    if not binary.is_file():
+        return fail(f"daemon binary {binary} not found (build er_served "
+                    "first)")
+
+    with tempfile.TemporaryDirectory(prefix="er_smoke_") as tmp:
+        final_prom = Path(tmp) / "final.prom"
+        proc = subprocess.Popen(
+            [str(binary), "--nx", "16", "--ny", "16", "--ports", "8",
+             "--blocks", "4", "--warmup", "4",
+             "--final-metrics", str(final_prom)],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+        try:
+            deadline = time.monotonic() + timeout
+            ports = None
+            for line in proc.stdout:
+                m = LISTEN_RE.search(line)
+                if m:
+                    ports = (int(m.group(1)), int(m.group(2)))
+                    break
+                if time.monotonic() > deadline:
+                    break
+            if ports is None:
+                proc.kill()
+                return fail("daemon never printed the listening contract "
+                            "line")
+            _, metrics_port = ports
+
+            scrape = urllib.request.urlopen(
+                f"http://127.0.0.1:{metrics_port}/metrics",
+                timeout=timeout).read().decode()
+            missing = [s for s in SCRAPE_MUST_CONTAIN if s not in scrape]
+            if missing:
+                proc.kill()
+                return fail(f"/metrics scrape lacks {missing}")
+            try:
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{metrics_port}/nope",
+                    timeout=timeout)
+                proc.kill()
+                return fail("GET /nope did not 404")
+            except urllib.error.HTTPError as e:
+                if e.code != 404:
+                    proc.kill()
+                    return fail(f"GET /nope returned {e.code}, wanted 404")
+
+            proc.send_signal(signal.SIGTERM)
+            try:
+                rc = proc.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                return fail("daemon did not drain within the timeout "
+                            "after SIGTERM")
+            tail = proc.stdout.read()
+            if rc != 0:
+                return fail(f"daemon exited {rc} after SIGTERM:\n{tail}")
+            if "drained, bye" not in tail:
+                return fail(f"drain epilogue missing from output:\n{tail}")
+            if not final_prom.is_file():
+                return fail("--final-metrics dump was not written")
+
+            check = subprocess.run(
+                [sys.executable, str(TOOLS / "check_metrics_export.py"),
+                 str(final_prom), "net"],
+                capture_output=True, text=True)
+            if check.returncode != 0:
+                return fail("final metrics dump failed "
+                            f"check_metrics_export.py:\n{check.stdout}"
+                            f"{check.stderr}")
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+    print("loopback_smoke: start -> scrape -> SIGTERM drain -> final "
+          "dump OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
