@@ -61,6 +61,15 @@ class EffResEngine {
 
   /// Engine name for reports.
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Relative per-query cost of this engine against the cheapest
+  /// practical engine (ApproxCholEffRes = 1.0). A dimensionless, static
+  /// property of the engine *type* — never measured at runtime, so
+  /// routing decisions that consult it stay deterministic. The serving
+  /// front-end's BackendPref::kAuto resolution routes reduced-accuracy
+  /// queries to a resident block engine only when its hint is at or under
+  /// kAutoEngineCostCeiling (serve/query_policy.hpp).
+  [[nodiscard]] virtual double cost_hint() const { return 1.0; }
 };
 
 /// All graph edges as queries (the paper's Qr = E workload).

@@ -7,6 +7,12 @@
 ///   * try_push never blocks: a full or closed queue rejects immediately,
 ///     and the session answers kRetryLater — admission control happens at
 ///     the socket boundary, not in front of the compute threads.
+///   * Two levels share one capacity bound: items pushed urgent (the
+///     server flags query batches carrying a policy deadline —
+///     serve/query_policy.hpp) dispatch before every normal item, FIFO
+///     within each level. A flood of urgent traffic therefore still
+///     overflows into kRetryLater instead of starving the buffer, and a
+///     deadline-free deployment behaves exactly as the old single queue.
 ///   * pop blocks until an item is available, the queue is both closed
 ///     and empty (returns nullopt — dispatcher exit), or while paused.
 ///     Pausing gates *consumption*, not admission: with dispatch paused,
@@ -33,24 +39,31 @@ class AdmissionQueue {
   explicit AdmissionQueue(std::size_t capacity) : capacity_(capacity) {}
 
   /// Admit one item; false when the queue is at capacity or closed.
-  [[nodiscard]] bool try_push(T item) ER_EXCLUDES(mutex_) {
+  /// `urgent` selects the front dispatch level (deadline-aware requests);
+  /// both levels draw on the same capacity.
+  [[nodiscard]] bool try_push(T item, bool urgent = false)
+      ER_EXCLUDES(mutex_) {
     {
       util::MutexLock lock(&mutex_);
-      if (closed_ || items_.size() >= capacity_) return false;
-      items_.push_back(std::move(item));
+      if (closed_ || urgent_.size() + items_.size() >= capacity_)
+        return false;
+      (urgent ? urgent_ : items_).push_back(std::move(item));
     }
     cv_.notify_one();
     return true;
   }
 
-  /// Next item in admission order; nullopt once closed and drained.
+  /// Next item — urgent level first, admission order within a level;
+  /// nullopt once closed and drained.
   [[nodiscard]] std::optional<T> pop() ER_EXCLUDES(mutex_) {
     util::UniqueLock lock(&mutex_);
-    while ((paused_ || items_.empty()) && !(closed_ && items_.empty()))
+    while ((paused_ || (urgent_.empty() && items_.empty())) &&
+           !(closed_ && urgent_.empty() && items_.empty()))
       cv_.wait(lock.native());
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
+    std::deque<T>& level = urgent_.empty() ? items_ : urgent_;
+    if (level.empty()) return std::nullopt;
+    T item = std::move(level.front());
+    level.pop_front();
     return item;
   }
 
@@ -81,13 +94,14 @@ class AdmissionQueue {
 
   [[nodiscard]] std::size_t depth() const ER_EXCLUDES(mutex_) {
     util::MutexLock lock(&mutex_);
-    return items_.size();
+    return urgent_.size() + items_.size();
   }
 
  private:
   const std::size_t capacity_;
   mutable util::Mutex mutex_;
   std::condition_variable cv_;
+  std::deque<T> urgent_ ER_GUARDED_BY(mutex_);  ///< dispatched first
   std::deque<T> items_ ER_GUARDED_BY(mutex_);
   bool closed_ ER_GUARDED_BY(mutex_) = false;
   bool paused_ ER_GUARDED_BY(mutex_) = false;

@@ -145,6 +145,35 @@ std::uint8_t kind_to_wire(QueryKind k) {
   return k == QueryKind::kResponse ? 0 : 1;
 }
 
+// QueryPolicy enums travel by their fixed wire ordinal (which happens to
+// match the enum ordinal today; the map keeps them decoupled).
+bool tier_from_wire(std::uint8_t v, AccuracyTier* out) {
+  switch (v) {
+    case 0: *out = AccuracyTier::kExact; return true;
+    case 1: *out = AccuracyTier::kApprox; return true;
+    case 2: *out = AccuracyTier::kFast; return true;
+    default: return false;
+  }
+}
+
+std::uint8_t tier_to_wire(AccuracyTier t) {
+  return static_cast<std::uint8_t>(t);
+}
+
+bool pref_from_wire(std::uint8_t v, BackendPref* out) {
+  switch (v) {
+    case 0: *out = BackendPref::kAuto; return true;
+    case 1: *out = BackendPref::kSharded; return true;
+    case 2: *out = BackendPref::kMonolithic; return true;
+    case 3: *out = BackendPref::kLocalApprox; return true;
+    default: return false;
+  }
+}
+
+std::uint8_t pref_to_wire(BackendPref p) {
+  return static_cast<std::uint8_t>(p);
+}
+
 }  // namespace
 
 const char* to_string(DecodeStatus s) {
@@ -168,11 +197,11 @@ std::uint32_t crc32(const std::uint8_t* data, std::size_t len) {
 
 std::vector<std::uint8_t> encode_frame(
     Opcode opcode, std::uint64_t request_id,
-    const std::vector<std::uint8_t>& payload) {
+    const std::vector<std::uint8_t>& payload, std::uint16_t version) {
   std::vector<std::uint8_t> out;
   out.reserve(kHeaderBytes + payload.size());
   put_u32(out, kMagic);
-  put_u16(out, kProtocolVersion);
+  put_u16(out, version);
   put_u16(out, static_cast<std::uint16_t>(opcode));
   put_u64(out, request_id);
   put_u32(out, static_cast<std::uint32_t>(payload.size()));
@@ -194,7 +223,8 @@ DecodeStatus FrameBuffer::next(Frame* out) {
   // Header validation happens before the payload is awaited: an attacker
   // cannot make the decoder buffer toward a bogus 4 GiB length.
   if (read_u32(h) != kMagic) return error_ = DecodeStatus::kBadMagic;
-  if (read_u16(h + 4) != kProtocolVersion)
+  const std::uint16_t version = read_u16(h + 4);
+  if (version < kMinProtocolVersion || version > kProtocolVersion)
     return error_ = DecodeStatus::kBadVersion;
   const std::uint32_t payload_len = read_u32(h + 16);
   if (payload_len > kMaxPayloadBytes) return error_ = DecodeStatus::kBadLength;
@@ -205,6 +235,7 @@ DecodeStatus FrameBuffer::next(Frame* out) {
     return error_ = DecodeStatus::kBadCrc;
 
   out->opcode = read_u16(h + 6);
+  out->version = version;
   out->request_id = read_u64(h + 8);
   out->payload.assign(payload, payload + payload_len);
   consumed_ += kHeaderBytes + payload_len;
@@ -220,9 +251,11 @@ DecodeStatus FrameBuffer::next(Frame* out) {
 
 // ---------------------------------------------------------------- payloads
 
-std::vector<std::uint8_t> encode_query_batch(const QueryBatchRequest& req) {
+std::vector<std::uint8_t> encode_query_batch(const QueryBatchRequest& req,
+                                             std::uint16_t version) {
+  const bool with_policy = version >= 2;
   std::vector<std::uint8_t> out;
-  out.reserve(1 + 4 + req.queries.size() * 9);
+  out.reserve(1 + 4 + req.queries.size() * (with_policy ? 16 : 9));
   out.push_back(route_to_wire(req.route));
   put_u32(out, static_cast<std::uint32_t>(req.queries.size()));
   for (const PortQuery& q : req.queries) {
@@ -232,12 +265,21 @@ std::vector<std::uint8_t> encode_query_batch(const QueryBatchRequest& req) {
     std::memcpy(&qq, &q.q, sizeof(qq));
     put_u32(out, p);
     put_u32(out, qq);
+    if (with_policy) {
+      put_u32(out, q.policy.deadline_us);
+      out.push_back(tier_to_wire(q.policy.accuracy_tier));
+      out.push_back(pref_to_wire(q.policy.backend_pref));
+      out.push_back(q.policy.hedge ? 1 : 0);
+    }
   }
   return out;
 }
 
 bool decode_query_batch(const std::vector<std::uint8_t>& payload,
-                        QueryBatchRequest* out) {
+                        QueryBatchRequest* out, std::uint16_t version) {
+  if (version < kMinProtocolVersion || version > kProtocolVersion)
+    return false;
+  const bool with_policy = version >= 2;
   Cursor c(payload.data(), payload.size());
   std::uint8_t route = 0;
   std::uint32_t count = 0;
@@ -251,6 +293,18 @@ bool decode_query_batch(const std::vector<std::uint8_t>& payload,
     PortQuery q;
     if (!c.read_u8(&kind) || !kind_from_wire(kind, &q.kind)) return false;
     if (!c.read_i32(&q.p) || !c.read_i32(&q.q)) return false;
+    if (with_policy) {
+      std::uint8_t tier = 0, pref = 0, hedge = 0;
+      if (!c.read_u32(&q.policy.deadline_us)) return false;
+      if (!c.read_u8(&tier) ||
+          !tier_from_wire(tier, &q.policy.accuracy_tier))
+        return false;
+      if (!c.read_u8(&pref) ||
+          !pref_from_wire(pref, &q.policy.backend_pref))
+        return false;
+      if (!c.read_u8(&hedge) || hedge > 1) return false;
+      q.policy.hedge = hedge != 0;
+    }
     out->queries.push_back(q);
   }
   return c.done();

@@ -236,7 +236,7 @@ bool Server::handle_frame(const std::shared_ptr<Session>& session,
       item.session = session;
       item.request_id = frame.request_id;
       item.opcode = opcode;
-      if (!decode_query_batch(frame.payload, &item.query)) {
+      if (!decode_query_batch(frame.payload, &item.query, frame.version)) {
         send_error(session, frame.request_id, ErrorCode::kBadPayload,
                    "malformed query batch");
         return true;  // per-request error; the stream is still framed
@@ -245,7 +245,15 @@ bool Server::handle_frame(const std::shared_ptr<Session>& session,
       // client encoded, every query answers Z(p, q).
       if (opcode == Opcode::kPortResponse)
         for (PortQuery& q : item.query.queries) q.kind = QueryKind::kResponse;
-      if (!queue_.try_push(std::move(item))) {
+      // Deadline-carrying batches dispatch from the queue's urgent level
+      // (admission.hpp): their queueing budget is the scarce resource.
+      bool urgent = false;
+      for (const PortQuery& q : item.query.queries)
+        if (q.policy.deadline_us > 0) {
+          urgent = true;
+          break;
+        }
+      if (!queue_.try_push(std::move(item), urgent)) {
         send_retry_later(session, frame.request_id);
         return true;
       }
@@ -308,8 +316,17 @@ void Server::process_query(WorkItem& item) {
   AnswerReply reply;
   try {
     BatchStats stats;
-    reply.answers = frontend_.answer(item.query.queries, pool_.get(),
-                                     item.query.route, &stats);
+    AnswerContext ctx;
+    ctx.pool = pool_.get();
+    ctx.mode = item.query.route;
+    ctx.stats = &stats;
+    // The queue wait already consumed, handed to the front-end as the
+    // explicit deadline input (serve/query_policy.hpp): expiry is decided
+    // here at the daemon boundary, and the library below stays a pure
+    // function of (snapshot, batch, context).
+    ctx.queue_wait_us =
+        static_cast<std::uint64_t>(item.admitted.seconds() * 1e6);
+    reply.answers = frontend_.answer(item.query.queries, ctx);
     reply.snapshot_version = stats.snapshot_version;
   } catch (const std::exception& e) {
     send_error(item.session, item.request_id, ErrorCode::kInternal,

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "serve/model_store.hpp"
+#include "serve/query_policy.hpp"
 #include "util/types.hpp"
 
 namespace er {
@@ -30,12 +31,17 @@ enum class QueryKind {
   kResistance,  ///< (e_p - e_q)^T G^{-1} (e_p - e_q)
 };
 
+const char* to_string(QueryKind kind);
+
 /// One query against the published model, in original (pre-reduction) node
-/// ids. Nodes that were eliminated by the reduction answer NaN.
+/// ids. Nodes that were eliminated by the reduction answer NaN. The
+/// per-query policy defaults to "no policy" — serve/query_policy.hpp —
+/// under which the batch behaves exactly as before policies existed.
 struct PortQuery {
   QueryKind kind = QueryKind::kResistance;
   index_t p = 0;
   index_t q = 0;
+  QueryPolicy policy;
 };
 
 /// Which evaluation path answers the batch.
@@ -72,8 +78,38 @@ struct BatchStats {
   /// invalid queries are never probed or cached.
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
+  /// Policy figures (serve/query_policy.hpp), zero for all-default
+  /// batches. A hedged query evaluates both legs; hedge_won_engine counts
+  /// the ones whose block-engine leg's answer was selected.
+  std::size_t deadline_miss = 0;    ///< expired before evaluation (NaN)
+  std::size_t hedged = 0;           ///< queries racing two backends
+  std::size_t hedge_won_engine = 0; ///< hedges won by the block engine
   std::uint64_t snapshot_version = 0;
   double seconds = 0.0;
+};
+
+/// Per-batch evaluation parameters for answer()/answer_on() — the former
+/// loose parameter list of the static answer_on, folded into one value so
+/// policy-era inputs (queue wait, per-query statuses) have a place to
+/// live. Members are ordered like the old positional parameters, so
+/// existing call sites migrate by wrapping their arguments in braces.
+struct AnswerContext {
+  ThreadPool* pool = nullptr;
+  /// Batch-default route; each query's QueryPolicy may override it.
+  RouteMode mode = RouteMode::kSharded;
+  BatchStats* stats = nullptr;
+  /// Metrics sink (null = the process-wide global registry).
+  obs::MetricsRegistry* registry = nullptr;
+  /// Consulted per its ResultCacheOptions mode knobs; may be null.
+  ResultCache* cache = nullptr;
+  /// Queue wait already consumed before evaluation starts, in
+  /// microseconds: the value per-query deadlines are compared against.
+  /// An explicit input — the compute path never reads a clock — so the
+  /// same (snapshot, batch, context) always yields the same answers.
+  /// Direct callers default to 0 (no wait, nothing expires).
+  std::uint64_t queue_wait_us = 0;
+  /// Optional per-query outcome slots (resized to the batch); null skips.
+  std::vector<QueryStatus>* statuses = nullptr;
 };
 
 /// Stateless batch evaluator bound to a ModelStore. Thread-safe: any number
@@ -96,14 +132,18 @@ class QueryFrontEnd {
                                            RouteMode mode = RouteMode::kSharded,
                                            BatchStats* stats = nullptr) const;
 
+  /// Full-context overload: like the convenience form above but with every
+  /// AnswerContext field available. ctx.registry/ctx.cache default (when
+  /// null) to the front-end's registry and the store's attached cache.
+  [[nodiscard]] std::vector<real_t> answer(const std::vector<PortQuery>& batch,
+                                           const AnswerContext& ctx) const;
+
   /// Answer a batch against an explicitly pinned snapshot (tests, replay).
-  /// Metrics go to `registry` (null = the global registry); `cache` (may
-  /// be null) is consulted per its ResultCacheOptions mode knobs.
+  /// ctx.registry null means the global registry; ctx.cache (may be null)
+  /// is consulted per its ResultCacheOptions mode knobs.
   [[nodiscard]] static std::vector<real_t> answer_on(
       const ModelSnapshot& snapshot, const std::vector<PortQuery>& batch,
-      ThreadPool* pool = nullptr, RouteMode mode = RouteMode::kSharded,
-      BatchStats* stats = nullptr, obs::MetricsRegistry* registry = nullptr,
-      ResultCache* cache = nullptr);
+      const AnswerContext& ctx = {});
 
  private:
   const ModelStore* store_;

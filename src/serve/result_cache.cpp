@@ -133,9 +133,10 @@ ResultCache::ScopeViewPtr ResultCache::scopes_for(
 }
 
 bool ResultCache::lookup(std::uint64_t scope, Path path, QueryKind kind,
-                         index_t p, index_t q, real_t* out) {
+                         AccuracyTier tier, index_t p, index_t q,
+                         real_t* out) {
   Timer timer;
-  const Key key{scope, make_tag(path, kind), p, q};
+  const Key key{scope, make_tag(path, kind, tier), p, q};
   Shard& shard = shard_for(key);
   bool hit = false;
   {
@@ -157,8 +158,9 @@ bool ResultCache::lookup(std::uint64_t scope, Path path, QueryKind kind,
 }
 
 void ResultCache::insert(std::uint64_t scope, Path path, QueryKind kind,
-                         index_t p, index_t q, real_t value) {
-  const Key key{scope, make_tag(path, kind), p, q};
+                         AccuracyTier tier, index_t p, index_t q,
+                         real_t value) {
+  const Key key{scope, make_tag(path, kind, tier), p, q};
   Shard& shard = shard_for(key);
   std::size_t evicted = 0;
   bool inserted = false;

@@ -2,9 +2,10 @@
 /// Version-keyed ER result cache with dirty-block invalidation
 /// (DESIGN.md §4.2).
 ///
-/// A sharded, lock-striped map from (scope, path, kind, node-pair) to the
-/// cached answer, sitting between QueryFrontEnd and the snapshot's answer
-/// paths. A *scope* is an opaque epoch id resolved per snapshot version:
+/// A sharded, lock-striped map from (scope, path, kind, accuracy tier,
+/// node-pair) to the cached answer, sitting between QueryFrontEnd and the
+/// snapshot's answer paths. A *scope* is an opaque epoch id resolved per
+/// snapshot version:
 ///
 ///   * every version gets a fresh *exact scope* covering its sharded and
 ///     monolithic answers (they touch the interface-Schur boundary factor
@@ -113,15 +114,17 @@ class ResultCache {
       ER_EXCLUDES(scope_mutex_);
 
   /// Probe for a cached answer; a hit refreshes the entry's LRU position
-  /// and records the hit-latency sample. Returns false on miss.
-  bool lookup(std::uint64_t scope, Path path, QueryKind kind, index_t p,
-              index_t q, real_t* out);
+  /// and records the hit-latency sample. Returns false on miss. `tier` is
+  /// part of the key (serve/query_policy.hpp): entries inserted under a
+  /// reduced tier can never serve an exact-tier probe, and vice versa.
+  bool lookup(std::uint64_t scope, Path path, QueryKind kind,
+              AccuracyTier tier, index_t p, index_t q, real_t* out);
 
   /// Store an answer under the scope, evicting per-shard LRU tails past
   /// the capacity bound. Inserting an existing key refreshes its value
   /// (idempotent: answers are deterministic per key).
-  void insert(std::uint64_t scope, Path path, QueryKind kind, index_t p,
-              index_t q, real_t value);
+  void insert(std::uint64_t scope, Path path, QueryKind kind,
+              AccuracyTier tier, index_t p, index_t q, real_t value);
 
   // Whole-cache probes (tests / introspection; the registry carries the
   // same figures as er_cache_* series).
@@ -138,7 +141,7 @@ class ResultCache {
  private:
   struct Key {
     std::uint64_t scope = 0;
-    std::uint32_t tag = 0;  ///< (path << 1) | kind
+    std::uint32_t tag = 0;  ///< (tier << 3) | (path << 1) | kind
     index_t p = 0;
     index_t q = 0;
     bool operator==(const Key& o) const {
@@ -161,8 +164,10 @@ class ResultCache {
         ER_GUARDED_BY(mutex);
   };
 
-  static std::uint32_t make_tag(Path path, QueryKind kind) {
-    return (static_cast<std::uint32_t>(path) << 1) |
+  static std::uint32_t make_tag(Path path, QueryKind kind,
+                                AccuracyTier tier) {
+    return (static_cast<std::uint32_t>(tier) << 3) |
+           (static_cast<std::uint32_t>(path) << 1) |
            static_cast<std::uint32_t>(kind);
   }
   Shard& shard_for(const Key& key);

@@ -85,8 +85,8 @@ TEST(ModelSnapshotRebuild, DirtyOnlyMatchesFullRebuildBitwise) {
       // Bitwise equality on both exact routes (the monolithic factor is
       // rebuilt either way; the sharded one mixes reused + fresh factors).
       for (RouteMode mode : {RouteMode::kSharded, RouteMode::kMonolithic}) {
-        const auto want = QueryFrontEnd::answer_on(*full, batch, p, mode);
-        const auto got = QueryFrontEnd::answer_on(*incr, batch, p, mode);
+        const auto want = QueryFrontEnd::answer_on(*full, batch, {p, mode});
+        const auto got = QueryFrontEnd::answer_on(*incr, batch, {p, mode});
         ASSERT_EQ(want.size(), got.size());
         for (std::size_t i = 0; i < want.size(); ++i)
           ASSERT_EQ(want[i], got[i])

@@ -46,6 +46,14 @@ QueryBatchRequest random_batch(Rng& rng, std::size_t count) {
     q.kind = rng.bernoulli(0.5) ? QueryKind::kResponse : QueryKind::kResistance;
     q.p = static_cast<index_t>(rng.next_u64());
     q.q = static_cast<index_t>(rng.next_u64());
+    // Half the queries carry a non-default policy so the v2 round-trip
+    // exercises every field; the rest stay at the v1-compatible default.
+    if (rng.bernoulli(0.5)) {
+      q.policy.deadline_us = static_cast<std::uint32_t>(rng.next_u64());
+      q.policy.accuracy_tier = static_cast<AccuracyTier>(rng.uniform_index(3));
+      q.policy.backend_pref = static_cast<BackendPref>(rng.uniform_index(4));
+      q.policy.hedge = rng.bernoulli(0.5);
+    }
     req.queries.push_back(q);
   }
   return req;
@@ -71,8 +79,43 @@ TEST(NetProtocolRoundTrip, QueryBatchRandomized) {
       EXPECT_EQ(back.queries[i].kind, req.queries[i].kind);
       EXPECT_EQ(back.queries[i].p, req.queries[i].p);
       EXPECT_EQ(back.queries[i].q, req.queries[i].q);
+      EXPECT_EQ(back.queries[i].policy.deadline_us,
+                req.queries[i].policy.deadline_us);
+      EXPECT_EQ(back.queries[i].policy.accuracy_tier,
+                req.queries[i].policy.accuracy_tier);
+      EXPECT_EQ(back.queries[i].policy.backend_pref,
+                req.queries[i].policy.backend_pref);
+      EXPECT_EQ(back.queries[i].policy.hedge, req.queries[i].policy.hedge);
     }
   }
+}
+
+TEST(NetProtocolRoundTrip, OldDialectDropsPoliciesToDefaults) {
+  // A v1 batch (old client or old server) carries no policy bytes:
+  // encoding at kMinProtocolVersion drops them, decoding a v1 payload
+  // yields the default policy for every query.
+  Rng rng(21);
+  QueryBatchRequest req = random_batch(rng, 12);
+  req.queries[0].policy = {250'000u, AccuracyTier::kFast,
+                           BackendPref::kLocalApprox, true};
+  const std::vector<std::uint8_t> v1 =
+      encode_query_batch(req, kMinProtocolVersion);
+  // v1 per-query layout is 9 bytes (kind + p + q); v2 is 16.
+  EXPECT_EQ(v1.size(), 1 + 4 + req.queries.size() * 9);
+  QueryBatchRequest back;
+  ASSERT_TRUE(decode_query_batch(v1, &back, kMinProtocolVersion));
+  ASSERT_EQ(back.queries.size(), req.queries.size());
+  for (std::size_t i = 0; i < back.queries.size(); ++i) {
+    EXPECT_EQ(back.queries[i].kind, req.queries[i].kind);
+    EXPECT_EQ(back.queries[i].p, req.queries[i].p);
+    EXPECT_EQ(back.queries[i].q, req.queries[i].q);
+    EXPECT_TRUE(is_default(back.queries[i].policy)) << "query " << i;
+  }
+  // Dialect mismatch is rejected rather than misparsed: a v1 payload does
+  // not decode as v2 and vice versa (the fixed per-query width differs).
+  EXPECT_FALSE(decode_query_batch(v1, &back, kProtocolVersion));
+  EXPECT_FALSE(decode_query_batch(encode_query_batch(req, kProtocolVersion),
+                                  &back, kMinProtocolVersion));
 }
 
 TEST(NetProtocolRoundTrip, ModificationRandomized) {
@@ -172,6 +215,66 @@ TEST(NetProtocolFraming, ByteAtATimeRoundTrip) {
   ASSERT_TRUE(decode_query_batch(frame.payload, &back));
   ASSERT_EQ(back.queries.size(), req.queries.size());
   EXPECT_EQ(buf.next(&frame), DecodeStatus::kNeedMore);
+}
+
+TEST(NetProtocolFraming, PolicyFrameSplitAcrossThreeFeeds) {
+  // A policy-bearing v2 frame delivered in three fragments: the first two
+  // feeds end mid-header / mid-payload, the third completes the frame and
+  // every policy field survives intact.
+  Rng rng(22);
+  QueryBatchRequest req = random_batch(rng, 6);
+  req.queries[0].policy = {125'000u, AccuracyTier::kApprox,
+                           BackendPref::kMonolithic, false};
+  req.queries[5].policy = {40u, AccuracyTier::kFast, BackendPref::kLocalApprox,
+                           true};
+  const std::vector<std::uint8_t> wire =
+      encode_frame(Opcode::kErBatch, 31, encode_query_batch(req));
+  const std::size_t cut1 = kHeaderBytes / 2;      // mid-header
+  const std::size_t cut2 = kHeaderBytes + 7;      // mid-payload
+  ASSERT_LT(cut2, wire.size());
+  FrameBuffer buf;
+  Frame frame;
+  buf.append(wire.data(), cut1);
+  ASSERT_EQ(buf.next(&frame), DecodeStatus::kNeedMore);
+  buf.append(wire.data() + cut1, cut2 - cut1);
+  ASSERT_EQ(buf.next(&frame), DecodeStatus::kNeedMore);
+  buf.append(wire.data() + cut2, wire.size() - cut2);
+  ASSERT_EQ(buf.next(&frame), DecodeStatus::kOk);
+  EXPECT_EQ(frame.version, kProtocolVersion);
+  QueryBatchRequest back;
+  ASSERT_TRUE(decode_query_batch(frame.payload, &back, frame.version));
+  ASSERT_EQ(back.queries.size(), req.queries.size());
+  for (std::size_t i = 0; i < back.queries.size(); ++i) {
+    EXPECT_EQ(back.queries[i].policy.deadline_us,
+              req.queries[i].policy.deadline_us);
+    EXPECT_EQ(back.queries[i].policy.accuracy_tier,
+              req.queries[i].policy.accuracy_tier);
+    EXPECT_EQ(back.queries[i].policy.backend_pref,
+              req.queries[i].policy.backend_pref);
+    EXPECT_EQ(back.queries[i].policy.hedge, req.queries[i].policy.hedge);
+  }
+}
+
+TEST(NetProtocolFraming, OldVersionFrameCarriesItsDialect) {
+  // A v1 frame from an old client passes framing (version within the
+  // accepted window) and reports version 1, so the server decodes the
+  // payload with the v1 dialect and queries get the default policy.
+  Rng rng(23);
+  const QueryBatchRequest req = random_batch(rng, 4);
+  const std::vector<std::uint8_t> wire =
+      encode_frame(Opcode::kErBatch, 8,
+                   encode_query_batch(req, kMinProtocolVersion),
+                   kMinProtocolVersion);
+  FrameBuffer buf;
+  buf.append(wire.data(), wire.size());
+  Frame frame;
+  ASSERT_EQ(buf.next(&frame), DecodeStatus::kOk);
+  EXPECT_EQ(frame.version, kMinProtocolVersion);
+  QueryBatchRequest back;
+  ASSERT_TRUE(decode_query_batch(frame.payload, &back, frame.version));
+  ASSERT_EQ(back.queries.size(), req.queries.size());
+  for (const PortQuery& q : back.queries)
+    EXPECT_TRUE(is_default(q.policy));
 }
 
 TEST(NetProtocolFraming, MultipleFramesOneAppend) {
@@ -320,6 +423,49 @@ TEST(NetProtocolPayload, QueryBatchRejectsMalformed) {
   EXPECT_FALSE(decode_query_batch(bad_kind, &out));
 
   EXPECT_FALSE(decode_query_batch({}, &out));
+}
+
+TEST(NetProtocolPayload, PolicyBytesOutOfRangeRejected) {
+  // v2 per-query layout: kind u8, p i32, q i32, deadline u32, tier u8,
+  // pref u8, hedge u8 (16 bytes). For the first query (payload offset 5)
+  // that puts tier at 18, pref at 19, hedge at 20. Every enum byte outside
+  // its wire range must fail decoding; the deadline is a free u32 and any
+  // value must pass.
+  Rng rng(24);
+  const QueryBatchRequest req = random_batch(rng, 4);
+  const std::vector<std::uint8_t> good = encode_query_batch(req);
+  QueryBatchRequest out;
+  ASSERT_TRUE(decode_query_batch(good, &out));
+
+  constexpr std::size_t kTierAt = 18, kPrefAt = 19, kHedgeAt = 20;
+  for (int v = 3; v < 256; v += 41) {  // 3 is the first invalid tier
+    std::vector<std::uint8_t> bad = good;
+    bad[kTierAt] = static_cast<std::uint8_t>(v);
+    EXPECT_FALSE(decode_query_batch(bad, &out)) << "tier byte " << v;
+  }
+  for (int v = 4; v < 256; v += 41) {  // 4 is the first invalid pref
+    std::vector<std::uint8_t> bad = good;
+    bad[kPrefAt] = static_cast<std::uint8_t>(v);
+    EXPECT_FALSE(decode_query_batch(bad, &out)) << "pref byte " << v;
+  }
+  for (int v = 2; v < 256; v += 41) {  // hedge is strictly 0/1
+    std::vector<std::uint8_t> bad = good;
+    bad[kHedgeAt] = static_cast<std::uint8_t>(v);
+    EXPECT_FALSE(decode_query_batch(bad, &out)) << "hedge byte " << v;
+  }
+
+  // All in-range enum bytes and any deadline bit pattern decode fine.
+  std::vector<std::uint8_t> tweaked = good;
+  tweaked[kTierAt] = 2;
+  tweaked[kPrefAt] = 3;
+  tweaked[kHedgeAt] = 1;
+  for (std::size_t i = 14; i < 18; ++i)  // deadline bytes of query 0
+    tweaked[i] = 0xFF;
+  ASSERT_TRUE(decode_query_batch(tweaked, &out));
+  EXPECT_EQ(out.queries[0].policy.deadline_us, 0xFFFFFFFFu);
+  EXPECT_EQ(out.queries[0].policy.accuracy_tier, AccuracyTier::kFast);
+  EXPECT_EQ(out.queries[0].policy.backend_pref, BackendPref::kLocalApprox);
+  EXPECT_TRUE(out.queries[0].policy.hedge);
 }
 
 TEST(NetProtocolPayload, ModificationRejectsMalformed) {

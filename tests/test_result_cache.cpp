@@ -84,9 +84,9 @@ TEST(ResultCache, CachedMatchesUncachedBitwiseAcrossInterleavings) {
       const SnapshotPtr snap = store.acquire();
       BatchStats cached_stats;
       const auto cached = QueryFrontEnd::answer_on(
-          *snap, batch, p, mode, &cached_stats, &reg, cache.get());
+          *snap, batch, {p, mode, &cached_stats, &reg, cache.get()});
       const auto uncached =
-          QueryFrontEnd::answer_on(*snap, batch, p, mode, nullptr, &reg);
+          QueryFrontEnd::answer_on(*snap, batch, {p, mode, nullptr, &reg});
       ASSERT_EQ(cached.size(), uncached.size());
       for (std::size_t i = 0; i < cached.size(); ++i) {
         // Bitwise comparison that treats the NaN of an invalid query as
@@ -328,10 +328,9 @@ TEST(ResultCache, TinyCapacityEvictsWithoutEverAnsweringWrong) {
     for (RouteMode mode :
          {RouteMode::kSharded, RouteMode::kLocalApprox}) {
       const auto cached = QueryFrontEnd::answer_on(
-          *snap, batch, nullptr, mode, nullptr, &reg, cache.get());
-      const auto plain =
-          QueryFrontEnd::answer_on(*snap, batch, nullptr, mode, nullptr,
-                                   &reg);
+          *snap, batch, {nullptr, mode, nullptr, &reg, cache.get()});
+      const auto plain = QueryFrontEnd::answer_on(
+          *snap, batch, {nullptr, mode, nullptr, &reg});
       for (std::size_t i = 0; i < cached.size(); ++i) {
         const bool both_nan = std::isnan(cached[i]) && std::isnan(plain[i]);
         ASSERT_TRUE(cached[i] == plain[i] || both_nan)
@@ -365,15 +364,15 @@ TEST(ResultCache, PinnedVersionsResolveWithinCapAndDegradePastIt) {
   // cap, so the pinned snapshot keeps hitting its own scoped entries.
   const SnapshotPtr pinned = store.acquire();
   BatchStats warm;
-  (void)QueryFrontEnd::answer_on(*pinned, batch, nullptr,
-                                 RouteMode::kSharded, &warm, &reg,
-                                 cache.get());
+  (void)QueryFrontEnd::answer_on(
+      *pinned, batch,
+      {nullptr, RouteMode::kSharded, &warm, &reg, cache.get()});
   EXPECT_GT(warm.cache_misses, 0u);
   reducer.update(stream.nets[0], stream.mods[0].dirty_blocks);
   BatchStats still_cached;
   const auto hit_answers = QueryFrontEnd::answer_on(
-      *pinned, batch, nullptr, RouteMode::kSharded, &still_cached, &reg,
-      cache.get());
+      *pinned, batch,
+      {nullptr, RouteMode::kSharded, &still_cached, &reg, cache.get()});
   EXPECT_GT(still_cached.cache_hits, 0u);
   EXPECT_EQ(still_cached.cache_misses, 0u);
 
@@ -383,8 +382,8 @@ TEST(ResultCache, PinnedVersionsResolveWithinCapAndDegradePastIt) {
   reducer.update(stream.nets[1], stream.mods[1].dirty_blocks);
   BatchStats past_cap;
   const auto plain_answers = QueryFrontEnd::answer_on(
-      *pinned, batch, nullptr, RouteMode::kSharded, &past_cap, &reg,
-      cache.get());
+      *pinned, batch,
+      {nullptr, RouteMode::kSharded, &past_cap, &reg, cache.get()});
   EXPECT_EQ(past_cap.cache_hits, 0u);
   EXPECT_EQ(past_cap.cache_misses, 0u);
   ASSERT_EQ(hit_answers.size(), plain_answers.size());

@@ -37,12 +37,10 @@ TEST(ModelSnapshot, ShardedMatchesMonolithic) {
 
   const auto batch = mixed_batch(kept_originals(*art.model), 400, 3);
   BatchStats sharded_stats, mono_stats;
-  const auto sharded = QueryFrontEnd::answer_on(*snap, batch, nullptr,
-                                                RouteMode::kSharded,
-                                                &sharded_stats);
-  const auto mono = QueryFrontEnd::answer_on(*snap, batch, nullptr,
-                                             RouteMode::kMonolithic,
-                                             &mono_stats);
+  const auto sharded = QueryFrontEnd::answer_on(
+      *snap, batch, {nullptr, RouteMode::kSharded, &sharded_stats});
+  const auto mono = QueryFrontEnd::answer_on(
+      *snap, batch, {nullptr, RouteMode::kMonolithic, &mono_stats});
   ASSERT_EQ(sharded.size(), mono.size());
   EXPECT_EQ(sharded_stats.invalid, 0u);
   EXPECT_GT(sharded_stats.cross_block, 0u);  // the batch exercises routing
@@ -98,11 +96,12 @@ TEST(QueryFrontEnd, BitIdenticalAcrossThreadCounts) {
 
   for (RouteMode mode : {RouteMode::kSharded, RouteMode::kMonolithic,
                          RouteMode::kLocalApprox}) {
-    const auto serial = QueryFrontEnd::answer_on(*snap, batch, nullptr, mode);
+    const auto serial =
+        QueryFrontEnd::answer_on(*snap, batch, {nullptr, mode});
     for (int threads : {2, 4, 8}) {
       ThreadPool pool(threads);
       const auto par =
-          QueryFrontEnd::answer_on(*snap, batch, &pool, mode);
+          QueryFrontEnd::answer_on(*snap, batch, {&pool, mode});
       SCOPED_TRACE(std::string(to_string(mode)) + " threads=" +
                    std::to_string(threads));
       ASSERT_EQ(serial.size(), par.size());
@@ -133,8 +132,8 @@ TEST(ModelSnapshot, MonolithicFactorIsOptional) {
   ASSERT_EQ(want.size(), got.size());
   for (std::size_t i = 0; i < want.size(); ++i)
     ASSERT_EQ(want[i], got[i]) << "query " << i;  // sharded path unaffected
-  EXPECT_THROW((void)QueryFrontEnd::answer_on(*lean, batch, nullptr,
-                                              RouteMode::kMonolithic),
+  EXPECT_THROW((void)QueryFrontEnd::answer_on(
+                   *lean, batch, {nullptr, RouteMode::kMonolithic}),
                std::logic_error);
 }
 
@@ -162,9 +161,8 @@ TEST(QueryFrontEnd, InvalidQueriesAnswerNaN) {
       {QueryKind::kResistance, valid, valid},
   };
   BatchStats stats;
-  const auto out =
-      QueryFrontEnd::answer_on(*snap, batch, nullptr, RouteMode::kSharded,
-                               &stats);
+  const auto out = QueryFrontEnd::answer_on(
+      *snap, batch, {nullptr, RouteMode::kSharded, &stats});
   EXPECT_TRUE(std::isnan(out[0]));
   EXPECT_TRUE(std::isnan(out[1]));
   EXPECT_TRUE(std::isnan(out[2]));
@@ -183,8 +181,8 @@ TEST(QueryFrontEnd, LocalApproxRoutesThroughBlockEngines) {
   const auto batch = mixed_batch(kept_originals(*art.model), 600, 7);
 
   BatchStats stats;
-  const auto out = QueryFrontEnd::answer_on(*snap, batch, nullptr,
-                                            RouteMode::kLocalApprox, &stats);
+  const auto out = QueryFrontEnd::answer_on(
+      *snap, batch, {nullptr, RouteMode::kLocalApprox, &stats});
   EXPECT_GT(stats.engine_answered, 0u);  // the fast path actually engaged
   EXPECT_GT(stats.cross_block, 0u);      // and the fallback did too
   for (std::size_t i = 0; i < out.size(); ++i) {

@@ -5,7 +5,8 @@ CI runs this after the churn smoke invocation so a schema change in
 bench_serving breaks the pipeline instead of downstream readers of the
 JSON trajectories (bench/README.md documents every field).
 
-usage: check_bench_schema.py BENCH_serving.json {churn|standard|zipf|loopback}
+usage: check_bench_schema.py BENCH_serving.json
+       {churn|standard|zipf|loopback|policy-mix}
 """
 import json
 import sys
@@ -61,6 +62,22 @@ MODE_FIELDS = {
         "mods_submitted", "mods_applied",
         "identical",
     },
+    # Per-query QueryPolicy scenario (--policy-mix, PR 10): tier mix,
+    # hedged racing, and deadline accounting, plus per-tier latency
+    # percentiles from the er_policy_latency_seconds{tier=...} histograms.
+    "policy-mix": COMMON_FIELDS | {
+        "queries_per_second",
+        "served_exact", "served_approx", "served_fast",
+        "hedged_queries", "hedge_win_fraction_engine",
+        "deadline_misses", "queue_wait_us_injected",
+        "policy_latency_exact_p50_us", "policy_latency_exact_p95_us",
+        "policy_latency_exact_p99_us",
+        "policy_latency_approx_p50_us", "policy_latency_approx_p95_us",
+        "policy_latency_approx_p99_us",
+        "policy_latency_fast_p50_us", "policy_latency_fast_p95_us",
+        "policy_latency_fast_p99_us",
+        "identical",
+    },
 }
 
 
@@ -87,7 +104,7 @@ def main() -> int:
             print(f"{path}[{i}]: missing fields {sorted(missing)}",
                   file=sys.stderr)
             ok = False
-        if mode in ("churn", "zipf", "loopback") \
+        if mode in ("churn", "zipf", "loopback", "policy-mix") \
                 and row.get("identical") is not True:
             print(f"{path}[{i}]: {mode} row not bit-identical",
                   file=sys.stderr)
@@ -105,6 +122,20 @@ def main() -> int:
                   f"{row.get('cache_hit_rate')} below the 0.5 floor at "
                   f"zipf_s {row.get('zipf_s')}", file=sys.stderr)
             ok = False
+        if mode == "policy-mix":
+            frac = row.get("hedge_win_fraction_engine")
+            if not isinstance(frac, (int, float)) or not 0.0 <= frac <= 1.0:
+                print(f"{path}[{i}]: hedge_win_fraction_engine {frac!r} "
+                      "outside [0, 1]", file=sys.stderr)
+                ok = False
+            served = sum(row.get(k, 0) for k in
+                         ("served_exact", "served_approx", "served_fast"))
+            expected = row.get("queries", 0) - row.get("deadline_misses", 0)
+            if served != expected:
+                print(f"{path}[{i}]: per-tier served counts sum to {served}, "
+                      f"expected queries - deadline_misses = {expected}",
+                      file=sys.stderr)
+                ok = False
         if mode == "churn" and row.get("publish_model_bytes_copied") != 0:
             print(f"{path}[{i}]: zero-copy publish copied model bytes "
                   f"({row.get('publish_model_bytes_copied')})",

@@ -37,7 +37,7 @@ CHECKS = ["determinism-lint", "determinism-lint-selftest",
           "workspace-clean", "bench-schema", "metrics-export",
           "loopback-smoke"]
 
-BENCH_MODES = ["churn", "standard", "zipf", "loopback"]
+BENCH_MODES = ["churn", "standard", "zipf", "loopback", "policy-mix"]
 METRICS_PROFILES = ["core", "net"]
 
 
